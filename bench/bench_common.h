@@ -1,0 +1,61 @@
+// Shared helpers for the benchmark harnesses.
+//
+// The metric of interest is *simulated device cycles*, not host wall
+// time, so every benchmark runs its kernel once and reports cycles (and
+// derived speedups) through google-benchmark counters. Each binary also
+// prints a paper-style summary table so the series can be compared to
+// the corresponding figure directly (see EXPERIMENTS.md).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gpusim/stats.h"
+#include "support/status.h"
+
+namespace simtomp::bench {
+
+/// One printed row: label + cycles + speedup vs the series baseline.
+struct Row {
+  std::string label;
+  uint64_t cycles = 0;
+  double speedup = 1.0;
+};
+
+inline void printTable(const char* title, const char* baseline_label,
+                       uint64_t baseline_cycles,
+                       const std::vector<Row>& rows) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-28s %14s %10s\n", "configuration", "sim cycles", "speedup");
+  std::printf("%-28s %14llu %10s\n", baseline_label,
+              static_cast<unsigned long long>(baseline_cycles), "1.00x");
+  for (const Row& row : rows) {
+    std::printf("%-28s %14llu %9.2fx\n", row.label.c_str(),
+                static_cast<unsigned long long>(row.cycles), row.speedup);
+  }
+  std::fflush(stdout);
+}
+
+/// Abort the benchmark binary on a failed run — a bench that silently
+/// reports garbage is worse than one that fails loudly.
+template <typename T>
+const T& checkOk(const Result<T>& result, const char* what) {
+  if (!result.isOk()) {
+    std::fprintf(stderr, "FATAL: %s failed: %s\n", what,
+                 result.status().toString().c_str());
+    std::abort();
+  }
+  return result.value();
+}
+
+inline void checkVerified(bool verified, const char* what) {
+  if (!verified) {
+    std::fprintf(stderr, "FATAL: %s failed verification\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace simtomp::bench

@@ -1,0 +1,90 @@
+// amd_portability: the paper's section 5.4.1 story as runnable code.
+//
+// The same three-level source runs on the NVIDIA-like and the AMD-like
+// architecture. On AMD (64-lane wavefronts, no warp-level barriers in
+// the runtime) generic-SIMD is unsupported: the requested group size
+// degrades to 1 and simd loops run sequentially — the program still
+// computes the right answer, it just loses the third level. Restructure
+// to SPMD-SIMD (tightly nested) and the groups come back.
+#include <cstdio>
+#include <vector>
+
+#include "dsl/dsl.h"
+
+using namespace simtomp;
+
+namespace {
+
+struct RunInfo {
+  uint64_t cycles = 0;
+  uint32_t effectiveGroup = 0;
+  bool ok = false;
+};
+
+RunInfo run(const gpusim::ArchSpec& arch, omprt::ExecMode parallel_mode) {
+  gpusim::Device device(arch);
+  dsl::LaunchSpec spec;
+  spec.numTeams = 16;
+  spec.threadsPerTeam = 128;  // a multiple of both 32 and 64
+  spec.teamsMode = omprt::ExecMode::kSPMD;
+  spec.parallelMode = parallel_mode;
+  spec.simdlen = 16;
+
+  constexpr uint64_t kRows = 2048;
+  constexpr uint64_t kInner = 48;
+  std::vector<double> out(kRows, 0.0);
+  RunInfo info;
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      device, spec, kRows, [&](dsl::OmpContext& ctx, uint64_t row) {
+        info.effectiveGroup = ctx.simdGroupSize();
+        const double s =
+            dsl::simdReduceAdd(ctx, kInner, [row](dsl::OmpContext& c,
+                                                  uint64_t k) {
+              c.gpu().fma();
+              return static_cast<double>((row + k) % 7);
+            });
+        if (ctx.simdGroupId() == 0) out[row] = s;
+      });
+  if (!stats.isOk()) return info;
+  // Verify against the closed form.
+  for (uint64_t row = 0; row < kRows; ++row) {
+    double expect = 0.0;
+    for (uint64_t k = 0; k < kInner; ++k) {
+      expect += static_cast<double>((row + k) % 7);
+    }
+    if (out[row] != expect) return info;
+  }
+  info.ok = true;
+  info.cycles = stats.value().cycles;
+  return info;
+}
+
+void report(const char* arch_name, const gpusim::ArchSpec& arch) {
+  std::printf("%s (warp size %u, warp barriers: %s)\n", arch_name,
+              arch.warpSize, arch.hasWarpLevelBarrier ? "yes" : "NO");
+  const RunInfo generic = run(arch, omprt::ExecMode::kGeneric);
+  const RunInfo spmd = run(arch, omprt::ExecMode::kSPMD);
+  if (!generic.ok || !spmd.ok) {
+    std::fprintf(stderr, "  run failed\n");
+    std::exit(1);
+  }
+  std::printf("  generic parallel: requested simdlen 16 -> effective %2u, "
+              "%llu cycles\n",
+              generic.effectiveGroup,
+              static_cast<unsigned long long>(generic.cycles));
+  std::printf("  SPMD parallel:    requested simdlen 16 -> effective %2u, "
+              "%llu cycles\n",
+              spmd.effectiveGroup,
+              static_cast<unsigned long long>(spmd.cycles));
+}
+
+}  // namespace
+
+int main() {
+  report("sim-a100", gpusim::ArchSpec::nvidiaA100());
+  report("sim-mi100", gpusim::ArchSpec::amdMI100());
+  std::printf("\nOn the AMD-like device the generic-SIMD request degrades "
+              "to sequential simd\n(group 1), as in paper section 5.4.1; "
+              "SPMD-SIMD keeps the third level.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: three levels of parallelism on the simulated GPU.
+//
+// The OpenMP source this corresponds to:
+//
+//   #pragma omp target teams distribute parallel for map(to:in) map(from:out)
+//   for (int row = 0; row < kRows; ++row) {
+//     double scale = 0.5 * in[row * kInner];     // sequential preamble
+//     #pragma omp simd simdlen(8)
+//     for (int k = 0; k < kInner; ++k)
+//       out[row * kInner + k] = scale * in[row * kInner + k];
+//   }
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "dsl/dsl.h"
+#include "hostrt/data_env.h"
+
+using namespace simtomp;
+
+int main() {
+  constexpr uint64_t kRows = 1024;
+  constexpr uint64_t kInner = 24;
+
+  // Host data.
+  std::vector<double> in(kRows * kInner);
+  std::vector<double> out(kRows * kInner, 0.0);
+  for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<double>(i % 97);
+
+  // A simulated A100-like device and its data environment.
+  gpusim::Device device;
+  hostrt::DataEnvironment env(device);
+
+  // #pragma omp target data map(to: in) map(from: out)
+  hostrt::MappedSpan<double> in_map(env, std::span<double>(in),
+                                    hostrt::MapType::kTo);
+  hostrt::MappedSpan<double> out_map(env, std::span<double>(out),
+                                     hostrt::MapType::kFrom);
+  if (!in_map.status().isOk() || !out_map.status().isOk()) {
+    std::fprintf(stderr, "mapping failed\n");
+    return 1;
+  }
+  auto dev_in = in_map.device();
+  auto dev_out = out_map.device();
+
+  // Launch configuration: SPMD teams, generic-SIMD parallel regions
+  // with groups of 8 lanes (the paper's sweet spot for small loops).
+  dsl::LaunchSpec spec;
+  spec.numTeams = 64;
+  spec.threadsPerTeam = 128;
+  spec.teamsMode = omprt::ExecMode::kSPMD;
+  spec.parallelMode = omprt::ExecMode::kGeneric;
+  spec.simdlen = 8;
+
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      device, spec, kRows, [&](dsl::OmpContext& ctx, uint64_t row) {
+        // Sequential preamble per row (runs on the SIMD group leader).
+        const double scale = 0.5 * dev_in.get(ctx.gpu(), row * kInner);
+        ctx.gpu().fma();
+        // The simd level: lanes of the group share the inner loop.
+        dsl::simd(ctx, kInner, [&, scale, row](dsl::OmpContext& c,
+                                               uint64_t k) {
+          const double v = dev_in.get(c.gpu(), row * kInner + k);
+          c.gpu().fma();
+          dev_out.set(c.gpu(), row * kInner + k, scale * v);
+        });
+      });
+
+  if (!stats.isOk()) {
+    std::fprintf(stderr, "launch failed: %s\n",
+                 stats.status().toString().c_str());
+    return 1;
+  }
+
+  // MappedSpan destructors copy `out` back at scope exit; force it now
+  // by updating explicitly so we can verify below.
+  (void)env.updateFrom(out.data());
+
+  // Verify against the host computation.
+  for (uint64_t row = 0; row < kRows; ++row) {
+    const double scale = 0.5 * in[row * kInner];
+    for (uint64_t k = 0; k < kInner; ++k) {
+      const double expect = scale * in[row * kInner + k];
+      if (out[row * kInner + k] != expect) {
+        std::fprintf(stderr, "mismatch at row %llu k %llu\n",
+                     static_cast<unsigned long long>(row),
+                     static_cast<unsigned long long>(k));
+        return 1;
+      }
+    }
+  }
+
+  std::printf("quickstart OK\n");
+  std::printf("  simulated kernel cycles : %llu\n",
+              static_cast<unsigned long long>(stats.value().cycles));
+  std::printf("  simd loops executed     : %llu\n",
+              static_cast<unsigned long long>(
+                  stats.value().counters.get(gpusim::Counter::kSimdLoop)));
+  std::printf("  bytes host->device      : %llu\n",
+              static_cast<unsigned long long>(env.stats().bytesToDevice));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// spmv_tuning: the paper's developer guidance (section 6.5) as a tool.
+//
+// "For choosing a simdlen, or SIMD group size, our best results were
+//  when we focused on reducing thread waste ... It is likely best to
+//  experiment with the different options to see which fits the
+//  specific scenario best."
+//
+// This example generates CSR matrices with different sparsity profiles,
+// sweeps every SIMD group size (plus the 2-level baseline), and prints
+// the winner for each — exactly the experiment an application developer
+// would run before committing to a simdlen clause.
+#include <cstdio>
+#include <vector>
+
+#include "apps/csr.h"
+#include "apps/sparse_matvec.h"
+#include "gpusim/device.h"
+
+using namespace simtomp;
+
+namespace {
+
+struct Profile {
+  const char* name;
+  uint32_t meanRowLength;
+  uint32_t maxRowLength;
+};
+
+uint64_t measure(const apps::CsrMatrix& A, const apps::SpmvOptions& options) {
+  gpusim::Device device;
+  auto result = apps::runSpmv(device, A, options);
+  if (!result.isOk() || !result.value().verified) {
+    std::fprintf(stderr, "spmv run failed\n");
+    std::exit(1);
+  }
+  return result.value().stats.cycles;
+}
+
+}  // namespace
+
+int main() {
+  const Profile profiles[] = {
+      {"very sparse (mean 4)", 4, 16},
+      {"paper-like (mean 8)", 8, 64},
+      {"denser rows (mean 24)", 24, 96},
+  };
+
+  for (const Profile& profile : profiles) {
+    apps::CsrGenConfig config;
+    config.numRows = 2048;
+    config.numCols = 2048;
+    config.meanRowLength = profile.meanRowLength;
+    config.maxRowLength = profile.maxRowLength;
+    const apps::CsrMatrix A = apps::generateCsr(config);
+
+    std::printf("\nmatrix: %s, %u rows, %u nnz\n", profile.name, A.numRows,
+                A.nnz());
+
+    apps::SpmvOptions baseline;
+    baseline.variant = apps::SpmvVariant::kTwoLevel;
+    baseline.numTeams = 128;
+    baseline.threadsPerTeam = 32;
+    const uint64_t base_cycles = measure(A, baseline);
+    std::printf("  %-24s %12llu cycles\n", "2-level baseline",
+                static_cast<unsigned long long>(base_cycles));
+
+    uint32_t best_group = 0;
+    uint64_t best_cycles = ~uint64_t{0};
+    for (uint32_t group : {2u, 4u, 8u, 16u, 32u}) {
+      apps::SpmvOptions options;
+      options.variant = apps::SpmvVariant::kThreeLevelAtomic;
+      options.numTeams = 64;
+      options.threadsPerTeam = 256;
+      options.simdlen = group;
+      const uint64_t cycles = measure(A, options);
+      std::printf("  simd group %-13u %12llu cycles  (%.2fx)\n", group,
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<double>(base_cycles) /
+                      static_cast<double>(cycles));
+      if (cycles < best_cycles) {
+        best_cycles = cycles;
+        best_group = group;
+      }
+    }
+    std::printf("  -> recommended simdlen(%u), %.2fx over 2-level\n",
+                best_group,
+                static_cast<double>(base_cycles) /
+                    static_cast<double>(best_cycles));
+  }
+  return 0;
+}

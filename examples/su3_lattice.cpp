@@ -1,0 +1,71 @@
+// su3_lattice: the SU3_bench workload as a user application, with an
+// execution trace.
+//
+// Demonstrates:
+//   * running a realistic kernel (lattice-QCD SU(3) matrix products)
+//     at several SIMD group sizes and picking the best, as the paper's
+//     section 6.5 guidance recommends;
+//   * attaching a TraceRecorder and dumping a chrome://tracing /
+//     Perfetto JSON of the block schedule for the winning run;
+//   * reading occupancy info off the kernel statistics.
+#include <cstdio>
+
+#include "apps/su3.h"
+#include "gpusim/device.h"
+#include "gpusim/trace.h"
+
+using namespace simtomp;
+
+int main() {
+  const apps::Su3Workload workload = apps::generateSu3(2560, 21);
+  std::printf("su3_lattice: %u sites, %u-element inner loop\n",
+              workload.numSites, apps::kSu3InnerTrip);
+
+  uint32_t best_group = 1;
+  uint64_t best_cycles = ~uint64_t{0};
+  for (uint32_t group : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    gpusim::Device device;
+    apps::Su3Options options;
+    options.numTeams = 32;
+    options.threadsPerTeam = 128;
+    options.simdlen = group;
+    auto result = apps::runSu3(device, workload, options);
+    if (!result.isOk() || !result.value().verified) {
+      std::fprintf(stderr, "su3 run failed (group %u)\n", group);
+      return 1;
+    }
+    const auto& stats = result.value().stats;
+    std::printf("  group %-2u %10llu cycles  occupancy %.0f%%  waves %u\n",
+                group, static_cast<unsigned long long>(stats.cycles),
+                stats.occupancy.warpOccupancy * 100.0, stats.waves);
+    if (stats.cycles < best_cycles) {
+      best_cycles = stats.cycles;
+      best_group = group;
+    }
+  }
+  std::printf("best simdlen: %u\n", best_group);
+
+  // Re-run the winner with tracing and dump the block schedule.
+  gpusim::Device device;
+  gpusim::TraceRecorder trace;
+  device.setTraceRecorder(&trace);
+  apps::Su3Options options;
+  options.numTeams = 32;
+  options.threadsPerTeam = 128;
+  options.simdlen = best_group;
+  auto result = apps::runSu3(device, workload, options);
+  if (!result.isOk() || !result.value().verified) {
+    std::fprintf(stderr, "traced su3 run failed\n");
+    return 1;
+  }
+  const char* path = "su3_trace.json";
+  const Status written = trace.writeChromeJson(path);
+  if (!written.isOk()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 written.toString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
+              trace.size(), path);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Conjugate-gradient proxy application.
+//
+// The paper evaluates on "HPC proxy applications that mirror real-world
+// science codes"; CG on a 5-point Poisson matrix is the classic one: a
+// multi-kernel solver whose hot loop alternates a sparse matrix-vector
+// product (the paper's 3-level sparse_matvec shape), dot products
+// (hierarchical reductions: lanes -> groups -> team -> device) and
+// vector updates, with all data resident on the device between kernel
+// launches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+#include "apps/csr.h"
+#include "gpusim/device.h"
+#include "support/status.h"
+
+namespace simtomp::apps {
+
+struct CgWorkload {
+  CsrMatrix A;             ///< SPD 5-point Laplacian, (grid^2 x grid^2)
+  std::vector<double> b;   ///< right-hand side
+};
+
+/// Build the 2-D Poisson problem on a grid x grid mesh.
+CgWorkload generateCgPoisson(uint32_t grid, uint64_t seed);
+
+struct CgOptions {
+  uint32_t maxIterations = 200;
+  double relativeTolerance = 1e-8;
+  uint32_t numTeams = 16;
+  uint32_t threadsPerTeam = 128;
+  /// SIMD group size for the SpMV rows (1 = no third level).
+  uint32_t simdlen = 4;
+};
+
+struct CgResult {
+  bool converged = false;
+  bool verified = false;       ///< ||Ax - b|| / ||b|| below 10x tolerance
+  uint32_t iterations = 0;
+  double relativeResidual = 0.0;
+  uint64_t totalCycles = 0;    ///< summed over every kernel launch
+  uint64_t spmvCycles = 0;
+  uint64_t dotCycles = 0;
+  uint64_t axpyCycles = 0;
+  uint32_t kernelLaunches = 0;
+};
+
+Result<CgResult> runCg(gpusim::Device& device, const CgWorkload& w,
+                       const CgOptions& options);
+
+}  // namespace simtomp::apps

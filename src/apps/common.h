@@ -1,0 +1,77 @@
+// Shared helpers for the application kernels.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "support/status.h"
+
+namespace simtomp::apps {
+
+/// Copy a host vector into a fresh device allocation. The device view
+/// stays valid until freed via Device::freeArray or device teardown.
+template <typename T>
+Result<gpusim::GlobalSpan<T>> toDevice(gpusim::Device& device,
+                                       std::span<const T> host) {
+  auto span = device.allocateArray<T>(host.size());
+  if (!span.isOk()) return span.status();
+  std::memcpy(span.value().data(), host.data(), host.size_bytes());
+  return span;
+}
+
+/// Allocate a zero-initialized device array.
+template <typename T>
+Result<gpusim::GlobalSpan<T>> zeroDevice(gpusim::Device& device,
+                                         size_t count) {
+  auto span = device.allocateArray<T>(count);
+  if (!span.isOk()) return span.status();
+  std::memset(span.value().data(), 0, count * sizeof(T));
+  return span;
+}
+
+/// Copy a device array back to a host vector.
+template <typename T>
+std::vector<T> toHost(const gpusim::GlobalSpan<T>& span) {
+  std::vector<T> out(span.size());
+  std::memcpy(out.data(), span.data(), span.size() * sizeof(T));
+  return out;
+}
+
+/// Max |a-b| over two host vectors.
+inline double maxAbsDiff(std::span<const double> a,
+                         std::span<const double> b) {
+  double m = 0.0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+/// Result of running one application kernel variant.
+struct AppRunResult {
+  gpusim::KernelStats stats;
+  bool verified = false;
+  double maxError = 0.0;
+};
+
+/// The three execution-mode variants of paper Fig. 10.
+enum class SimdMode : uint8_t {
+  kNoSimd,       ///< 2-level, teams SPMD, simdlen 1 (today's LLVM)
+  kSpmdSimd,     ///< 3-level, parallel SPMD
+  kGenericSimd,  ///< 3-level, parallel generic
+};
+
+inline const char* simdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kNoSimd: return "no-simd";
+    case SimdMode::kSpmdSimd: return "spmd-simd";
+    case SimdMode::kGenericSimd: return "generic-simd";
+  }
+  return "?";
+}
+
+}  // namespace simtomp::apps

@@ -1,0 +1,149 @@
+#include "fiber/fiber.h"
+
+#include <cstdio>
+
+#include "support/log.h"
+
+namespace simtomp::fiber {
+
+namespace {
+// The scheduler driving the OS thread right now. Fibers find their way
+// back to it through this pointer (set around every context switch).
+thread_local FiberScheduler* g_active_scheduler = nullptr;
+}  // namespace
+
+Fiber::Fiber(size_t index, Entry entry, size_t stack_size)
+    : index_(index), entry_(std::move(entry)), stack_(stack_size) {}
+
+void Fiber::trampoline() {
+  FiberScheduler* sched = g_active_scheduler;
+  SIMTOMP_CHECK(sched != nullptr, "fiber trampoline without a scheduler");
+  Fiber* self = sched->current();
+  SIMTOMP_CHECK(self != nullptr, "fiber trampoline without a current fiber");
+  try {
+    self->entry_();
+  } catch (...) {
+    sched->pending_exception_ = std::current_exception();
+  }
+  self->state_ = FiberState::kFinished;
+  ++sched->finished_count_;
+  sched->switchToScheduler();
+  SIMTOMP_CHECK(false, "resumed a finished fiber");
+}
+
+FiberScheduler::FiberScheduler(size_t stack_size) : stack_size_(stack_size) {
+  SIMTOMP_CHECK(stack_size_ >= 16 * 1024, "fiber stack too small to be safe");
+}
+
+FiberScheduler::~FiberScheduler() = default;
+
+size_t FiberScheduler::spawn(Fiber::Entry entry) {
+  SIMTOMP_CHECK(!running_, "spawn() during run() is not supported");
+  const size_t index = fibers_.size();
+  fibers_.emplace_back(
+      new Fiber(index, std::move(entry), stack_size_));
+  return index;
+}
+
+Status FiberScheduler::run() {
+  SIMTOMP_CHECK(!running_, "re-entrant run()");
+  running_ = true;
+  pending_exception_ = nullptr;
+
+  while (finished_count_ < fibers_.size()) {
+    bool progressed = false;
+    for (auto& f : fibers_) {
+      if (f->state_ != FiberState::kReady) continue;
+      switchToFiber(*f);
+      progressed = true;
+      if (pending_exception_) {
+        // A fiber escaped with an exception: stop simulating. Remaining
+        // fiber stacks are discarded without unwinding (documented
+        // limitation of the simulator's error path).
+        running_ = false;
+        std::exception_ptr e = pending_exception_;
+        pending_exception_ = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+    if (!progressed) {
+      running_ = false;
+      return Status::failedPrecondition(
+          "fiber deadlock: no runnable fibers; " + describeBlockedFibers());
+    }
+  }
+  running_ = false;
+  return Status::ok();
+}
+
+void FiberScheduler::yield() {
+  Fiber* f = current_;
+  SIMTOMP_CHECK(f != nullptr, "yield() called off-fiber");
+  f->state_ = FiberState::kReady;
+  switchToScheduler();
+}
+
+void FiberScheduler::block(const void* tag) {
+  Fiber* f = current_;
+  SIMTOMP_CHECK(f != nullptr, "block() called off-fiber");
+  SIMTOMP_CHECK(tag != nullptr, "block() requires a non-null tag");
+  f->state_ = FiberState::kBlocked;
+  f->wait_tag_ = tag;
+  switchToScheduler();
+}
+
+void FiberScheduler::unblockAll(const void* tag) {
+  SIMTOMP_CHECK(tag != nullptr, "unblockAll() requires a non-null tag");
+  for (auto& f : fibers_) {
+    if (f->state_ == FiberState::kBlocked && f->wait_tag_ == tag) {
+      f->state_ = FiberState::kReady;
+      f->wait_tag_ = nullptr;
+    }
+  }
+}
+
+void FiberScheduler::switchToFiber(Fiber& f) {
+  SIMTOMP_CHECK(f.state_ == FiberState::kReady, "switch to non-ready fiber");
+  FiberScheduler* prev_sched = g_active_scheduler;
+  Fiber* prev_fiber = current_;
+  g_active_scheduler = this;
+  current_ = &f;
+  f.state_ = FiberState::kRunning;
+  if (!f.started_) {
+    f.started_ = true;
+    getcontext(&f.context_);
+    f.context_.uc_stack.ss_sp = f.stack_.data();
+    f.context_.uc_stack.ss_size = f.stack_.size();
+    f.context_.uc_link = nullptr;  // fibers exit via switchToScheduler()
+    makecontext(&f.context_, &Fiber::trampoline, 0);
+  }
+  swapcontext(&scheduler_context_, &f.context_);
+  current_ = prev_fiber;
+  g_active_scheduler = prev_sched;
+}
+
+void FiberScheduler::switchToScheduler() {
+  Fiber* f = current_;
+  SIMTOMP_CHECK(f != nullptr, "switchToScheduler() called off-fiber");
+  swapcontext(&f->context_, &scheduler_context_);
+}
+
+std::string FiberScheduler::describeBlockedFibers() const {
+  std::string out;
+  size_t blocked = 0;
+  for (const auto& f : fibers_) {
+    if (f->state_ != FiberState::kBlocked) continue;
+    ++blocked;
+    if (blocked <= 8) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "fiber %zu waits on %p; ", f->index_,
+                    f->wait_tag_);
+      out += buf;
+    }
+  }
+  out += std::to_string(blocked) + " blocked of " +
+         std::to_string(fibers_.size()) + " total";
+  return out;
+}
+
+}  // namespace simtomp::fiber

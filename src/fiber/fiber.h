@@ -1,0 +1,121 @@
+// Cooperative fibers over POSIX ucontext.
+//
+// Every simulated GPU thread owns a fiber, so the runtime's state
+// machines (paper Figs. 5-7) execute literally: a worker thread parks
+// inside simdStateMachine() on its own stack while the SIMD main thread
+// keeps running, exactly as on the device. A FiberScheduler drives all
+// fibers of one thread block on a single OS thread in deterministic
+// (lane-ordered) round-robin, which is also how we approximate warp
+// scheduling order.
+//
+// Blocking primitive: a fiber blocks on an opaque tag pointer (e.g. the
+// address of a barrier object); whoever completes the barrier calls
+// unblockAll(tag). If the scheduler ever finds no runnable fiber while
+// unfinished fibers remain, that is a deadlock in the simulated program
+// (e.g. a barrier not reached by all participants) and run() reports it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+// ucontext.h is POSIX; the simulator is Linux-only by design.
+#include <ucontext.h>
+
+namespace simtomp::fiber {
+
+enum class FiberState : uint8_t { kReady, kRunning, kBlocked, kFinished };
+
+class FiberScheduler;
+
+/// One cooperative fiber. Created and owned by a FiberScheduler.
+class Fiber {
+ public:
+  using Entry = std::function<void()>;
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  [[nodiscard]] FiberState state() const { return state_; }
+  [[nodiscard]] size_t index() const { return index_; }
+  /// Tag this fiber is blocked on (nullptr unless kBlocked).
+  [[nodiscard]] const void* waitTag() const { return wait_tag_; }
+
+ private:
+  friend class FiberScheduler;
+  Fiber(size_t index, Entry entry, size_t stack_size);
+
+  static void trampoline();
+
+  size_t index_;
+  Entry entry_;
+  std::vector<char> stack_;
+  ucontext_t context_{};
+  FiberState state_ = FiberState::kReady;
+  const void* wait_tag_ = nullptr;
+  bool started_ = false;
+};
+
+/// Drives a set of fibers to completion on the calling OS thread.
+class FiberScheduler {
+ public:
+  explicit FiberScheduler(size_t stack_size = kDefaultStackSize);
+  ~FiberScheduler();
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  static constexpr size_t kDefaultStackSize = 128 * 1024;
+
+  /// Register a fiber; all spawns must happen before run(). Returns its
+  /// index (dense, starting at 0).
+  size_t spawn(Fiber::Entry entry);
+
+  /// Run every fiber to completion in round-robin order.
+  /// Returns a FAILED_PRECONDITION status on deadlock (with a dump of
+  /// which fibers are blocked on what). Rethrows the first exception a
+  /// fiber escaped with.
+  Status run();
+
+  // ---- Calls below are only legal from inside a running fiber. ----
+
+  /// Yield the processor but stay runnable.
+  void yield();
+
+  /// Block the current fiber on `tag` until some fiber calls
+  /// unblockAll(tag). `tag` must be non-null.
+  void block(const void* tag);
+
+  /// Make every fiber blocked on `tag` runnable again. Callable from
+  /// inside a fiber (typical) or from the scheduler thread between runs.
+  void unblockAll(const void* tag);
+
+  /// The currently executing fiber (nullptr if called off-fiber).
+  [[nodiscard]] Fiber* current() const { return current_; }
+
+  [[nodiscard]] size_t fiberCount() const { return fibers_.size(); }
+  [[nodiscard]] size_t finishedCount() const { return finished_count_; }
+
+ private:
+  friend class Fiber;
+
+  void switchToFiber(Fiber& f);
+  void switchToScheduler();
+  [[nodiscard]] std::string describeBlockedFibers() const;
+
+  size_t stack_size_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  ucontext_t scheduler_context_{};
+  Fiber* current_ = nullptr;
+  size_t finished_count_ = 0;
+  bool running_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace simtomp::fiber

@@ -1,0 +1,325 @@
+#include "front/directive.h"
+
+#include <cctype>
+
+namespace simtomp::front {
+
+namespace {
+
+/// Minimal tokenizer: identifiers, integers, and the punctuation the
+/// clause grammar needs.
+class Lexer {
+ public:
+  enum class Kind { kIdent, kNumber, kLParen, kRParen, kComma, kColon, kPlus, kEnd };
+
+  struct Token {
+    Kind kind = Kind::kEnd;
+    std::string text;
+    uint64_t number = 0;
+  };
+
+  explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[nodiscard]] bool atEnd() const { return current_.kind == Kind::kEnd; }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_ = Token{};
+    if (pos_ >= text_.size()) return;
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '#') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '#')) {
+        ++pos_;
+      }
+      current_ = {Kind::kIdent, std::string(text_.substr(start, pos_ - start)),
+                  0};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t value = 0;
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = value * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+        ++pos_;
+      }
+      current_ = {Kind::kNumber, std::string(text_.substr(start, pos_ - start)),
+                  value};
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '(': current_ = {Kind::kLParen, "(", 0}; return;
+      case ')': current_ = {Kind::kRParen, ")", 0}; return;
+      case ',': current_ = {Kind::kComma, ",", 0}; return;
+      case ':': current_ = {Kind::kColon, ":", 0}; return;
+      case '+': current_ = {Kind::kPlus, "+", 0}; return;
+      default:
+        current_ = {Kind::kIdent, std::string(1, c), 0};
+        return;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  Token current_;
+};
+
+using Kind = Lexer::Kind;
+
+Status expect(Lexer& lex, Kind kind, const char* what) {
+  if (lex.peek().kind != kind) {
+    return Status::invalidArgument(std::string("expected ") + what +
+                                   " near '" + lex.peek().text + "'");
+  }
+  lex.take();
+  return Status::ok();
+}
+
+Result<uint64_t> parseUintArg(Lexer& lex, const char* clause) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind != Kind::kNumber) {
+    return Status::invalidArgument(std::string(clause) +
+                                   " expects an integer argument");
+  }
+  const uint64_t value = lex.take().number;
+  s = expect(lex, Kind::kRParen, "')'");
+  if (!s.isOk()) return s;
+  return value;
+}
+
+Result<omprt::ExecMode> parseModeArg(Lexer& lex, const char* clause) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind != Kind::kIdent) {
+    return Status::invalidArgument(std::string(clause) +
+                                   " expects spmd|generic");
+  }
+  const std::string word = lex.take().text;
+  s = expect(lex, Kind::kRParen, "')'");
+  if (!s.isOk()) return s;
+  if (word == "spmd") return omprt::ExecMode::kSPMD;
+  if (word == "generic") return omprt::ExecMode::kGeneric;
+  return Status::invalidArgument("unknown execution mode '" + word + "'");
+}
+
+Status parseSchedule(Lexer& lex, DirectiveSpec& spec) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind != Kind::kIdent) {
+    return Status::invalidArgument("schedule expects static|dynamic|cyclic");
+  }
+  const std::string kind = lex.take().text;
+  if (kind == "static") {
+    spec.schedule.kind = omprt::ForSchedule::kStaticChunked;
+  } else if (kind == "cyclic") {
+    spec.schedule.kind = omprt::ForSchedule::kStaticCyclic;
+  } else if (kind == "dynamic") {
+    spec.schedule.kind = omprt::ForSchedule::kDynamic;
+  } else {
+    return Status::invalidArgument("unknown schedule kind '" + kind + "'");
+  }
+  if (lex.peek().kind == Kind::kComma) {
+    lex.take();
+    if (lex.peek().kind != Kind::kNumber) {
+      return Status::invalidArgument("schedule chunk must be an integer");
+    }
+    spec.schedule.chunk = lex.take().number;
+  }
+  spec.hasSchedule = true;
+  return expect(lex, Kind::kRParen, "')'");
+}
+
+Status parseMap(Lexer& lex, DirectiveSpec& spec) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind != Kind::kIdent) {
+    return Status::invalidArgument("map expects to|from|tofrom|alloc");
+  }
+  const std::string type = lex.take().text;
+  MapClause clause;
+  if (type == "to") {
+    clause.type = hostrt::MapType::kTo;
+  } else if (type == "from") {
+    clause.type = hostrt::MapType::kFrom;
+  } else if (type == "tofrom") {
+    clause.type = hostrt::MapType::kToFrom;
+  } else if (type == "alloc") {
+    clause.type = hostrt::MapType::kAlloc;
+  } else {
+    return Status::invalidArgument("unknown map type '" + type + "'");
+  }
+  s = expect(lex, Kind::kColon, "':'");
+  if (!s.isOk()) return s;
+  // One or more comma-separated names.
+  for (;;) {
+    if (lex.peek().kind != Kind::kIdent) {
+      return Status::invalidArgument("map expects variable names");
+    }
+    clause.name = lex.take().text;
+    spec.maps.push_back(clause);
+    if (lex.peek().kind != Kind::kComma) break;
+    lex.take();
+  }
+  return expect(lex, Kind::kRParen, "')'");
+}
+
+Status parseReduction(Lexer& lex, DirectiveSpec& spec) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind != Kind::kPlus) {
+    return Status::invalidArgument(
+        "only reduction(+:...) is supported by the runtime");
+  }
+  lex.take();
+  s = expect(lex, Kind::kColon, "':'");
+  if (!s.isOk()) return s;
+  for (;;) {
+    if (lex.peek().kind != Kind::kIdent) {
+      return Status::invalidArgument("reduction expects variable names");
+    }
+    spec.reductions.push_back({'+', lex.take().text});
+    if (lex.peek().kind != Kind::kComma) break;
+    lex.take();
+  }
+  return expect(lex, Kind::kRParen, "')'");
+}
+
+}  // namespace
+
+Result<DirectiveSpec> parseDirective(std::string_view text) {
+  Lexer lex(text);
+  DirectiveSpec spec;
+
+  // Tolerate a "#pragma omp" prefix.
+  if (lex.peek().kind == Kind::kIdent && lex.peek().text == "#pragma") {
+    lex.take();
+    if (lex.peek().kind == Kind::kIdent && lex.peek().text == "omp") {
+      lex.take();
+    }
+  }
+
+  bool constructs_done = false;
+  while (!lex.atEnd()) {
+    if (lex.peek().kind != Kind::kIdent) {
+      return Status::invalidArgument("unexpected token '" + lex.peek().text +
+                                     "'");
+    }
+    const std::string word = lex.take().text;
+
+    // Constructs (must come before clauses).
+    if (word == "target" || word == "teams" || word == "distribute" ||
+        word == "parallel" || word == "for" || word == "simd") {
+      if (constructs_done) {
+        return Status::invalidArgument("construct '" + word +
+                                       "' after clauses");
+      }
+      if (word == "target") spec.hasTarget = true;
+      if (word == "teams") spec.hasTeams = true;
+      if (word == "distribute") spec.hasDistribute = true;
+      if (word == "parallel") spec.hasParallel = true;
+      if (word == "for") spec.hasFor = true;
+      if (word == "simd") spec.hasSimd = true;
+      continue;
+    }
+    constructs_done = true;
+
+    // Clauses.
+    if (word == "num_teams") {
+      auto v = parseUintArg(lex, "num_teams");
+      if (!v.isOk()) return v.status();
+      spec.numTeams = static_cast<uint32_t>(v.value());
+    } else if (word == "thread_limit" || word == "num_threads") {
+      auto v = parseUintArg(lex, word.c_str());
+      if (!v.isOk()) return v.status();
+      spec.threadLimit = static_cast<uint32_t>(v.value());
+    } else if (word == "simdlen") {
+      auto v = parseUintArg(lex, "simdlen");
+      if (!v.isOk()) return v.status();
+      spec.simdlen = static_cast<uint32_t>(v.value());
+    } else if (word == "device") {
+      auto v = parseUintArg(lex, "device");
+      if (!v.isOk()) return v.status();
+      spec.deviceNum = static_cast<uint32_t>(v.value());
+    } else if (word == "collapse") {
+      auto v = parseUintArg(lex, "collapse");
+      if (!v.isOk()) return v.status();
+      if (v.value() < 1 || v.value() > 2) {
+        return Status::unimplemented("collapse depth must be 1 or 2");
+      }
+      spec.collapse = static_cast<uint32_t>(v.value());
+    } else if (word == "schedule") {
+      const Status s = parseSchedule(lex, spec);
+      if (!s.isOk()) return s;
+    } else if (word == "map") {
+      const Status s = parseMap(lex, spec);
+      if (!s.isOk()) return s;
+    } else if (word == "reduction") {
+      const Status s = parseReduction(lex, spec);
+      if (!s.isOk()) return s;
+    } else if (word == "mode" || word == "teams_mode") {
+      auto v = parseModeArg(lex, word.c_str());
+      if (!v.isOk()) return v.status();
+      spec.teamsMode = v.value();
+      spec.teamsModeExplicit = true;
+    } else if (word == "parallel_mode") {
+      auto v = parseModeArg(lex, "parallel_mode");
+      if (!v.isOk()) return v.status();
+      spec.parallelMode = v.value();
+      spec.parallelModeExplicit = true;
+    } else if (word == "nowait") {
+      // Accepted; deferral is the caller's choice of launch API.
+    } else {
+      return Status::invalidArgument("unknown clause '" + word + "'");
+    }
+  }
+
+  if (!spec.hasTarget && !spec.hasTeams && !spec.hasParallel &&
+      !spec.hasSimd) {
+    return Status::invalidArgument("directive names no construct");
+  }
+  return spec;
+}
+
+dsl::LaunchSpec DirectiveSpec::toLaunchSpec(
+    const gpusim::ArchSpec& arch) const {
+  dsl::LaunchSpec spec;
+  spec.numTeams = numTeams != 0 ? numTeams : arch.numSMs;
+  spec.threadsPerTeam = threadLimit != 0 ? threadLimit : 128;
+  // Round to a warp multiple (the launch layer requires it).
+  const uint32_t warp = arch.warpSize;
+  spec.threadsPerTeam = ((spec.threadsPerTeam + warp - 1) / warp) * warp;
+  spec.simdlen = simdlen != 0 ? simdlen : (hasSimd ? warp : 1);
+
+  // The tightly-nested => SPMD rule (paper 3.2 / 6.5): a combined
+  // "teams distribute parallel ..." directive is tightly nested, so
+  // teams run SPMD; `parallel ... simd` combined likewise makes the
+  // parallel region SPMD. Split constructs default to generic.
+  const bool teams_tightly_nested = hasTeams && hasParallel;
+  const bool parallel_tightly_nested = hasParallel && hasSimd;
+  spec.teamsMode = teamsModeExplicit
+                       ? teamsMode
+                       : dsl::inferSpmd(teams_tightly_nested);
+  spec.parallelMode = parallelModeExplicit
+                          ? parallelMode
+                          : dsl::inferSpmd(parallel_tightly_nested);
+  return spec;
+}
+
+}  // namespace simtomp::front

@@ -1,0 +1,78 @@
+#include "gpusim/arch.h"
+
+#include <bit>
+
+namespace simtomp::gpusim {
+
+ArchSpec ArchSpec::nvidiaA100() {
+  ArchSpec spec;
+  spec.vendor = Vendor::kNvidia;
+  spec.name = "sim-a100";
+  spec.warpSize = 32;
+  spec.numSMs = 108;
+  spec.warpSchedulersPerSM = 4;
+  spec.maxThreadsPerBlock = 1024;
+  spec.maxThreadsPerSM = 2048;
+  spec.sharedMemPerBlock = 48 * 1024;
+  spec.sharedMemPerSM = 164 * 1024;
+  spec.hasWarpLevelBarrier = true;
+  return spec;
+}
+
+ArchSpec ArchSpec::amdMI100() {
+  ArchSpec spec;
+  spec.vendor = Vendor::kAmd;
+  spec.name = "sim-mi100";
+  spec.warpSize = 64;
+  spec.numSMs = 120;
+  spec.warpSchedulersPerSM = 4;
+  spec.maxThreadsPerBlock = 1024;
+  spec.maxThreadsPerSM = 2560;
+  spec.sharedMemPerBlock = 64 * 1024;
+  spec.sharedMemPerSM = 64 * 1024;
+  spec.hasWarpLevelBarrier = false;
+  return spec;
+}
+
+ArchSpec ArchSpec::testTiny() {
+  ArchSpec spec;
+  spec.vendor = Vendor::kNvidia;
+  spec.name = "sim-tiny";
+  spec.warpSize = 32;
+  spec.numSMs = 2;
+  spec.warpSchedulersPerSM = 2;
+  spec.maxThreadsPerBlock = 256;
+  spec.maxThreadsPerSM = 512;
+  spec.sharedMemPerBlock = 16 * 1024;
+  spec.sharedMemPerSM = 32 * 1024;
+  spec.hasWarpLevelBarrier = true;
+  return spec;
+}
+
+Status ArchSpec::validate() const {
+  if (warpSize == 0 || warpSize > 64 || !std::has_single_bit(warpSize)) {
+    return Status::invalidArgument("warpSize must be a power of two in [1,64]");
+  }
+  if (numSMs == 0) return Status::invalidArgument("numSMs must be positive");
+  if (warpSchedulersPerSM == 0) {
+    return Status::invalidArgument("warpSchedulersPerSM must be positive");
+  }
+  if (maxThreadsPerBlock == 0 || maxThreadsPerBlock % warpSize != 0) {
+    return Status::invalidArgument(
+        "maxThreadsPerBlock must be a positive multiple of warpSize");
+  }
+  if (sharedMemPerBlock < 4 * 1024) {
+    return Status::invalidArgument("sharedMemPerBlock must be at least 4 KiB");
+  }
+  if (maxThreadsPerSM < maxThreadsPerBlock) {
+    return Status::invalidArgument(
+        "maxThreadsPerSM must be at least maxThreadsPerBlock");
+  }
+  if (sharedMemPerSM < sharedMemPerBlock) {
+    return Status::invalidArgument(
+        "sharedMemPerSM must be at least sharedMemPerBlock");
+  }
+  return Status::ok();
+}
+
+}  // namespace simtomp::gpusim

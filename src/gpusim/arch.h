@@ -1,0 +1,62 @@
+// Architecture description for the SIMT simulator.
+//
+// Two presets mirror the paper's hardware discussion: an NVIDIA-style
+// device (32-lane warps, warp-level barriers available; modeled after
+// the A100 used in paper section 6.1) and an AMD-style device (64-lane
+// wavefronts, no warp-level barrier support in the runtime, paper
+// section 5.4.1). The runtime consults hasWarpLevelBarrier to decide
+// whether generic-SIMD mode is available at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/status.h"
+
+namespace simtomp::gpusim {
+
+enum class Vendor : uint8_t { kNvidia, kAmd };
+
+struct ArchSpec {
+  Vendor vendor = Vendor::kNvidia;
+  std::string name = "sim-sm80";
+
+  /// Lanes per warp (NVIDIA) / wavefront (AMD). Must be a power of two
+  /// and <= 64 (LaneMask width).
+  uint32_t warpSize = 32;
+
+  /// Streaming multiprocessors; blocks are scheduled over these in waves.
+  uint32_t numSMs = 108;
+
+  /// Warp instruction schedulers per SM: the SM can issue for this many
+  /// warps per cycle, bounding block throughput.
+  uint32_t warpSchedulersPerSM = 4;
+
+  uint32_t maxThreadsPerBlock = 1024;
+
+  /// Concurrent threads resident on one SM (occupancy bound).
+  uint32_t maxThreadsPerSM = 2048;
+
+  /// Shared ("local data share" on AMD) memory per block, bytes.
+  uint32_t sharedMemPerBlock = 48 * 1024;
+
+  /// Total shared memory per SM (occupancy bound across resident
+  /// blocks).
+  uint32_t sharedMemPerSM = 164 * 1024;
+
+  /// Whether the runtime may synchronize a subset of a warp with a lane
+  /// mask (CUDA __syncwarp(mask)). The paper notes LLVM/OpenMP has no
+  /// wavefront-level barrier on AMD, which disables generic-SIMD there.
+  bool hasWarpLevelBarrier = true;
+
+  /// A100-like preset (the paper's evaluation platform).
+  static ArchSpec nvidiaA100();
+  /// MI100-like preset with the paper's stated runtime limitation.
+  static ArchSpec amdMI100();
+  /// Tiny configuration for unit tests (2 SMs, 32-lane warps).
+  static ArchSpec testTiny();
+
+  [[nodiscard]] Status validate() const;
+};
+
+}  // namespace simtomp::gpusim

@@ -1,0 +1,124 @@
+#include "gpusim/block.h"
+
+#include <algorithm>
+
+#include "support/log.h"
+
+namespace simtomp::gpusim {
+
+BlockEngine::BlockEngine(const ArchSpec& arch, const CostModel& cost,
+                         DeviceMemory& global_memory, uint32_t block_id,
+                         uint32_t num_blocks, uint32_t num_threads)
+    : arch_(&arch),
+      cost_(&cost),
+      global_(&global_memory),
+      shared_(arch.sharedMemPerBlock) {
+  SIMTOMP_CHECK(num_threads > 0, "block must have at least one thread");
+  SIMTOMP_CHECK(num_threads <= arch.maxThreadsPerBlock,
+                "block exceeds maxThreadsPerBlock");
+  const uint32_t num_warps = (num_threads + arch.warpSize - 1) / arch.warpSize;
+  warps_.resize(num_warps);
+  threads_.reserve(num_threads);
+  for (uint32_t tid = 0; tid < num_threads; ++tid) {
+    threads_.emplace_back(std::make_unique<ThreadCtx>(
+        *this, cost, block_id, num_blocks, tid, num_threads, arch.warpSize));
+    warps_[tid / arch.warpSize].memberMask |= LaneMask{1}
+                                              << (tid % arch.warpSize);
+  }
+  block_sync_.mask = ~LaneMask{0};
+  block_sync_.target = num_threads;
+}
+
+Status BlockEngine::run(const Kernel& kernel) {
+  for (uint32_t tid = 0; tid < threads_.size(); ++tid) {
+    ThreadCtx* t = threads_[tid].get();
+    scheduler_.spawn([&kernel, t] { kernel(*t); });
+  }
+  Status status = scheduler_.run();
+  if (!status.isOk()) return status;
+
+  // Aggregate timing. Lockstep warp issue cost = max over lanes' busy
+  // cycles; the SM can issue for warpSchedulersPerSM warps concurrently.
+  busy_sum_ = 0;
+  max_thread_time_ = 0;
+  uint64_t block_busy = 0;
+  const uint32_t warp_size = arch_->warpSize;
+  for (uint32_t w = 0; w < warps_.size(); ++w) {
+    uint64_t warp_busy = 0;
+    const uint32_t lo = w * warp_size;
+    const uint32_t hi =
+        std::min<uint32_t>(lo + warp_size, static_cast<uint32_t>(threads_.size()));
+    for (uint32_t tid = lo; tid < hi; ++tid) {
+      const ThreadCtx& t = *threads_[tid];
+      busy_sum_ += t.busy();
+      warp_busy = std::max(warp_busy, t.busy());
+      max_thread_time_ = std::max(max_thread_time_, t.time());
+      counters_.merge(t.counters());
+    }
+    block_busy += warp_busy;
+  }
+  block_time_ =
+      std::max(max_thread_time_, block_busy / arch_->warpSchedulersPerSM);
+  return Status::ok();
+}
+
+SyncPoint& BlockEngine::findOrCreateSync(WarpState& warp, LaneMask mask) {
+  for (auto& sp : warp.syncs) {
+    if (sp->mask == mask) return *sp;
+  }
+  auto sp = std::make_unique<SyncPoint>();
+  sp->mask = mask;
+  sp->target = static_cast<uint32_t>(popcount(mask & warp.memberMask));
+  warp.syncs.push_back(std::move(sp));
+  return *warp.syncs.back();
+}
+
+void BlockEngine::arriveAtSync(ThreadCtx& t, SyncPoint& sp) {
+  sp.arrived += 1;
+  sp.pendingMax = std::max(sp.pendingMax, t.time());
+  if (sp.arrived == sp.target) {
+    const uint64_t parity = sp.generation & 1;
+    sp.releaseTime[parity] = sp.pendingMax;
+    sp.generation += 1;
+    sp.arrived = 0;
+    sp.pendingMax = 0;
+    t.alignTimeTo(sp.releaseTime[parity]);
+    scheduler_.unblockAll(&sp);
+    return;
+  }
+  const uint64_t my_generation = sp.generation;
+  scheduler_.block(&sp);
+  t.alignTimeTo(sp.releaseTime[my_generation & 1]);
+}
+
+void BlockEngine::warpBarrier(ThreadCtx& t, LaneMask mask, bool charged) {
+  SIMTOMP_CHECK(laneIn(mask, t.laneId()),
+                "warp barrier mask excludes the calling lane");
+  WarpState& warp = warps_[t.warpId()];
+  SyncPoint& sp = findOrCreateSync(warp, mask);
+  SIMTOMP_CHECK(sp.target > 0, "warp barrier with no member lanes");
+  t.charge(Counter::kWarpSync, charged ? cost_->warpSync : 0);
+  arriveAtSync(t, sp);
+}
+
+void BlockEngine::blockBarrier(ThreadCtx& t) {
+  t.charge(Counter::kBlockSync, cost_->blockSync);
+  arriveAtSync(t, block_sync_);
+}
+
+LaneMask BlockEngine::ballot(ThreadCtx& t, bool predicate, LaneMask mask) {
+  WarpState& warp = warps_[t.warpId()];
+  warp.exchange[t.laneId()] = predicate ? 1 : 0;
+  t.charge(Counter::kShuffle, cost_->aluOp);
+  warpBarrier(t, mask);
+  LaneMask result = 0;
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    if (laneIn(mask & warp.memberMask, lane) && warp.exchange[lane] != 0) {
+      result |= LaneMask{1} << lane;
+    }
+  }
+  warpBarrier(t, mask);
+  return result;
+}
+
+}  // namespace simtomp::gpusim

@@ -1,0 +1,160 @@
+// BlockEngine: executes one thread block of a simulated kernel.
+//
+// Every device thread of the block is a fiber; the engine drives them in
+// lane order on one OS thread. Barriers are implemented as sync points:
+// arriving threads record their timeline, the last arrival computes the
+// release time (the max) and wakes everyone, so lockstep cost semantics
+// fall out naturally — a warp region costs what its slowest lane costs.
+//
+// The resulting block time is
+//     max( slowest thread timeline,
+//          sum of per-warp busy cycles / warp schedulers per SM )
+// i.e. latency- and issue-throughput-bound, which is what makes the
+// paper's "extra main warp" and idle-lane effects visible.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "fiber/fiber.h"
+#include "gpusim/arch.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/memory.h"
+#include "gpusim/thread.h"
+#include "support/lane_mask.h"
+#include "support/status.h"
+
+namespace simtomp::gpusim {
+
+/// Barrier bookkeeping for one (warp, mask) or block-wide sync point.
+struct SyncPoint {
+  LaneMask mask = 0;
+  uint32_t target = 0;
+  uint32_t arrived = 0;
+  uint64_t pendingMax = 0;
+  uint64_t generation = 0;
+  // Release times double-buffered by generation parity: waiters of
+  // generation g read slot g&1, which the *next* generation (g+1) cannot
+  // clobber before all g-waiters re-arrive (they are part of the mask).
+  std::array<uint64_t, 2> releaseTime{};
+};
+
+struct WarpState {
+  LaneMask memberMask = 0;                 ///< lanes that exist in the block
+  std::vector<std::unique_ptr<SyncPoint>> syncs;  ///< stable addresses (block tags)
+  std::array<uint64_t, 64> exchange{};     ///< shuffle/ballot staging
+};
+
+class BlockEngine {
+ public:
+  BlockEngine(const ArchSpec& arch, const CostModel& cost,
+              DeviceMemory& global_memory, uint32_t block_id,
+              uint32_t num_blocks, uint32_t num_threads);
+
+  BlockEngine(const BlockEngine&) = delete;
+  BlockEngine& operator=(const BlockEngine&) = delete;
+
+  /// Execute the kernel for every thread of this block.
+  Status run(const Kernel& kernel);
+
+  // ---- Device-side services (called from fiber context) ----
+  /// Warp-level barrier. `charged=false` performs the rendezvous and
+  /// timeline alignment but charges no cycles — used to model AMD-style
+  /// implicit wavefront lockstep, where no barrier instruction exists
+  /// (paper section 5.4.1).
+  void warpBarrier(ThreadCtx& t, LaneMask mask, bool charged = true);
+  void blockBarrier(ThreadCtx& t);
+
+  template <typename T>
+  T shuffle(ThreadCtx& t, T value, unsigned src_lane, LaneMask mask) {
+    static_assert(sizeof(T) <= sizeof(uint64_t) &&
+                      std::is_trivially_copyable_v<T>,
+                  "shuffle values must fit a 64-bit exchange slot");
+    WarpState& warp = warps_[t.warpId()];
+    uint64_t raw = 0;
+    std::memcpy(&raw, &value, sizeof(T));
+    warp.exchange[t.laneId()] = raw;
+    t.charge(Counter::kShuffle, t.cost().aluOp);
+    warpBarrier(t, mask);
+    const uint64_t fetched = warp.exchange[src_lane];
+    warpBarrier(t, mask);  // keep slots stable until every lane has read
+    T out;
+    std::memcpy(&out, &fetched, sizeof(T));
+    return out;
+  }
+
+  LaneMask ballot(ThreadCtx& t, bool predicate, LaneMask mask);
+
+  [[nodiscard]] SharedMemory& sharedMemory() { return shared_; }
+  [[nodiscard]] DeviceMemory& globalMemory() { return *global_; }
+  [[nodiscard]] const ArchSpec& arch() const { return *arch_; }
+  [[nodiscard]] fiber::FiberScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] ThreadCtx& thread(uint32_t tid) { return *threads_[tid]; }
+  [[nodiscard]] uint32_t numThreads() const {
+    return static_cast<uint32_t>(threads_.size());
+  }
+
+  /// Arbitrary per-block runtime state slot (the OpenMP runtime parks its
+  /// TeamState here so device code can reach it from any thread).
+  void setUserState(void* state) { user_state_ = state; }
+  [[nodiscard]] void* userState() const { return user_state_; }
+
+  // ---- Results (valid after run()) ----
+  [[nodiscard]] uint64_t blockTime() const { return block_time_; }
+  [[nodiscard]] uint64_t busySum() const { return busy_sum_; }
+  [[nodiscard]] uint64_t maxThreadTime() const { return max_thread_time_; }
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+
+ private:
+  SyncPoint& findOrCreateSync(WarpState& warp, LaneMask mask);
+  void arriveAtSync(ThreadCtx& t, SyncPoint& sp);
+
+  const ArchSpec* arch_;
+  const CostModel* cost_;
+  DeviceMemory* global_;
+  SharedMemory shared_;
+  fiber::FiberScheduler scheduler_;
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::vector<WarpState> warps_;
+  SyncPoint block_sync_;
+  void* user_state_ = nullptr;
+
+  uint64_t block_time_ = 0;
+  uint64_t busy_sum_ = 0;
+  uint64_t max_thread_time_ = 0;
+  CounterSet counters_;
+};
+
+// ---- ThreadCtx methods that need BlockEngine ----
+
+inline void ThreadCtx::syncWarp(LaneMask mask) { block_->warpBarrier(*this, mask); }
+inline void ThreadCtx::syncBlock() { block_->blockBarrier(*this); }
+
+template <typename T>
+T ThreadCtx::shfl(T value, unsigned src_lane, LaneMask mask) {
+  return block_->shuffle(*this, value, src_lane, mask);
+}
+
+template <typename T>
+T ThreadCtx::shflDown(T value, unsigned delta, LaneMask mask) {
+  const unsigned src = laneId() + delta;
+  // Lanes whose source falls outside the mask keep their own value; the
+  // shuffle still participates in both barriers.
+  const unsigned effective_src = (src < 64 && laneIn(mask, src)) ? src : laneId();
+  return block_->shuffle(*this, value, effective_src, mask);
+}
+
+template <typename T>
+T ThreadCtx::shflXor(T value, unsigned lane_xor, LaneMask mask) {
+  const unsigned src = laneId() ^ lane_xor;
+  const unsigned effective_src = (src < 64 && laneIn(mask, src)) ? src : laneId();
+  return block_->shuffle(*this, value, effective_src, mask);
+}
+
+inline LaneMask ThreadCtx::ballot(bool predicate, LaneMask mask) {
+  return block_->ballot(*this, predicate, mask);
+}
+
+}  // namespace simtomp::gpusim

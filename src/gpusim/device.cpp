@@ -1,0 +1,74 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/log.h"
+
+namespace simtomp::gpusim {
+
+Device::Device(ArchSpec arch, CostModel cost, size_t global_mem_bytes)
+    : arch_(std::move(arch)), cost_(cost), memory_(global_mem_bytes) {
+  const Status valid = arch_.validate();
+  SIMTOMP_CHECK(valid.isOk(), "invalid ArchSpec: " + valid.toString());
+}
+
+Result<KernelStats> Device::launch(const LaunchConfig& config,
+                                   const Kernel& kernel,
+                                   const BlockSetupHook& setup) {
+  if (config.numBlocks == 0) {
+    return Status::invalidArgument("launch requires at least one block");
+  }
+  if (config.threadsPerBlock == 0 ||
+      config.threadsPerBlock > arch_.maxThreadsPerBlock) {
+    return Status::invalidArgument(
+        "threadsPerBlock out of range for this architecture");
+  }
+
+  KernelStats stats;
+  stats.numBlocks = config.numBlocks;
+  stats.threadsPerBlock = config.threadsPerBlock;
+
+  // Least-loaded SM placement; equal-load ties resolve round-robin.
+  std::vector<uint64_t> sm_time(arch_.numSMs, 0);
+
+  for (uint32_t b = 0; b < config.numBlocks; ++b) {
+    BlockEngine engine(arch_, cost_, memory_, b, config.numBlocks,
+                       config.threadsPerBlock);
+    if (setup) setup(engine);
+    Status status = engine.run(kernel);
+    if (!status.isOk()) {
+      return Status(status.code(), "block " + std::to_string(b) + ": " +
+                                       status.message());
+    }
+    auto least = std::min_element(sm_time.begin(), sm_time.end());
+    if (trace_ != nullptr) {
+      trace_->recordBlock(b,
+                          static_cast<uint32_t>(least - sm_time.begin()),
+                          *least, engine.blockTime());
+    }
+    *least += engine.blockTime();
+    stats.busyCycles += engine.busySum();
+    stats.maxThreadCycles =
+        std::max(stats.maxThreadCycles, engine.maxThreadTime());
+    stats.peakSharedBytes = std::max<uint64_t>(
+        stats.peakSharedBytes, engine.sharedMemory().peakUsed());
+    stats.counters.merge(engine.counters());
+  }
+
+  stats.cycles = *std::max_element(sm_time.begin(), sm_time.end()) +
+                 cost_.kernelLaunch;
+  stats.waves = (config.numBlocks + arch_.numSMs - 1) / arch_.numSMs;
+  stats.occupancy =
+      computeOccupancy(arch_, config.threadsPerBlock,
+                       static_cast<uint32_t>(stats.peakSharedBytes));
+  ++launch_count_;
+  if (trace_ != nullptr) {
+    trace_->recordKernel("kernel #" + std::to_string(launch_count_),
+                         stats.cycles);
+  }
+  SIMTOMP_DEBUG("kernel done: %s", stats.summary().c_str());
+  return stats;
+}
+
+}  // namespace simtomp::gpusim

@@ -1,0 +1,80 @@
+// Device: the whole simulated GPU.
+//
+// Owns global memory and schedules kernel launches. Blocks are placed
+// greedily onto the SM with the least accumulated work (round-robin when
+// balanced), each SM running its blocks back-to-back; the kernel's
+// modeled time is the busiest SM plus a fixed launch latency. This is
+// the "waves" abstraction real GPUs exhibit when a grid has more blocks
+// than can be resident at once — the effect behind the paper's note that
+// the 3-level sparse_matvec wins partly by using far fewer, larger teams.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "gpusim/arch.h"
+#include "gpusim/block.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/memory.h"
+#include "gpusim/stats.h"
+#include "gpusim/thread.h"
+#include "gpusim/trace.h"
+#include "support/status.h"
+
+namespace simtomp::gpusim {
+
+struct LaunchConfig {
+  uint32_t numBlocks = 1;
+  uint32_t threadsPerBlock = 32;
+};
+
+/// Optional per-block hook: runs on the host before a block starts, e.g.
+/// so the OpenMP runtime can install its TeamState (BlockEngine user
+/// state) for that block.
+using BlockSetupHook = std::function<void(BlockEngine&)>;
+
+class Device {
+ public:
+  explicit Device(ArchSpec arch = ArchSpec::nvidiaA100(),
+                  CostModel cost = CostModel{},
+                  size_t global_mem_bytes = kDefaultGlobalMem);
+
+  static constexpr size_t kDefaultGlobalMem = 512ull * 1024 * 1024;
+
+  [[nodiscard]] const ArchSpec& arch() const { return arch_; }
+  [[nodiscard]] const CostModel& costModel() const { return cost_; }
+  [[nodiscard]] DeviceMemory& memory() { return memory_; }
+
+  /// Allocate a typed global-memory array and return a charged view.
+  template <typename T>
+  Result<GlobalSpan<T>> allocateArray(size_t count) {
+    auto ptr = memory_.allocate(count * sizeof(T), alignof(T) < 16 ? 16 : alignof(T));
+    if (!ptr.isOk()) return ptr.status();
+    return GlobalSpan<T>(reinterpret_cast<T*>(memory_.raw(ptr.value())),
+                         count);
+  }
+
+  Status freeArray(const void* data) {
+    return memory_.free(static_cast<DevPtr>(
+        reinterpret_cast<const std::byte*>(data) - memory_.raw(0)));
+  }
+
+  /// Run a kernel over the grid. Blocks execute sequentially on the host
+  /// but are modeled as concurrent per the SM wave schedule.
+  Result<KernelStats> launch(const LaunchConfig& config, const Kernel& kernel,
+                             const BlockSetupHook& setup = nullptr);
+
+  /// Attach (or detach with nullptr) a trace recorder; subsequent
+  /// launches record block spans on the modeled SM timeline.
+  void setTraceRecorder(TraceRecorder* recorder) { trace_ = recorder; }
+  [[nodiscard]] TraceRecorder* traceRecorder() const { return trace_; }
+
+ private:
+  ArchSpec arch_;
+  CostModel cost_;
+  DeviceMemory memory_;
+  TraceRecorder* trace_ = nullptr;
+  uint64_t launch_count_ = 0;
+};
+
+}  // namespace simtomp::gpusim

@@ -1,0 +1,33 @@
+#include "gpusim/occupancy.h"
+
+namespace simtomp::gpusim {
+
+OccupancyInfo computeOccupancy(const ArchSpec& arch, uint32_t threadsPerBlock,
+                               uint32_t sharedBytesPerBlock) {
+  OccupancyInfo info;
+  info.threadsPerBlock = threadsPerBlock;
+  if (threadsPerBlock == 0 || threadsPerBlock > arch.maxThreadsPerBlock) {
+    return info;  // unlaunchable shape: everything stays zero
+  }
+  info.warpsPerBlock = (threadsPerBlock + arch.warpSize - 1) / arch.warpSize;
+  info.blocksPerSmByThreads = arch.maxThreadsPerSM / threadsPerBlock;
+  info.blocksPerSmByShared =
+      sharedBytesPerBlock == 0
+          ? info.blocksPerSmByThreads  // not shared-memory limited
+          : arch.sharedMemPerSM / sharedBytesPerBlock;
+  info.residentBlocksPerSm =
+      info.blocksPerSmByThreads < info.blocksPerSmByShared
+          ? info.blocksPerSmByThreads
+          : info.blocksPerSmByShared;
+  const uint32_t max_warps = arch.maxThreadsPerSM / arch.warpSize;
+  const uint32_t resident_warps = info.residentBlocksPerSm * info.warpsPerBlock;
+  info.warpOccupancy =
+      max_warps == 0 ? 0.0
+                     : static_cast<double>(
+                           resident_warps > max_warps ? max_warps
+                                                      : resident_warps) /
+                           static_cast<double>(max_warps);
+  return info;
+}
+
+}  // namespace simtomp::gpusim

@@ -1,0 +1,34 @@
+// Occupancy calculation: how many blocks of a given shape can be
+// resident on one SM, and the resulting warp occupancy.
+//
+// Informational only — the timing model schedules blocks over SMs in
+// waves — but it explains launch-configuration effects (e.g. the paper
+// notes that increased shared-memory use from generic-SIMD variable
+// sharing can reduce occupancy) and is reported with every kernel's
+// statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/arch.h"
+
+namespace simtomp::gpusim {
+
+struct OccupancyInfo {
+  uint32_t threadsPerBlock = 0;
+  uint32_t warpsPerBlock = 0;
+  /// Resident-block bounds from each SM resource.
+  uint32_t blocksPerSmByThreads = 0;
+  uint32_t blocksPerSmByShared = 0;
+  /// min of the bounds (0 if the block cannot run at all).
+  uint32_t residentBlocksPerSm = 0;
+  /// Resident warps / max resident warps on the SM, in [0, 1].
+  double warpOccupancy = 0.0;
+};
+
+/// Compute occupancy for a block shape using `sharedBytesPerBlock` of
+/// scratchpad (pass the high-water mark for a measured kernel).
+OccupancyInfo computeOccupancy(const ArchSpec& arch, uint32_t threadsPerBlock,
+                               uint32_t sharedBytesPerBlock);
+
+}  // namespace simtomp::gpusim

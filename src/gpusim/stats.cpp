@@ -1,0 +1,85 @@
+#include "gpusim/stats.h"
+
+#include <cstdio>
+
+namespace simtomp::gpusim {
+
+std::string_view counterName(Counter c) {
+  switch (c) {
+    case Counter::kAluWork: return "alu_work";
+    case Counter::kGlobalLoad: return "global_load";
+    case Counter::kGlobalStore: return "global_store";
+    case Counter::kSharedLoad: return "shared_load";
+    case Counter::kSharedStore: return "shared_store";
+    case Counter::kLocalAccess: return "local_access";
+    case Counter::kAtomicRmw: return "atomic_rmw";
+    case Counter::kWarpSync: return "warp_sync";
+    case Counter::kBlockSync: return "block_sync";
+    case Counter::kStatePoll: return "state_poll";
+    case Counter::kPayloadArgCopy: return "payload_arg_copy";
+    case Counter::kDispatchCascade: return "dispatch_cascade";
+    case Counter::kDispatchIndirect: return "dispatch_indirect";
+    case Counter::kShuffle: return "shuffle";
+    case Counter::kGlobalAlloc: return "global_alloc";
+    case Counter::kSharingSpaceOverflow: return "sharing_space_overflow";
+    case Counter::kParallelRegion: return "parallel_region";
+    case Counter::kSimdLoop: return "simd_loop";
+    case Counter::kWorkshareLoop: return "workshare_loop";
+    case Counter::kSimdLaneRounds: return "simd_lane_rounds";
+    case Counter::kSimdIdleLaneRounds: return "simd_idle_lane_rounds";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string KernelStats::csvHeader() {
+  std::string out =
+      "cycles,busy_cycles,max_thread_cycles,blocks,threads_per_block,waves,"
+      "peak_shared_bytes,warp_occupancy";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    out += ",";
+    out += counterName(static_cast<Counter>(i));
+  }
+  return out;
+}
+
+std::string KernelStats::csvRow() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%llu,%llu,%llu,%u,%u,%u,%llu,%.4f",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(busyCycles),
+                static_cast<unsigned long long>(maxThreadCycles), numBlocks,
+                threadsPerBlock, waves,
+                static_cast<unsigned long long>(peakSharedBytes),
+                occupancy.warpOccupancy);
+  std::string out(buf);
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    std::snprintf(buf, sizeof(buf), ",%llu",
+                  static_cast<unsigned long long>(counters.values[i]));
+    out += buf;
+  }
+  return out;
+}
+
+std::string KernelStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cycles=%llu busy=%llu maxThread=%llu blocks=%u tpb=%u "
+                "waves=%u",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(busyCycles),
+                static_cast<unsigned long long>(maxThreadCycles), numBlocks,
+                threadsPerBlock, waves);
+  std::string out(buf);
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (counters.values[i] != 0) {
+      std::snprintf(buf, sizeof(buf), " %s=%llu",
+                    counterName(static_cast<Counter>(i)).data(),
+                    static_cast<unsigned long long>(counters.values[i]));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace simtomp::gpusim

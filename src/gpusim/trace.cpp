@@ -1,0 +1,44 @@
+#include "gpusim/trace.h"
+
+#include <fstream>
+
+namespace simtomp::gpusim {
+
+void TraceRecorder::recordBlock(uint32_t block_id, uint32_t sm_id,
+                                uint64_t start, uint64_t duration) {
+  events_.push_back(
+      {"block " + std::to_string(block_id), sm_id, start, duration});
+}
+
+void TraceRecorder::recordKernel(std::string name, uint64_t duration) {
+  events_.push_back({std::move(name), kKernelTrack, 0, duration});
+}
+
+void TraceRecorder::writeChromeJson(std::ostream& out) const {
+  out << "[\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    const uint64_t tid = e.track == kKernelTrack ? 0 : e.track + 1;
+    const char* pid = e.track == kKernelTrack ? "0" : "1";
+    out << "  {\"name\": \"" << e.name << "\", \"ph\": \"X\", \"pid\": " << pid
+        << ", \"tid\": " << tid << ", \"ts\": " << e.startCycle
+        << ", \"dur\": " << e.durationCycles << "}";
+  }
+  out << "\n]\n";
+}
+
+Status TraceRecorder::writeChromeJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::invalidArgument("cannot open trace file: " + path);
+  }
+  writeChromeJson(file);
+  if (!file.good()) {
+    return Status::internal("I/O error writing trace file: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace simtomp::gpusim

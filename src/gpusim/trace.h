@@ -1,0 +1,45 @@
+// Execution tracing: record per-block spans on the modeled SM timeline
+// and emit Chrome trace-event JSON (chrome://tracing, Perfetto).
+//
+// Attach a TraceRecorder to a Device before launching; every block
+// becomes one complete ("X") event on its SM's track and every kernel
+// a span on a dedicated track. Timestamps are simulator cycles.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace simtomp::gpusim {
+
+class TraceRecorder {
+ public:
+  struct Event {
+    std::string name;
+    uint32_t track = 0;  ///< SM id, or kKernelTrack for kernel spans
+    uint64_t startCycle = 0;
+    uint64_t durationCycles = 0;
+  };
+
+  static constexpr uint32_t kKernelTrack = 0xFFFFFFFFu;
+
+  void recordBlock(uint32_t block_id, uint32_t sm_id, uint64_t start,
+                   uint64_t duration);
+  void recordKernel(std::string name, uint64_t duration);
+  void clear() { events_.clear(); }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] size_t size() const { return events_.size(); }
+
+  /// Serialize as a Chrome trace-event JSON array.
+  void writeChromeJson(std::ostream& out) const;
+  Status writeChromeJson(const std::string& path) const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace simtomp::gpusim

@@ -1,0 +1,65 @@
+#include "hostrt/async.h"
+
+namespace simtomp::hostrt {
+
+TargetTaskQueue::TargetTaskQueue(gpusim::Device& device)
+    : device_(&device), helper_([this] { helperLoop(); }) {}
+
+TargetTaskQueue::~TargetTaskQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  helper_.join();
+}
+
+std::future<Result<gpusim::KernelStats>> TargetTaskQueue::enqueue(
+    omprt::TargetConfig config, omprt::TargetRegionFn region) {
+  Task task{config, std::move(region), {}};
+  auto future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void TargetTaskQueue::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+size_t TargetTaskQueue::pendingTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + (busy_ ? 1 : 0);
+}
+
+void TargetTaskQueue::helperLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutdown with an empty queue
+        idle_cv_.notify_all();
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    task.promise.set_value(
+        omprt::launchTarget(*device_, task.config, task.region));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+      ++completed_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace simtomp::hostrt

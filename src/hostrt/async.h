@@ -1,0 +1,61 @@
+// Asynchronous target tasks (extension; Tian et al. [26]).
+//
+// `#pragma omp target nowait` creates a deferred target task that a
+// hidden helper thread executes while the host thread continues. This
+// module provides that machinery: a TargetTaskQueue owning one helper
+// thread; enqueue() returns a future for the kernel's stats, and
+// drain() gives taskwait semantics.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "gpusim/device.h"
+#include "omprt/target.h"
+#include "support/status.h"
+
+namespace simtomp::hostrt {
+
+class TargetTaskQueue {
+ public:
+  explicit TargetTaskQueue(gpusim::Device& device);
+  ~TargetTaskQueue();
+
+  TargetTaskQueue(const TargetTaskQueue&) = delete;
+  TargetTaskQueue& operator=(const TargetTaskQueue&) = delete;
+
+  /// Enqueue a deferred target region (`target nowait`).
+  std::future<Result<gpusim::KernelStats>> enqueue(
+      omprt::TargetConfig config, omprt::TargetRegionFn region);
+
+  /// Block until every enqueued task has completed (`taskwait`).
+  void drain();
+
+  [[nodiscard]] size_t pendingTasks() const;
+  [[nodiscard]] uint64_t completedTasks() const { return completed_; }
+
+ private:
+  struct Task {
+    omprt::TargetConfig config;
+    omprt::TargetRegionFn region;
+    std::promise<Result<gpusim::KernelStats>> promise;
+  };
+
+  void helperLoop();
+
+  gpusim::Device* device_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  bool busy_ = false;
+  uint64_t completed_ = 0;
+  std::thread helper_;
+};
+
+}  // namespace simtomp::hostrt

@@ -1,0 +1,109 @@
+#include "hostrt/data_env.h"
+
+#include <algorithm>
+
+#include "support/log.h"
+
+namespace simtomp::hostrt {
+
+DataEnvironment::~DataEnvironment() {
+  for (Entry& e : entries_) {
+    SIMTOMP_WARN("data environment torn down with live mapping (%zu bytes)",
+                 e.bytes);
+    (void)device_->memory().free(e.dev);
+  }
+}
+
+DataEnvironment::Entry* DataEnvironment::find(const void* host) {
+  for (Entry& e : entries_) {
+    if (e.host == host) return &e;
+  }
+  return nullptr;
+}
+
+const DataEnvironment::Entry* DataEnvironment::find(const void* host) const {
+  for (const Entry& e : entries_) {
+    if (e.host == host) return &e;
+  }
+  return nullptr;
+}
+
+void DataEnvironment::copyToDevice(Entry& e) {
+  std::memcpy(device_->memory().raw(e.dev), e.host, e.bytes);
+  stats_.bytesToDevice += e.bytes;
+  stats_.transfersToDevice += 1;
+  stats_.transferCycles += transfer_model_.cyclesFor(e.bytes);
+}
+
+void DataEnvironment::copyFromDevice(Entry& e) {
+  std::memcpy(const_cast<void*>(e.host), device_->memory().raw(e.dev),
+              e.bytes);
+  stats_.bytesFromDevice += e.bytes;
+  stats_.transfersFromDevice += 1;
+  stats_.transferCycles += transfer_model_.cyclesFor(e.bytes);
+}
+
+Status DataEnvironment::mapEnter(const void* host, size_t bytes,
+                                 MapType type) {
+  if (host == nullptr || bytes == 0) {
+    return Status::invalidArgument("mapEnter requires a non-empty object");
+  }
+  if (Entry* existing = find(host)) {
+    if (existing->bytes != bytes) {
+      return Status::invalidArgument(
+          "re-mapping a host pointer with a different extent");
+    }
+    existing->refCount += 1;
+    return Status::ok();
+  }
+  auto dev = device_->memory().allocate(bytes, 16);
+  if (!dev.isOk()) return dev.status();
+  Entry e{host, bytes, dev.value(), 1, type};
+  if (type == MapType::kTo || type == MapType::kToFrom) {
+    copyToDevice(e);
+  } else {
+    // kAlloc / kFrom: device storage starts zeroed (deterministic sim).
+    std::memset(device_->memory().raw(e.dev), 0, e.bytes);
+  }
+  entries_.push_back(e);
+  return Status::ok();
+}
+
+Status DataEnvironment::mapExit(const void* host, MapType type) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [host](const Entry& e) { return e.host == host; });
+  if (it == entries_.end()) {
+    return Status::failedPrecondition("mapExit of a non-present pointer");
+  }
+  if (--it->refCount > 0) return Status::ok();
+  if (type == MapType::kFrom || type == MapType::kToFrom) {
+    copyFromDevice(*it);
+  }
+  const Status freed = device_->memory().free(it->dev);
+  entries_.erase(it);
+  return freed;
+}
+
+Status DataEnvironment::updateTo(const void* host) {
+  Entry* e = find(host);
+  if (e == nullptr) {
+    return Status::failedPrecondition("updateTo of a non-present pointer");
+  }
+  copyToDevice(*e);
+  return Status::ok();
+}
+
+Status DataEnvironment::updateFrom(void* host) {
+  Entry* e = find(host);
+  if (e == nullptr) {
+    return Status::failedPrecondition("updateFrom of a non-present pointer");
+  }
+  copyFromDevice(*e);
+  return Status::ok();
+}
+
+bool DataEnvironment::isPresent(const void* host) const {
+  return find(host) != nullptr;
+}
+
+}  // namespace simtomp::hostrt

@@ -1,0 +1,144 @@
+// Host-side data environment: OpenMP `target data` semantics.
+//
+// OpenMP offloading keeps a "present table" mapping host addresses to
+// device allocations with reference counts: `map(to:...)` copies in on
+// first mapping, `map(from:...)` copies back on last unmapping,
+// repeated mappings of the same host object just bump the count. This
+// module reproduces that machinery over the simulator's DeviceMemory,
+// which the examples and benches use the way a real application uses
+// `#pragma omp target data`.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "support/status.h"
+
+namespace simtomp::hostrt {
+
+enum class MapType : uint8_t { kTo, kFrom, kToFrom, kAlloc };
+
+/// PCIe-style transfer cost model: fixed per-transfer latency plus a
+/// bandwidth term, in the same simulator-cycle unit as kernel time, so
+/// end-to-end offload cost (copies + kernels) can be compared. Defaults
+/// approximate a x16 Gen4 link relative to the default CostModel.
+struct TransferModel {
+  uint64_t latencyCycles = 2000;      ///< per-transfer setup
+  uint64_t cyclesPerKilobyte = 60;    ///< bandwidth term
+
+  [[nodiscard]] uint64_t cyclesFor(uint64_t bytes) const {
+    return latencyCycles + (bytes * cyclesPerKilobyte) / 1024;
+  }
+};
+
+struct TransferStats {
+  uint64_t bytesToDevice = 0;
+  uint64_t bytesFromDevice = 0;
+  uint64_t transfersToDevice = 0;
+  uint64_t transfersFromDevice = 0;
+  /// Modeled time spent in transfers (TransferModel cycles).
+  uint64_t transferCycles = 0;
+};
+
+class DataEnvironment {
+ public:
+  explicit DataEnvironment(gpusim::Device& device,
+                           TransferModel transfer_model = {})
+      : device_(&device), transfer_model_(transfer_model) {}
+  ~DataEnvironment();
+
+  DataEnvironment(const DataEnvironment&) = delete;
+  DataEnvironment& operator=(const DataEnvironment&) = delete;
+
+  /// `target enter data map(<type>: host[0:n])`. Copies host->device
+  /// for kTo/kToFrom on first mapping; bumps the refcount otherwise.
+  Status mapEnter(const void* host, size_t bytes, MapType type);
+
+  /// `target exit data map(<type>: ...)`. Copies device->host for
+  /// kFrom/kToFrom when the refcount drops to zero, then releases the
+  /// device allocation.
+  Status mapExit(const void* host, MapType type);
+
+  /// `target update to/from` on an already-present object.
+  Status updateTo(const void* host);
+  Status updateFrom(void* host);
+
+  [[nodiscard]] bool isPresent(const void* host) const;
+  [[nodiscard]] size_t presentCount() const { return entries_.size(); }
+  [[nodiscard]] const TransferStats& stats() const { return stats_; }
+
+  /// Typed device view of a mapped host array (the "use_device_ptr"
+  /// moment). Fails if the host pointer is not present.
+  template <typename T>
+  Result<gpusim::GlobalSpan<T>> deviceSpan(const T* host) {
+    const Entry* e = find(host);
+    if (e == nullptr) {
+      return Status::failedPrecondition("host pointer is not mapped");
+    }
+    return gpusim::GlobalSpan<T>(
+        reinterpret_cast<T*>(device_->memory().raw(e->dev)),
+        e->bytes / sizeof(T));
+  }
+
+  // Typed convenience wrappers.
+  template <typename T>
+  Status mapEnter(std::span<T> host, MapType type) {
+    return mapEnter(host.data(), host.size_bytes(), type);
+  }
+  template <typename T>
+  Status mapExit(std::span<T> host, MapType type) {
+    return mapExit(static_cast<const void*>(host.data()), type);
+  }
+
+ private:
+  struct Entry {
+    const void* host;
+    size_t bytes;
+    gpusim::DevPtr dev;
+    uint32_t refCount;
+    MapType firstType;
+  };
+
+  Entry* find(const void* host);
+  [[nodiscard]] const Entry* find(const void* host) const;
+  void copyToDevice(Entry& e);
+  void copyFromDevice(Entry& e);
+
+  gpusim::Device* device_;
+  TransferModel transfer_model_;
+  std::vector<Entry> entries_;
+  TransferStats stats_;
+};
+
+/// RAII `#pragma omp target data` scope for one host array.
+template <typename T>
+class MappedSpan {
+ public:
+  MappedSpan(DataEnvironment& env, std::span<T> host, MapType type)
+      : env_(&env), host_(host), type_(type) {
+    status_ = env_->mapEnter(host_, type_);
+  }
+  ~MappedSpan() {
+    if (status_.isOk()) (void)env_->mapExit(host_, type_);
+  }
+  MappedSpan(const MappedSpan&) = delete;
+  MappedSpan& operator=(const MappedSpan&) = delete;
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] gpusim::GlobalSpan<T> device() {
+    auto result = env_->deviceSpan(host_.data());
+    SIMTOMP_CHECK(result.isOk(), "MappedSpan::device on unmapped span");
+    return result.value();
+  }
+
+ private:
+  DataEnvironment* env_;
+  std::span<T> host_;
+  MapType type_;
+  Status status_;
+};
+
+}  // namespace simtomp::hostrt

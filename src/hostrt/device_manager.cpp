@@ -1,0 +1,41 @@
+#include "hostrt/device_manager.h"
+
+namespace simtomp::hostrt {
+
+DeviceManager::DeviceManager(std::vector<gpusim::ArchSpec> specs,
+                             gpusim::CostModel cost,
+                             TransferModel transfer_model) {
+  SIMTOMP_CHECK(!specs.empty(), "DeviceManager needs at least one device");
+  devices_.reserve(specs.size());
+  for (auto& spec : specs) {
+    devices_.push_back(
+        std::make_unique<gpusim::Device>(std::move(spec), cost));
+  }
+  envs_.reserve(devices_.size());
+  queues_.reserve(devices_.size());
+  for (auto& dev : devices_) {
+    envs_.push_back(std::make_unique<DataEnvironment>(*dev, transfer_model));
+    queues_.push_back(std::make_unique<TargetTaskQueue>(*dev));
+  }
+}
+
+Result<gpusim::KernelStats> DeviceManager::launchOn(
+    size_t n, const omprt::TargetConfig& config,
+    const omprt::TargetRegionFn& region) {
+  if (n >= devices_.size()) {
+    return Status::invalidArgument("device number out of range");
+  }
+  return omprt::launchTarget(*devices_[n], config, region);
+}
+
+std::future<Result<gpusim::KernelStats>> DeviceManager::launchOnAsync(
+    size_t n, omprt::TargetConfig config, omprt::TargetRegionFn region) {
+  SIMTOMP_CHECK(n < devices_.size(), "device number out of range");
+  return queues_[n]->enqueue(config, std::move(region));
+}
+
+void DeviceManager::drainAll() {
+  for (auto& queue : queues_) queue->drain();
+}
+
+}  // namespace simtomp::hostrt

@@ -1,0 +1,56 @@
+// Multi-device host runtime: the `device(n)` clause machinery.
+//
+// OpenMP offloading addresses devices by number (omp_get_num_devices,
+// `#pragma omp target device(n)`); a DeviceManager owns a set of
+// simulated devices — possibly with different architectures, as in a
+// mixed NVIDIA/AMD node — each with its own data environment and task
+// queue.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "hostrt/async.h"
+#include "hostrt/data_env.h"
+#include "omprt/target.h"
+#include "support/status.h"
+
+namespace simtomp::hostrt {
+
+class DeviceManager {
+ public:
+  /// One simulated device per ArchSpec.
+  explicit DeviceManager(std::vector<gpusim::ArchSpec> specs,
+                         gpusim::CostModel cost = {},
+                         TransferModel transfer_model = {});
+
+  DeviceManager(const DeviceManager&) = delete;
+  DeviceManager& operator=(const DeviceManager&) = delete;
+
+  /// omp_get_num_devices()
+  [[nodiscard]] size_t numDevices() const { return devices_.size(); }
+
+  [[nodiscard]] gpusim::Device& device(size_t n) { return *devices_.at(n); }
+  [[nodiscard]] DataEnvironment& dataEnv(size_t n) { return *envs_.at(n); }
+  [[nodiscard]] TargetTaskQueue& taskQueue(size_t n) { return *queues_.at(n); }
+
+  /// `#pragma omp target device(n)` — synchronous launch.
+  Result<gpusim::KernelStats> launchOn(size_t n,
+                                       const omprt::TargetConfig& config,
+                                       const omprt::TargetRegionFn& region);
+
+  /// `#pragma omp target device(n) nowait` — deferred launch.
+  std::future<Result<gpusim::KernelStats>> launchOnAsync(
+      size_t n, omprt::TargetConfig config, omprt::TargetRegionFn region);
+
+  /// Wait for all deferred work on every device (`taskwait`).
+  void drainAll();
+
+ private:
+  std::vector<std::unique_ptr<gpusim::Device>> devices_;
+  std::vector<std::unique_ptr<DataEnvironment>> envs_;
+  std::vector<std::unique_ptr<TargetTaskQueue>> queues_;
+};
+
+}  // namespace simtomp::hostrt

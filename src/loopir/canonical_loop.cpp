@@ -1,0 +1,31 @@
+#include "loopir/canonical_loop.h"
+
+namespace simtomp::loopir {
+
+Result<CanonicalLoop> CanonicalLoop::make(int64_t start, int64_t stop,
+                                          int64_t step) {
+  if (step == 0) {
+    return Status::invalidArgument("canonical loop step must be non-zero");
+  }
+  uint64_t trip = 0;
+  if (step > 0) {
+    if (stop > start) {
+      const uint64_t span = static_cast<uint64_t>(stop - start);
+      trip = (span + static_cast<uint64_t>(step) - 1) /
+             static_cast<uint64_t>(step);
+    }
+  } else {
+    if (start > stop) {
+      const uint64_t span = static_cast<uint64_t>(start - stop);
+      const uint64_t mag = static_cast<uint64_t>(-step);
+      trip = (span + mag - 1) / mag;
+    }
+  }
+  return CanonicalLoop(start, step, trip);
+}
+
+CanonicalLoop CanonicalLoop::upTo(uint64_t n) {
+  return CanonicalLoop(0, 1, n);
+}
+
+}  // namespace simtomp::loopir

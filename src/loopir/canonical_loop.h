@@ -1,0 +1,103 @@
+// Canonical loop descriptors (paper section 4.2).
+//
+// Clang represents an OpenMP loop directive through an
+// OMPCanonicalLoop node that can produce the loop's trip count and map
+// a logical iteration number back to the loop variable. This is the
+// same abstraction: a front-end (our DSL, or app code) builds a
+// CanonicalLoop from (start, stop, step) and the lowering uses
+// tripCount() as the trip-count callback and ivAt() inside the body
+// callback to recover the user's induction variable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "support/status.h"
+
+namespace simtomp::loopir {
+
+class CanonicalLoop {
+ public:
+  /// Normalize `for (iv = start; iv < stop; iv += step)` (step > 0) or
+  /// `for (iv = start; iv > stop; iv += step)` (step < 0).
+  static Result<CanonicalLoop> make(int64_t start, int64_t stop,
+                                    int64_t step);
+
+  /// Convenience for the common `for (i = 0; i < n; ++i)`.
+  static CanonicalLoop upTo(uint64_t n);
+
+  [[nodiscard]] uint64_t tripCount() const { return trip_count_; }
+  /// The loop variable's value at logical iteration `logical`.
+  [[nodiscard]] int64_t ivAt(uint64_t logical) const {
+    return start_ + static_cast<int64_t>(logical) * step_;
+  }
+  [[nodiscard]] int64_t start() const { return start_; }
+  [[nodiscard]] int64_t step() const { return step_; }
+
+ private:
+  CanonicalLoop(int64_t start, int64_t step, uint64_t trip_count)
+      : start_(start), step_(step), trip_count_(trip_count) {}
+
+  int64_t start_ = 0;
+  int64_t step_ = 1;
+  uint64_t trip_count_ = 0;
+};
+
+/// A canonical loop split into tiles (OpenMP 5.1 `tile` transform).
+/// This is the inverse tool of collapse: it manufactures the two-deep
+/// nest a three-level `parallel for` + `simd` mapping wants from a
+/// *flat* loop, without restructuring user code.
+class TiledLoop {
+ public:
+  TiledLoop(CanonicalLoop loop, uint64_t tile_size)
+      : loop_(loop), tile_size_(tile_size == 0 ? 1 : tile_size) {}
+
+  [[nodiscard]] uint64_t numTiles() const {
+    return (loop_.tripCount() + tile_size_ - 1) / tile_size_;
+  }
+  [[nodiscard]] uint64_t tileSize() const { return tile_size_; }
+  /// Iterations in `tile` (the last tile may be a remainder).
+  [[nodiscard]] uint64_t tileTrip(uint64_t tile) const {
+    const uint64_t begin = tile * tile_size_;
+    const uint64_t total = loop_.tripCount();
+    if (begin >= total) return 0;
+    const uint64_t rest = total - begin;
+    return rest < tile_size_ ? rest : tile_size_;
+  }
+  /// The user induction variable at (tile, offset).
+  [[nodiscard]] int64_t ivAt(uint64_t tile, uint64_t offset) const {
+    return loop_.ivAt(tile * tile_size_ + offset);
+  }
+  [[nodiscard]] const CanonicalLoop& loop() const { return loop_; }
+
+ private:
+  CanonicalLoop loop_;
+  uint64_t tile_size_;
+};
+
+/// Two perfectly nested canonical loops collapsed into one logical
+/// iteration space (extension: paper section 7 lists `collapse` as
+/// future work for the loop API).
+class CollapsedLoop2 {
+ public:
+  CollapsedLoop2(CanonicalLoop outer, CanonicalLoop inner)
+      : outer_(outer), inner_(inner) {}
+
+  [[nodiscard]] uint64_t tripCount() const {
+    return outer_.tripCount() * inner_.tripCount();
+  }
+  /// (outer iv, inner iv) at the collapsed logical iteration.
+  [[nodiscard]] std::pair<int64_t, int64_t> ivsAt(uint64_t logical) const {
+    const uint64_t inner_trip = inner_.tripCount();
+    return {outer_.ivAt(logical / inner_trip),
+            inner_.ivAt(logical % inner_trip)};
+  }
+  [[nodiscard]] const CanonicalLoop& outer() const { return outer_; }
+  [[nodiscard]] const CanonicalLoop& inner() const { return inner_; }
+
+ private:
+  CanonicalLoop outer_;
+  CanonicalLoop inner_;
+};
+
+}  // namespace simtomp::loopir

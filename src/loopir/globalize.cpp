@@ -1,0 +1,62 @@
+#include "loopir/globalize.h"
+
+#include "gpusim/block.h"
+#include "support/log.h"
+
+namespace simtomp::loopir {
+
+Globalizer::~Globalizer() {
+  gpusim::BlockEngine& block = ctx_->gpu().block();
+  for (std::byte* ptr : shared_blocks_) {
+    const Status freed = block.sharedMemory().free(ptr);
+    if (!freed.isOk()) {
+      SIMTOMP_WARN("globalizer shared free failed: %s",
+                   freed.toString().c_str());
+    }
+  }
+  for (gpusim::DevPtr ptr : overflow_blocks_) {
+    const Status freed = block.globalMemory().free(ptr);
+    if (!freed.isOk()) {
+      SIMTOMP_WARN("globalizer overflow free failed: %s",
+                   freed.toString().c_str());
+    }
+  }
+}
+
+void Globalizer::chargeCopy(size_t bytes, bool store) {
+  gpusim::ThreadCtx& t = ctx_->gpu();
+  const uint64_t words = (bytes + 7) / 8;
+  t.chargeLocal(words);  // read (or write) the thread-local side
+  if (store) {
+    t.chargeSharedStore(words);
+  } else {
+    t.chargeSharedLoad(words);
+  }
+}
+
+void* Globalizer::globalizeBytes(const void* src, size_t bytes,
+                                 size_t align) {
+  SIMTOMP_CHECK(bytes > 0, "cannot globalize an empty object");
+  gpusim::ThreadCtx& t = ctx_->gpu();
+  gpusim::BlockEngine& block = t.block();
+  std::byte* dst = block.sharedMemory().allocate(bytes, align);
+  if (dst != nullptr) {
+    shared_blocks_.push_back(dst);
+    chargeCopy(bytes, /*store=*/true);
+  } else {
+    // Scratchpad exhausted: promote to global memory instead (the
+    // "untraceable or oversized" path of paper section 4.3).
+    auto ptr = block.globalMemory().allocate(bytes, align);
+    SIMTOMP_CHECK(ptr.isOk(), "global memory exhausted while globalizing");
+    overflow_blocks_.push_back(ptr.value());
+    dst = block.globalMemory().raw(ptr.value());
+    t.charge(gpusim::Counter::kGlobalAlloc, t.cost().globalAccess * 4);
+    const uint64_t words = (bytes + 7) / 8;
+    t.chargeLocal(words);
+    t.chargeGlobalStore(words);
+  }
+  std::memcpy(dst, src, bytes);
+  return dst;
+}
+
+}  // namespace simtomp::loopir

@@ -1,0 +1,69 @@
+// Variable globalization (paper section 4.3).
+//
+// When a simd loop executes in generic mode, variables referenced by
+// the outlined body must be visible to the SIMD worker threads, so
+// thread-local allocations are promoted ("globalized") to shared
+// memory — or to global memory when the scratchpad is full — and
+// released at the end of the enclosing parallel region.
+//
+// Globalizer is the RAII embodiment: construct it at region entry,
+// globalize() each local that escapes into a simd payload, and let the
+// destructor release the promoted allocations, charging the copy
+// traffic as it goes. Each group leader owns its own Globalizer;
+// allocations are individually freed because the lifetimes of
+// different groups' promotions interleave arbitrarily.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "gpusim/memory.h"
+#include "omprt/context.h"
+
+namespace simtomp::loopir {
+
+class Globalizer {
+ public:
+  explicit Globalizer(omprt::OmpContext& ctx) : ctx_(&ctx) {}
+  ~Globalizer();
+
+  Globalizer(const Globalizer&) = delete;
+  Globalizer& operator=(const Globalizer&) = delete;
+
+  /// Copy `bytes` starting at `src` into shared memory (global memory
+  /// on overflow) and return the promoted address. Charges one shared
+  /// (or global) store per 8 bytes copied, plus the local loads.
+  void* globalizeBytes(const void* src, size_t bytes, size_t align);
+
+  /// Typed convenience: promote one trivially copyable local.
+  template <typename T>
+  T* globalize(const T& local) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "globalized variables must be trivially copyable");
+    return static_cast<T*>(globalizeBytes(&local, sizeof(T), alignof(T)));
+  }
+
+  /// Copy a promoted value back into a local (e.g. lastprivate-style
+  /// read-back after the loop). Charges the load traffic.
+  template <typename T>
+  void readBack(T& local, const T* promoted) {
+    chargeCopy(sizeof(T), /*store=*/false);
+    std::memcpy(&local, promoted, sizeof(T));
+  }
+
+  [[nodiscard]] size_t promotedCount() const {
+    return shared_blocks_.size() + overflow_blocks_.size();
+  }
+  [[nodiscard]] size_t overflowCount() const {
+    return overflow_blocks_.size();
+  }
+
+ private:
+  void chargeCopy(size_t bytes, bool store);
+
+  omprt::OmpContext* ctx_;
+  std::vector<std::byte*> shared_blocks_;
+  std::vector<gpusim::DevPtr> overflow_blocks_;
+};
+
+}  // namespace simtomp::loopir

@@ -1,0 +1,183 @@
+// Outlining: turning loop bodies and parallel regions into raw function
+// pointers plus packed argument payloads (paper sections 4.1-4.2).
+//
+// The paper's code generation isolates a loop body into a separate
+// function ("loop task") and aggregates every referenced variable into
+// a structure passed as a single payload. We reproduce that contract
+// with C++: the outlined function is a stateless trampoline (a true
+// function pointer, as the runtime's dispatch cascade requires) and the
+// payload is a void* array whose slot 0 holds the callable object and
+// whose remaining slots hold the explicitly shared variables.
+//
+// Two usage styles:
+//   * raw style — apps write `static void body(OmpContext&, uint64_t,
+//     void**)` functions and pack args with ArgPack, mirroring what
+//     Clang emits;
+//   * lambda style — outlineLoop()/outlineRegion() wrap a callable and
+//     register its trampoline in the dispatch cascade.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+
+#include "omprt/context.h"
+#include "omprt/dispatcher.h"
+#include "omprt/modes.h"
+#include "omprt/runtime.h"
+#include "support/status.h"
+
+namespace simtomp::loopir {
+
+/// Typed access to one payload slot.
+template <typename T>
+[[nodiscard]] T& argAs(void** args, size_t index) {
+  return *static_cast<T*>(args[index]);
+}
+
+/// Fixed-capacity argument payload. Packing charges the per-argument
+/// payload cost the paper's runtime pays when marshalling captured
+/// variables.
+class ArgPack {
+ public:
+  static constexpr size_t kMaxArgs = 64;
+
+  ArgPack() = default;
+
+  template <typename... Vars>
+  static ArgPack of(omprt::OmpContext& ctx, Vars&... vars) {
+    static_assert(sizeof...(Vars) <= kMaxArgs, "too many payload args");
+    ArgPack pack;
+    (pack.push(ctx, &vars), ...);
+    return pack;
+  }
+
+  void push(omprt::OmpContext& ctx, void* ptr) {
+    SIMTOMP_CHECK(size_ < kMaxArgs, "ArgPack overflow");
+    slots_[size_++] = ptr;
+    ctx.gpu().charge(gpusim::Counter::kPayloadArgCopy,
+                     ctx.gpu().cost().payloadArgCopy);
+  }
+
+  [[nodiscard]] void** data() { return slots_.data(); }
+  [[nodiscard]] uint32_t size() const { return static_cast<uint32_t>(size_); }
+
+ private:
+  std::array<void*, kMaxArgs> slots_{};
+  size_t size_ = 0;
+};
+
+namespace detail {
+
+template <typename Body>
+struct LoopTrampoline {
+  static void invoke(omprt::OmpContext& ctx, uint64_t iv, void** args) {
+    auto* body = static_cast<Body*>(args[0]);
+    if constexpr (std::is_invocable_v<Body&, omprt::OmpContext&, uint64_t,
+                                      void**>) {
+      (*body)(ctx, iv, args + 1);
+    } else {
+      static_assert(std::is_invocable_v<Body&, omprt::OmpContext&, uint64_t>,
+                    "loop body must be callable as (OmpContext&, uint64_t "
+                    "[, void**])");
+      (*body)(ctx, iv);
+    }
+  }
+};
+
+template <typename Body>
+struct ReduceTrampoline {
+  static double invoke(omprt::OmpContext& ctx, uint64_t iv, void** args) {
+    auto* body = static_cast<Body*>(args[0]);
+    if constexpr (std::is_invocable_r_v<double, Body&, omprt::OmpContext&,
+                                        uint64_t, void**>) {
+      return (*body)(ctx, iv, args + 1);
+    } else {
+      static_assert(
+          std::is_invocable_r_v<double, Body&, omprt::OmpContext&, uint64_t>,
+          "reduce body must return double and take (OmpContext&, uint64_t "
+          "[, void**])");
+      return (*body)(ctx, iv);
+    }
+  }
+};
+
+template <typename Region>
+struct RegionTrampoline {
+  static void invoke(omprt::OmpContext& ctx, void** args) {
+    auto* region = static_cast<Region*>(args[0]);
+    if constexpr (std::is_invocable_v<Region&, omprt::OmpContext&, void**>) {
+      (*region)(ctx, args + 1);
+    } else {
+      static_assert(std::is_invocable_v<Region&, omprt::OmpContext&>,
+                    "region must be callable as (OmpContext& [, void**])");
+      (*region)(ctx);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// An outlined loop task: trampoline function pointer + payload whose
+/// slot 0 is the body object, followed by `extraVars`.
+template <typename Body>
+struct OutlinedLoop {
+  omprt::LoopBodyFn fn;
+  ArgPack payload;
+};
+
+/// Outline a loop body. `registerInCascade` mirrors whether the region
+/// is known to the translation unit's if-cascade (paper section 5.5).
+template <typename Body, typename... Vars>
+OutlinedLoop<Body> outlineLoop(omprt::OmpContext& ctx, Body& body,
+                               bool registerInCascade, Vars&... vars) {
+  OutlinedLoop<Body> out{&detail::LoopTrampoline<Body>::invoke, {}};
+  if (registerInCascade) {
+    omprt::Dispatcher::global().registerOutlined(
+        reinterpret_cast<const void*>(out.fn));
+  }
+  out.payload.push(ctx, &body);
+  (out.payload.push(ctx, &vars), ...);
+  return out;
+}
+
+template <typename Body>
+struct OutlinedReduceLoop {
+  omprt::rt::ReduceBodyF64 fn;
+  ArgPack payload;
+};
+
+template <typename Body, typename... Vars>
+OutlinedReduceLoop<Body> outlineReduceLoop(omprt::OmpContext& ctx, Body& body,
+                                           bool registerInCascade,
+                                           Vars&... vars) {
+  OutlinedReduceLoop<Body> out{&detail::ReduceTrampoline<Body>::invoke, {}};
+  if (registerInCascade) {
+    omprt::Dispatcher::global().registerOutlined(
+        reinterpret_cast<const void*>(out.fn));
+  }
+  out.payload.push(ctx, &body);
+  (out.payload.push(ctx, &vars), ...);
+  return out;
+}
+
+template <typename Region>
+struct OutlinedRegion {
+  omprt::OutlinedFn fn;
+  ArgPack payload;
+};
+
+template <typename Region, typename... Vars>
+OutlinedRegion<Region> outlineRegion(omprt::OmpContext& ctx, Region& region,
+                                     bool registerInCascade, Vars&... vars) {
+  OutlinedRegion<Region> out{&detail::RegionTrampoline<Region>::invoke, {}};
+  if (registerInCascade) {
+    omprt::Dispatcher::global().registerOutlined(
+        reinterpret_cast<const void*>(out.fn));
+  }
+  out.payload.push(ctx, &region);
+  (out.payload.push(ctx, &vars), ...);
+  return out;
+}
+
+}  // namespace simtomp::loopir

@@ -1,0 +1,95 @@
+// OmpContext: the per-device-thread view of the OpenMP runtime.
+//
+// Every simulated GPU thread builds one OmpContext at kernel entry; the
+// runtime entry points (rt::parallel, rt::simd, ...) and user region
+// code receive it by reference. Besides the thread's GPU context and
+// the team's shared state it tracks the *current parallel frame*: in
+// SPMD mode that information is thread-local (paper section 5.4 — "all
+// of this information is now local to each thread"), in generic mode
+// workers populate it from the published TeamState when they wake.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/thread.h"
+#include "omprt/modes.h"
+#include "omprt/team_state.h"
+#include "support/lane_mask.h"
+
+namespace simtomp::omprt {
+
+class OmpContext {
+ public:
+  OmpContext(gpusim::ThreadCtx& gpu, TeamState& team)
+      : gpu_(&gpu), team_(&team) {}
+
+  [[nodiscard]] gpusim::ThreadCtx& gpu() { return *gpu_; }
+  [[nodiscard]] TeamState& team() { return *team_; }
+  [[nodiscard]] const TeamState& team() const { return *team_; }
+
+  // ---- OpenMP queries ----
+  [[nodiscard]] uint32_t teamNum() const { return gpu_->blockId(); }
+  [[nodiscard]] uint32_t numTeams() const { return gpu_->numBlocks(); }
+  /// OpenMP thread id within the current parallel region. With three
+  /// levels of parallelism an "OpenMP thread" is a SIMD group, so this
+  /// is the group index (0 outside parallel regions).
+  [[nodiscard]] uint32_t threadNum() const {
+    return in_parallel_ ? simdGroup() : 0;
+  }
+  /// Number of OpenMP threads (= SIMD groups) in the current region.
+  [[nodiscard]] uint32_t numThreads() const {
+    return in_parallel_ ? num_groups_ : 1;
+  }
+
+  // ---- SIMD group mapping (paper section 5.1) ----
+  /// Which SIMD group this device thread belongs to.
+  [[nodiscard]] uint32_t simdGroup() const {
+    return gpu_->threadId() / groupSize();
+  }
+  /// The thread's id within its SIMD group; mains are always 0.
+  [[nodiscard]] uint32_t simdGroupId() const {
+    return gpu_->threadId() % groupSize();
+  }
+  /// Size of every SIMD group in the current parallel region.
+  [[nodiscard]] uint32_t simdGroupSize() const { return groupSize(); }
+  [[nodiscard]] bool isSimdGroupLeader() const { return simdGroupId() == 0; }
+  /// Bit-mask of the warp lanes sharing this thread's SIMD group.
+  [[nodiscard]] LaneMask simdMask() const {
+    const uint32_t g = groupSize();
+    const uint32_t base = (gpu_->laneId() / g) * g;
+    return rangeMask(base, g);
+  }
+
+  // ---- Parallel frame (maintained by the runtime) ----
+  [[nodiscard]] bool inParallel() const { return in_parallel_; }
+  [[nodiscard]] const ParallelConfig& parallelConfig() const {
+    return parallel_config_;
+  }
+  [[nodiscard]] bool parallelIsSPMD() const {
+    return parallel_config_.mode == ExecMode::kSPMD;
+  }
+
+  void enterParallel(const ParallelConfig& config, uint32_t num_groups) {
+    in_parallel_ = true;
+    parallel_config_ = config;
+    num_groups_ = num_groups;
+  }
+  void exitParallel() {
+    in_parallel_ = false;
+    parallel_config_ = ParallelConfig{};
+    num_groups_ = 1;
+  }
+
+ private:
+  [[nodiscard]] uint32_t groupSize() const {
+    return in_parallel_ ? parallel_config_.simdGroupSize : 1;
+  }
+
+  gpusim::ThreadCtx* gpu_;
+  TeamState* team_;
+  bool in_parallel_ = false;
+  ParallelConfig parallel_config_{};
+  uint32_t num_groups_ = 1;
+};
+
+}  // namespace simtomp::omprt

@@ -1,0 +1,39 @@
+#include "omprt/dispatcher.h"
+
+#include <algorithm>
+
+namespace simtomp::omprt {
+
+void Dispatcher::registerOutlined(const void* fn) {
+  if (fn == nullptr) return;
+  if (isKnown(fn)) return;
+  if (known_.size() >= kMaxCascade) return;
+  known_.push_back(fn);
+}
+
+void Dispatcher::clear() { known_.clear(); }
+
+bool Dispatcher::isKnown(const void* fn) const {
+  return std::find(known_.begin(), known_.end(), fn) != known_.end();
+}
+
+bool Dispatcher::chargeDispatch(gpusim::ThreadCtx& t, const void* fn) const {
+  const auto it = std::find(known_.begin(), known_.end(), fn);
+  if (it != known_.end()) {
+    // One compare per cascade entry traversed before the hit.
+    const auto position =
+        static_cast<uint64_t>(std::distance(known_.begin(), it));
+    t.charge(gpusim::Counter::kDispatchCascade,
+             t.cost().dispatchCascade + position * t.cost().aluOp);
+    return true;
+  }
+  t.charge(gpusim::Counter::kDispatchIndirect, t.cost().dispatchIndirect);
+  return false;
+}
+
+Dispatcher& Dispatcher::global() {
+  static Dispatcher dispatcher;
+  return dispatcher;
+}
+
+}  // namespace simtomp::omprt

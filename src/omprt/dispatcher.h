@@ -1,0 +1,53 @@
+// Outlined-function dispatch (paper section 5.5).
+//
+// Indirect calls through function pointers are expensive on GPUs, so
+// Clang emits an if-cascade comparing the pointer against the outlined
+// regions known in the translation unit, falling back to a true
+// indirect call for unknown pointers (regions from other TUs). We model
+// that with a registry: compile-time-known outlined functions register
+// themselves; dispatch charges a small per-comparison cost on a hit and
+// a larger indirect-call cost on a miss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/thread.h"
+#include "omprt/modes.h"
+
+namespace simtomp::omprt {
+
+class Dispatcher {
+ public:
+  /// Maximum cascade length Clang would realistically emit; registering
+  /// beyond this silently falls through to indirect dispatch.
+  static constexpr size_t kMaxCascade = 64;
+
+  /// Register a known outlined function. Idempotent.
+  void registerOutlined(const void* fn);
+  void clear();
+
+  [[nodiscard]] size_t size() const { return known_.size(); }
+  [[nodiscard]] bool isKnown(const void* fn) const;
+
+  /// Charge the dispatch cost for calling `fn`: a cascade of pointer
+  /// compares on a hit (cost grows with cascade position), or the
+  /// indirect-call penalty on a miss. Returns true on a cascade hit.
+  bool chargeDispatch(gpusim::ThreadCtx& t, const void* fn) const;
+
+  /// Process-wide dispatcher used by the runtime entry points.
+  static Dispatcher& global();
+
+ private:
+  std::vector<const void*> known_;
+};
+
+/// RAII registration for tests and outlined-region factories.
+class ScopedOutlinedRegistration {
+ public:
+  explicit ScopedOutlinedRegistration(const void* fn) {
+    Dispatcher::global().registerOutlined(fn);
+  }
+};
+
+}  // namespace simtomp::omprt

@@ -1,0 +1,47 @@
+// Execution-mode vocabulary for the OpenMP device runtime.
+//
+// Both `teams` regions and `parallel` regions can independently execute
+// in one of two modes (paper sections 3.1, 3.2, 5.2):
+//
+//   kGeneric — CPU-centric: one main thread runs the sequential code,
+//              the other threads idle in a state machine until work is
+//              published (block-level machine for teams, warp-level for
+//              SIMD groups inside parallel).
+//   kSPMD    — GPU-centric: every thread executes the region redundantly
+//              under the no-side-effects guarantee; no state machine.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace simtomp::omprt {
+
+enum class ExecMode : uint8_t { kGeneric, kSPMD };
+
+inline std::string_view execModeName(ExecMode mode) {
+  return mode == ExecMode::kGeneric ? "generic" : "spmd";
+}
+
+/// What a device thread should do after __target_init returns.
+enum class ThreadKind : uint8_t {
+  kUserCode,    ///< run the target-region user code
+  kTerminated,  ///< worker finished its state machine; exit the kernel
+};
+
+/// Per-parallel-region configuration (paper section 5.3.1: the SIMD
+/// group size may differ between parallel regions).
+struct ParallelConfig {
+  ExecMode mode = ExecMode::kSPMD;
+  /// SIMD group size (simdlen). 1 disables the third level entirely and
+  /// reproduces today's LLVM/OpenMP behaviour (paper section 5.4).
+  uint32_t simdGroupSize = 1;
+};
+
+/// Outlined region signatures. Raw function pointers by design: the
+/// runtime dispatches them the way DeviceRTL does (if-cascade of known
+/// functions with an indirect-call fallback, paper section 5.5).
+class OmpContext;
+using OutlinedFn = void (*)(OmpContext& ctx, void** args);
+using LoopBodyFn = void (*)(OmpContext& ctx, uint64_t iv, void** args);
+
+}  // namespace simtomp::omprt

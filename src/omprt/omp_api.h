@@ -1,0 +1,57 @@
+// The user-facing OpenMP query API, as the paper's three-level model
+// defines it: within a parallel region an "OpenMP thread" is a SIMD
+// group (its leader runs the region code in generic mode), and the
+// simd lane / simd length queries expose the third level.
+//
+// Free functions mirroring the omp_* C API, all taking the OmpContext
+// a target region receives.
+#pragma once
+
+#include <cstdint>
+
+#include "omprt/context.h"
+
+namespace simtomp::omprt {
+
+/// omp_get_team_num()
+inline uint32_t ompGetTeamNum(const OmpContext& ctx) { return ctx.teamNum(); }
+
+/// omp_get_num_teams()
+inline uint32_t ompGetNumTeams(const OmpContext& ctx) {
+  return ctx.numTeams();
+}
+
+/// omp_get_thread_num() — the SIMD group index within the team.
+inline uint32_t ompGetThreadNum(const OmpContext& ctx) {
+  return ctx.threadNum();
+}
+
+/// omp_get_num_threads() — the number of SIMD groups in the region.
+inline uint32_t ompGetNumThreads(const OmpContext& ctx) {
+  return ctx.numThreads();
+}
+
+/// omp_in_parallel()
+inline bool ompInParallel(const OmpContext& ctx) { return ctx.inParallel(); }
+
+/// The lane index within the SIMD group (0 for the group leader; the
+/// paper's getSimdGroupId).
+inline uint32_t ompGetSimdLane(const OmpContext& ctx) {
+  return ctx.simdGroupId();
+}
+
+/// The active simdlen (the paper's getSimdGroupSize).
+inline uint32_t ompGetSimdLen(const OmpContext& ctx) {
+  return ctx.simdGroupSize();
+}
+
+/// omp_is_initial_device() — always false inside a target region.
+inline constexpr bool ompIsInitialDevice() { return false; }
+
+/// omp_get_max_threads() within a target region: the team's worker
+/// thread count (the upper bound on parallel-region OpenMP threads).
+inline uint32_t ompGetMaxThreads(const OmpContext& ctx) {
+  return ctx.team().numWorkerThreads;
+}
+
+}  // namespace simtomp::omprt

@@ -1,0 +1,563 @@
+#include "omprt/runtime.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/log.h"
+
+namespace simtomp::omprt::rt {
+
+using gpusim::Counter;
+
+namespace {
+
+/// Per-lane accumulate phase of a reducing simd loop (shared by the
+/// leader/SPMD path and the worker state machine so barrier counts
+/// match exactly).
+double reduceLoopLocal(OmpContext& ctx, ReduceBodyF64 fn, uint64_t trip,
+                       void** args) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  uint64_t iv = ctx.simdGroupId();
+  t.chargeLocal();
+  syncSimdGroup(ctx);
+  const uint32_t stride = ctx.simdGroupSize();
+  const Dispatcher& dispatcher = Dispatcher::global();
+  // Known outlined bodies: the compiler hoists the if-cascade out of
+  // the loop and inlines the body (one-time cost). Unknown bodies pay
+  // an indirect call every iteration (paper section 5.5).
+  const bool inlined =
+      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
+  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  double acc = 0.0;
+  while (iv < trip) {
+    if (!inlined) {
+      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+    }
+    acc += fn(ctx, iv, args);
+    t.fma();
+    iv += stride;
+    t.work(2);
+  }
+  return acc;
+}
+
+/// Shared worker/leader body for executing one published simd work item
+/// in generic mode. Returns false when the item is the termination
+/// signal.
+bool runPublishedSimdWork(OmpContext& ctx) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  SimdGroupState& gs = ts.groups[ctx.simdGroup()];
+
+  t.charge(Counter::kStatePoll, t.cost().statePoll);
+  t.chargeSharedLoad();  // getSimdFn: function pointer
+  void* fn = gs.simdFn;
+  if (fn == nullptr) return false;
+  t.chargeSharedLoad();  // trip count
+  const uint64_t trip = gs.tripCount;
+  void** args = nullptr;
+  if (gs.numArgs > 0) args = ts.sharing->fetchArgs(t, ctx.simdGroup());
+
+  switch (gs.kind) {
+    case SimdWorkKind::kLoop:
+      workshareLoopSimd(ctx, reinterpret_cast<LoopBodyFn>(fn), trip, args);
+      break;
+    case SimdWorkKind::kReduceAddF64: {
+      const double local = reduceLoopLocal(
+          ctx, reinterpret_cast<ReduceBodyF64>(fn), trip, args);
+      (void)simdReduceAdd(ctx, local);  // workers discard the total
+      break;
+    }
+  }
+  return true;
+}
+
+
+/// Book the paper's "thread waste" (section 6.5) for one simd loop:
+/// a group of g lanes runs ceil(trip/g) lockstep rounds; lane-rounds
+/// beyond the trip count are idle lanes. Recorded by the group leader.
+void chargeLaneUtilization(OmpContext& ctx, uint64_t trip) {
+  const uint64_t g = ctx.simdGroupSize();
+  const uint64_t rounds = (trip + g - 1) / g;
+  const uint64_t lane_rounds = rounds * g;
+  gpusim::ThreadCtx& t = ctx.gpu();
+  t.charge(Counter::kSimdLaneRounds, 0, lane_rounds);
+  t.charge(Counter::kSimdIdleLaneRounds, 0, lane_rounds - trip);
+}
+
+/// Fig. 3 core: how one worker-capable thread executes a parallel
+/// region under the current parallel frame.
+void executeParallelThread(OmpContext& ctx, OutlinedFn fn, void** args) {
+  if (ctx.parallelIsSPMD()) {
+    // All threads execute the region in SPMD mode.
+    invokeMicrotask(ctx, fn, args);
+    return;
+  }
+  if (ctx.isSimdGroupLeader()) {
+    // Only simd mains execute the region in generic mode.
+    invokeMicrotask(ctx, fn, args);
+    // Send the termination signal to the simd workers.
+    setSimdFn(ctx, nullptr, SimdWorkKind::kLoop, 0, 0);
+    syncSimdGroup(ctx);
+  } else {
+    // Simd workers enter the state machine.
+    simdStateMachine(ctx);
+  }
+}
+
+}  // namespace
+
+ThreadKind targetInit(OmpContext& ctx) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  t.work(4);  // team-state initialization
+  if (ts.teamsMode == ExecMode::kSPMD) {
+    // All threads return to the user code immediately.
+    return ThreadKind::kUserCode;
+  }
+  if (t.threadId() == ts.mainThreadId) return ThreadKind::kUserCode;
+  // Workers (and the idle lanes of the extra main warp) park in the
+  // team state machine until the kernel terminates.
+  return teamStateMachine(ctx);
+}
+
+void targetDeinit(OmpContext& ctx) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  if (ts.teamsMode == ExecMode::kSPMD) {
+    t.syncBlock();  // final team barrier
+    return;
+  }
+  // Generic mode: only the team main reaches this point.
+  ts.terminate = true;
+  t.chargeSharedStore();
+  t.syncBlock();  // release workers to observe the termination flag
+}
+
+ParallelConfig normalizeParallelConfig(const TeamState& ts,
+                                       ParallelConfig config) {
+  uint32_t g = config.simdGroupSize;
+  if (g == 0) g = 1;
+  if (g > ts.warpSize) g = ts.warpSize;
+  g = std::bit_floor(g);  // group sizes are powers of two (divide a warp)
+  if (config.mode == ExecMode::kGeneric && !ts.archHasWarpBarrier && g > 1) {
+    // Paper section 5.4.1: without wavefront-level barriers generic-SIMD
+    // is unsupported; simd loops run sequentially.
+    SIMTOMP_DEBUG("generic-SIMD unsupported on this architecture; "
+                  "falling back to group size 1");
+    g = 1;
+  }
+  config.simdGroupSize = g;
+  return config;
+}
+
+void parallel(OmpContext& ctx, OutlinedFn fn, void** args, uint32_t numArgs,
+              ParallelConfig config) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  SIMTOMP_CHECK(!ctx.inParallel(), "nested parallel regions not supported");
+  const ParallelConfig cfg = normalizeParallelConfig(ts, config);
+  const uint32_t num_groups = ts.numWorkerThreads / cfg.simdGroupSize;
+
+  if (ts.teamsMode == ExecMode::kGeneric) {
+    SIMTOMP_CHECK(t.threadId() == ts.mainThreadId,
+                  "generic-mode parallel() must be called by the team main");
+    t.charge(Counter::kParallelRegion, 0);
+    // Publish the region for the workers.
+    ts.parallelFn = fn;
+    t.chargeSharedStore();
+    ts.parallelConfig = cfg;
+    t.chargeSharedStore();
+    ts.parallelNumArgs = numArgs;
+    t.chargeSharedStore();
+    if (numArgs > 0) {
+      void** area = ts.sharing->beginTeamSharing(t, numArgs);
+      for (uint32_t i = 0; i < numArgs; ++i) {
+        ts.sharing->storeArg(t, 0, area, i, args[i]);
+      }
+      ts.parallelArgs = area;
+      t.chargeSharedStore();
+    }
+    t.syncBlock();  // release the workers
+    t.syncBlock();  // wait for region completion
+    if (numArgs > 0) ts.sharing->endTeamSharing(t);
+    ts.parallelFn = nullptr;
+    ts.parallelNumArgs = 0;
+    return;
+  }
+
+  // SPMD teams mode: every thread executes this call with identical
+  // arguments; everything stays thread-local (paper section 5.4).
+  if (t.threadId() == 0) t.charge(Counter::kParallelRegion, 0);
+  ctx.enterParallel(cfg, num_groups);
+  executeParallelThread(ctx, fn, args);
+  ctx.exitParallel();
+  t.syncBlock();  // implicit barrier at the end of the parallel region
+}
+
+void simd(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount, void** args,
+          uint32_t numArgs) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  SIMTOMP_CHECK(ctx.inParallel(), "simd() requires an enclosing parallel");
+  if (ctx.isSimdGroupLeader()) {
+    t.charge(Counter::kSimdLoop, 0);
+    chargeLaneUtilization(ctx, tripCount);
+  }
+
+  if (ctx.parallelIsSPMD()) {
+    // All lanes hold the loop description locally: no communication.
+    workshareLoopSimd(ctx, fn, tripCount, args);
+    syncSimdGroup(ctx);
+    return;
+  }
+
+  // Generic mode: only the SIMD main reaches this call. Publish the
+  // loop and share the argument pointers through the sharing space.
+  SIMTOMP_CHECK(ctx.isSimdGroupLeader(),
+                "generic-mode simd() reached by a worker thread");
+  const uint32_t group = ctx.simdGroup();
+  setSimdFn(ctx, reinterpret_cast<void*>(fn), SimdWorkKind::kLoop, tripCount,
+            numArgs);
+  void** shared_args = args;
+  const bool share = numArgs > 0 && ctx.simdGroupSize() > 1;
+  if (share) {
+    shared_args =
+        ts.sharing->beginSharing(t, group, ctx.numThreads(), numArgs);
+    for (uint32_t i = 0; i < numArgs; ++i) {
+      ts.sharing->storeArg(t, group, shared_args, i, args[i]);
+    }
+    ts.groups[group].args = shared_args;
+    t.chargeSharedStore();
+  }
+  syncSimdGroup(ctx);  // release the workers
+  workshareLoopSimd(ctx, fn, tripCount, shared_args);
+  syncSimdGroup(ctx);
+  if (share) ts.sharing->endSharing(t, group);
+}
+
+void workshareFor(OmpContext& ctx, uint64_t tripCount, LoopBodyFn fn,
+                  void** args) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  SIMTOMP_CHECK(ctx.inParallel(), "for-worksharing requires parallel");
+  if (ctx.isSimdGroupLeader()) t.charge(Counter::kWorkshareLoop, 0);
+  const uint64_t id = ctx.threadNum();
+  const uint64_t n = ctx.numThreads();
+  const Dispatcher& dispatcher = Dispatcher::global();
+  const bool inlined =
+      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
+  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  for (uint64_t iv = id; iv < tripCount; iv += n) {
+    if (!inlined) {
+      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+    }
+    fn(ctx, iv, args);
+    t.work(2);  // induction update + bound check
+  }
+}
+
+void workshareForScheduled(OmpContext& ctx, uint64_t tripCount,
+                           LoopBodyFn fn, void** args,
+                           const ScheduleClause& schedule) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  SIMTOMP_CHECK(ctx.inParallel(), "for-worksharing requires parallel");
+  if (ctx.isSimdGroupLeader()) t.charge(Counter::kWorkshareLoop, 0);
+
+  const Dispatcher& dispatcher = Dispatcher::global();
+  const bool inlined =
+      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
+  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  auto call = [&](uint64_t iv) {
+    if (!inlined) {
+      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+    }
+    fn(ctx, iv, args);
+    t.work(2);
+  };
+
+  const uint64_t id = ctx.threadNum();
+  const uint64_t n = ctx.numThreads();
+
+  ForSchedule kind = schedule.kind;
+  if (kind == ForSchedule::kDynamic &&
+      (ts.teamsMode != ExecMode::kSPMD || !ctx.parallelIsSPMD())) {
+    // The dynamic dispatch protocol needs team barriers, which only
+    // exist when every thread of the block is executing user code.
+    SIMTOMP_DEBUG("dynamic schedule unavailable outside full-SPMD "
+                  "execution; falling back to static");
+    kind = ForSchedule::kStaticCyclic;
+  }
+
+  switch (kind) {
+    case ForSchedule::kStaticCyclic:
+      for (uint64_t iv = id; iv < tripCount; iv += n) call(iv);
+      return;
+    case ForSchedule::kStaticChunked: {
+      const uint64_t chunk = (tripCount + n - 1) / n;
+      const uint64_t begin = std::min(id * chunk, tripCount);
+      const uint64_t end = std::min(begin + chunk, tripCount);
+      t.work(3);  // bounds arithmetic
+      for (uint64_t iv = begin; iv < end; ++iv) call(iv);
+      return;
+    }
+    case ForSchedule::kDynamic: {
+      const uint64_t chunk = schedule.chunk == 0 ? 1 : schedule.chunk;
+      // Dispatch init: one thread resets the team counter between uses.
+      teamBarrier(ctx);
+      if (t.threadId() == 0) {
+        ts.dynamicCounter.store(0, std::memory_order_relaxed);
+        t.chargeSharedStore();
+      }
+      teamBarrier(ctx);
+      const LaneMask mask = ctx.simdMask();
+      const uint32_t group_size = ctx.simdGroupSize();
+      const unsigned leader_lane = (t.laneId() / group_size) * group_size;
+      for (;;) {
+        uint64_t base = 0;
+        if (ctx.isSimdGroupLeader()) {
+          // Shared-memory atomic grab by the group leader.
+          base = ts.dynamicCounter.fetch_add(chunk,
+                                             std::memory_order_relaxed);
+          t.chargeAtomic();
+        }
+        if (group_size > 1) base = t.shfl(base, leader_lane, mask);
+        if (base >= tripCount) break;
+        const uint64_t end = std::min(base + chunk, tripCount);
+        for (uint64_t iv = base; iv < end; ++iv) call(iv);
+      }
+      return;
+    }
+  }
+}
+
+double teamReduceAdd(OmpContext& ctx, double value) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  SIMTOMP_CHECK(ts.teamsMode == ExecMode::kSPMD && ctx.inParallel() &&
+                    ctx.parallelIsSPMD(),
+                "teamReduceAdd requires a full-SPMD parallel region "
+                "(team barriers are involved)");
+  const uint32_t group = ctx.threadNum();
+  const uint32_t num_groups = ctx.numThreads();
+  if (ctx.isSimdGroupLeader()) {
+    ts.reduceScratch[group] = value;
+    t.chargeSharedStore();
+  }
+  t.syncBlock();
+  // Binary tree over the per-group slots; non-leaders only keep the
+  // barriers company (the block barrier needs every thread).
+  for (uint32_t stride = std::bit_ceil(num_groups) / 2; stride > 0;
+       stride /= 2) {
+    if (ctx.isSimdGroupLeader() && group < stride &&
+        group + stride < num_groups) {
+      ts.reduceScratch[group] += ts.reduceScratch[group + stride];
+      t.chargeSharedLoad(2);
+      t.chargeSharedStore();
+      t.fma();
+    }
+    t.syncBlock();
+  }
+  t.chargeSharedLoad();
+  return ts.reduceScratch[0];
+}
+
+Range distributeStatic(OmpContext& ctx, uint64_t tripCount) {
+  const uint64_t teams = ctx.numTeams();
+  const uint64_t team = ctx.teamNum();
+  const uint64_t chunk = (tripCount + teams - 1) / teams;
+  Range r;
+  r.begin = std::min(team * chunk, tripCount);
+  r.end = std::min(r.begin + chunk, tripCount);
+  ctx.gpu().work(3);  // bounds arithmetic
+  return r;
+}
+
+void distributeStaticChunked(OmpContext& ctx, uint64_t tripCount,
+                             uint64_t chunk, LoopBodyFn fn, void** args) {
+  if (chunk == 0) chunk = 1;
+  gpusim::ThreadCtx& t = ctx.gpu();
+  const uint64_t team = ctx.teamNum();
+  const uint64_t stride = static_cast<uint64_t>(ctx.numTeams()) * chunk;
+  const Dispatcher& dispatcher = Dispatcher::global();
+  const bool inlined =
+      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
+  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  for (uint64_t base = team * chunk; base < tripCount; base += stride) {
+    const uint64_t end = std::min(base + chunk, tripCount);
+    t.work(3);  // chunk bound arithmetic
+    for (uint64_t iv = base; iv < end; ++iv) {
+      if (!inlined) {
+        dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+      }
+      fn(ctx, iv, args);
+      t.work(2);
+    }
+  }
+}
+
+void syncSimdGroup(OmpContext& ctx) {
+  const LaneMask mask = ctx.simdMask();
+  if (popcount(mask) <= 1) return;
+  // Architectures without warp-level barriers rely on implicit
+  // wavefront lockstep: the rendezvous still happens, but free.
+  ctx.gpu().block().warpBarrier(ctx.gpu(), mask,
+                                /*charged=*/ctx.team().archHasWarpBarrier);
+}
+
+void teamBarrier(OmpContext& ctx) {
+  // A block-wide barrier is only well-defined when every thread of the
+  // block is executing user code: SPMD teams mode, and not inside a
+  // generic-mode parallel region (whose simd workers sit in the warp
+  // state machine and would never arrive).
+  SIMTOMP_CHECK(ctx.team().teamsMode == ExecMode::kSPMD &&
+                    (!ctx.inParallel() || ctx.parallelIsSPMD()),
+                "teamBarrier requires SPMD teams mode outside generic "
+                "parallel regions");
+  ctx.gpu().syncBlock();
+}
+
+bool isMaster(const OmpContext& ctx) {
+  return ctx.threadNum() == 0 && ctx.isSimdGroupLeader();
+}
+
+void single(OmpContext& ctx, OutlinedFn fn, void** args) {
+  SIMTOMP_CHECK(ctx.team().teamsMode == ExecMode::kSPMD &&
+                    ctx.inParallel() && ctx.parallelIsSPMD(),
+                "single requires a full-SPMD parallel region (implicit "
+                "team barrier)");
+  if (isMaster(ctx)) invokeMicrotask(ctx, fn, args);
+  teamBarrier(ctx);  // implicit barrier at the end of single
+}
+
+void critical(OmpContext& ctx, OutlinedFn fn, void** args) {
+  SIMTOMP_CHECK(ctx.inParallel(), "critical requires a parallel region");
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  if (ctx.isSimdGroupLeader()) {
+    // Lock acquire: atomic RMW, then wait out the previous holder.
+    t.chargeAtomic();
+    t.alignTimeTo(ts.criticalReleaseTime);
+    invokeMicrotask(ctx, fn, args);
+    t.chargeAtomic();  // release
+    ts.criticalReleaseTime = t.time();
+  }
+  // In SPMD mode the group's other lanes reached this call too and must
+  // converge with their leader. In generic mode only leaders execute
+  // region code — and they must NOT touch the group barrier here, since
+  // their workers are parked on it inside the simd state machine.
+  if (ctx.parallelIsSPMD()) syncSimdGroup(ctx);
+}
+
+ThreadKind teamStateMachine(OmpContext& ctx) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  for (;;) {
+    t.syncBlock();  // wait for the main thread to publish work
+    t.charge(Counter::kStatePoll, t.cost().statePoll);
+    t.chargeSharedLoad();  // termination flag
+    if (ts.terminate) return ThreadKind::kTerminated;
+    if (t.threadId() < ts.numWorkerThreads) {
+      t.chargeSharedLoad();  // outlined function pointer
+      OutlinedFn fn = ts.parallelFn;
+      t.chargeSharedLoad();  // region config
+      const ParallelConfig cfg = ts.parallelConfig;
+      void** args = nullptr;
+      if (ts.parallelNumArgs > 0) args = ts.sharing->fetchTeamArgs(t);
+      ctx.enterParallel(cfg, ts.numWorkerThreads / cfg.simdGroupSize);
+      executeParallelThread(ctx, fn, args);
+      ctx.exitParallel();
+    }
+    t.syncBlock();  // region complete
+  }
+}
+
+void simdStateMachine(OmpContext& ctx) {
+  do {
+    syncSimdGroup(ctx);  // wait for work
+    if (!runPublishedSimdWork(ctx)) return;  // nullptr fn: end of parallel
+    syncSimdGroup(ctx);
+  } while (true);
+}
+
+void workshareLoopSimd(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount,
+                       void** args) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  uint64_t iv = ctx.simdGroupId();
+  t.chargeLocal();
+  syncSimdGroup(ctx);
+  const uint32_t stride = ctx.simdGroupSize();
+  const Dispatcher& dispatcher = Dispatcher::global();
+  const bool inlined =
+      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
+  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  while (iv < tripCount) {
+    if (!inlined) {
+      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+    }
+    fn(ctx, iv, args);
+    iv += stride;
+    t.work(2);  // induction update + bound check
+  }
+}
+
+void invokeMicrotask(OmpContext& ctx, OutlinedFn fn, void** args) {
+  Dispatcher::global().chargeDispatch(ctx.gpu(),
+                                      reinterpret_cast<const void*>(fn));
+  fn(ctx, args);
+}
+
+void setSimdFn(OmpContext& ctx, void* fn, SimdWorkKind kind,
+               uint64_t tripCount, uint32_t numArgs) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  SimdGroupState& gs = ctx.team().groups[ctx.simdGroup()];
+  gs.kind = kind;
+  gs.simdFn = fn;
+  t.chargeSharedStore();
+  gs.tripCount = tripCount;
+  gs.numArgs = numArgs;
+  t.chargeSharedStore();
+}
+
+double simdLoopReduceAdd(OmpContext& ctx, ReduceBodyF64 fn,
+                         uint64_t tripCount, void** args, uint32_t numArgs) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  TeamState& ts = ctx.team();
+  SIMTOMP_CHECK(ctx.inParallel(), "simd reduction requires parallel");
+  if (ctx.isSimdGroupLeader()) {
+    t.charge(Counter::kSimdLoop, 0);
+    chargeLaneUtilization(ctx, tripCount);
+  }
+
+  if (ctx.parallelIsSPMD()) {
+    const double local = reduceLoopLocal(ctx, fn, tripCount, args);
+    const double total = simdReduceAdd(ctx, local);
+    syncSimdGroup(ctx);
+    return total;
+  }
+
+  SIMTOMP_CHECK(ctx.isSimdGroupLeader(),
+                "generic-mode simd reduction reached by a worker thread");
+  const uint32_t group = ctx.simdGroup();
+  setSimdFn(ctx, reinterpret_cast<void*>(fn), SimdWorkKind::kReduceAddF64,
+            tripCount, numArgs);
+  void** shared_args = args;
+  const bool share = numArgs > 0 && ctx.simdGroupSize() > 1;
+  if (share) {
+    shared_args =
+        ts.sharing->beginSharing(t, group, ctx.numThreads(), numArgs);
+    for (uint32_t i = 0; i < numArgs; ++i) {
+      ts.sharing->storeArg(t, group, shared_args, i, args[i]);
+    }
+    ts.groups[group].args = shared_args;
+    t.chargeSharedStore();
+  }
+  syncSimdGroup(ctx);  // release the workers
+  const double local = reduceLoopLocal(ctx, fn, tripCount, shared_args);
+  const double total = simdReduceAdd(ctx, local);
+  syncSimdGroup(ctx);
+  if (share) ts.sharing->endSharing(t, group);
+  return total;
+}
+
+}  // namespace simtomp::omprt::rt

@@ -1,0 +1,34 @@
+// Worksharing loop schedules.
+//
+// The paper's new loop API (section 7) is meant to grow into the full
+// OpenMP schedule surface; we implement the three classic ones for
+// `for` worksharing across SIMD groups:
+//
+//   kStaticCyclic  — iteration i goes to group i % numGroups (the
+//                    default, matches __simd_loop's lane mapping);
+//   kStaticChunked — contiguous blocks of ceil(trip/numGroups);
+//   kDynamic       — groups pull chunks from a team-shared atomic
+//                    counter. Requires an SPMD parallel region (the
+//                    init/flush protocol needs team barriers, which a
+//                    generic-mode region cannot execute — its workers
+//                    are parked in the warp state machine); in generic
+//                    mode the runtime falls back to static cyclic.
+#pragma once
+
+#include <cstdint>
+
+namespace simtomp::omprt {
+
+enum class ForSchedule : uint8_t {
+  kStaticCyclic,
+  kStaticChunked,
+  kDynamic,
+};
+
+struct ScheduleClause {
+  ForSchedule kind = ForSchedule::kStaticCyclic;
+  /// Chunk size for kDynamic (iterations per grab); 0 = 1.
+  uint64_t chunk = 0;
+};
+
+}  // namespace simtomp::omprt

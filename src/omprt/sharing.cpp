@@ -1,0 +1,144 @@
+#include "omprt/sharing.h"
+
+#include "gpusim/stats.h"
+#include "support/log.h"
+
+namespace simtomp::omprt {
+
+SharingSpace::SharingSpace(gpusim::SharedMemory& shared,
+                           gpusim::DeviceMemory& global, uint32_t bytes,
+                           uint32_t maxGroups)
+    : global_(&global) {
+  base_ = shared.allocate(bytes, alignof(void*));
+  if (base_ == nullptr) {
+    SIMTOMP_WARN("sharing space of %u bytes does not fit in shared memory; "
+                 "all argument staging will overflow to global memory",
+                 bytes);
+    bytes_ = 0;
+  } else {
+    bytes_ = bytes;
+  }
+  team_reserve_ = bytes_ >= 2 * kTeamReserveBytes ? kTeamReserveBytes : 0;
+  groups_.resize(maxGroups == 0 ? 1 : maxGroups);
+}
+
+SharingSpace::~SharingSpace() {
+  auto release = [this](Slot& slot) {
+    if (slot.overflow != gpusim::kNullDevPtr) {
+      SIMTOMP_WARN("sharing-space overflow block leaked at teardown");
+      (void)global_->free(slot.overflow);
+      slot.overflow = gpusim::kNullDevPtr;
+    }
+  };
+  for (Slot& g : groups_) release(g);
+  release(team_slot_);
+}
+
+uint32_t SharingSpace::slotsPerGroup(uint32_t numGroups) const {
+  if (numGroups == 0 || bytes_ <= team_reserve_) return 0;
+  const uint32_t usable = bytes_ - team_reserve_;
+  return (usable / numGroups) / static_cast<uint32_t>(sizeof(void*));
+}
+
+void** SharingSpace::begin(gpusim::ThreadCtx& t, Slot& slot, void** slice,
+                           uint32_t capacity, uint32_t numArgs) {
+  SIMTOMP_CHECK(slot.area == nullptr, "nested beginSharing for one slot");
+  if (numArgs <= capacity && slice != nullptr) {
+    slot.area = slice;
+    return slot.area;
+  }
+  // Overflow: allocate a global-memory block for the argument pointers
+  // (paper section 5.3.1), released at endSharing.
+  auto ptr = global_->allocate(
+      (numArgs == 0 ? 1 : numArgs) * sizeof(void*), alignof(void*));
+  SIMTOMP_CHECK(ptr.isOk(), "global memory exhausted for sharing overflow");
+  slot.overflow = ptr.value();
+  slot.area = reinterpret_cast<void**>(global_->raw(slot.overflow));
+  ++overflow_count_;
+  t.charge(gpusim::Counter::kGlobalAlloc, t.cost().globalAccess * 4);
+  t.charge(gpusim::Counter::kSharingSpaceOverflow, 0);
+  return slot.area;
+}
+
+void SharingSpace::end(gpusim::ThreadCtx& t, Slot& slot) {
+  SIMTOMP_CHECK(slot.area != nullptr, "endSharing without beginSharing");
+  if (slot.overflow != gpusim::kNullDevPtr) {
+    const Status freed = global_->free(slot.overflow);
+    SIMTOMP_CHECK(freed.isOk(), "sharing overflow double free");
+    slot.overflow = gpusim::kNullDevPtr;
+    t.chargeGlobalStore();  // allocator bookkeeping write-back
+  }
+  slot.area = nullptr;
+}
+
+void** SharingSpace::beginSharing(gpusim::ThreadCtx& t, uint32_t group,
+                                  uint32_t numGroups, uint32_t numArgs) {
+  SIMTOMP_CHECK(group < groups_.size() && group < numGroups,
+                "sharing group out of range");
+  const uint32_t capacity = slotsPerGroup(numGroups);
+  void** slice = nullptr;
+  if (capacity > 0) {
+    slice = reinterpret_cast<void**>(
+        base_ + team_reserve_ +
+        static_cast<size_t>(group) * capacity * sizeof(void*));
+  }
+  return begin(t, groups_[group], slice, capacity, numArgs);
+}
+
+void SharingSpace::storeArg(gpusim::ThreadCtx& t, uint32_t group, void** area,
+                            uint32_t index, void* value) {
+  if (overflowed(group)) {
+    t.chargeGlobalStore();
+  } else {
+    t.chargeSharedStore();
+  }
+  t.charge(gpusim::Counter::kPayloadArgCopy, t.cost().payloadArgCopy);
+  area[index] = value;
+}
+
+void** SharingSpace::fetchArgs(gpusim::ThreadCtx& t, uint32_t group) {
+  SIMTOMP_CHECK(group < groups_.size(), "sharing group out of range");
+  const Slot& slot = groups_[group];
+  SIMTOMP_CHECK(slot.area != nullptr, "fetchArgs without beginSharing");
+  if (overflowed(group)) {
+    t.chargeGlobalLoad();
+  } else {
+    t.chargeSharedLoad();
+  }
+  return slot.area;
+}
+
+void SharingSpace::endSharing(gpusim::ThreadCtx& t, uint32_t group) {
+  SIMTOMP_CHECK(group < groups_.size(), "sharing group out of range");
+  end(t, groups_[group]);
+}
+
+bool SharingSpace::overflowed(uint32_t group) const {
+  return groups_[group].overflow != gpusim::kNullDevPtr;
+}
+
+void** SharingSpace::beginTeamSharing(gpusim::ThreadCtx& t,
+                                      uint32_t numArgs) {
+  const uint32_t capacity =
+      team_reserve_ / static_cast<uint32_t>(sizeof(void*));
+  void** slice =
+      team_reserve_ > 0 ? reinterpret_cast<void**>(base_) : nullptr;
+  return begin(t, team_slot_, slice, capacity, numArgs);
+}
+
+void** SharingSpace::fetchTeamArgs(gpusim::ThreadCtx& t) {
+  SIMTOMP_CHECK(team_slot_.area != nullptr,
+                "fetchTeamArgs without beginTeamSharing");
+  if (team_slot_.overflow != gpusim::kNullDevPtr) {
+    t.chargeGlobalLoad();
+  } else {
+    t.chargeSharedLoad();
+  }
+  return team_slot_.area;
+}
+
+void SharingSpace::endTeamSharing(gpusim::ThreadCtx& t) {
+  end(t, team_slot_);
+}
+
+}  // namespace simtomp::omprt

@@ -1,0 +1,97 @@
+// The variable sharing space (paper section 5.3.1).
+//
+// A static slab of GPU shared memory through which main threads pass
+// argument pointers to their workers in generic mode. Originally only
+// the single team main thread wrote to it (1,024 bytes in LLVM); the
+// paper grows it to 2,048 bytes and divides it evenly among the SIMD
+// groups of the current parallel region. A group whose argument list
+// does not fit its slice falls back to a global-memory allocation that
+// is released at the end of the parallel region.
+//
+// Layout: a small reserved region at the front holds the *team* main
+// thread's parallel-region arguments; the remainder is divided evenly
+// among SIMD groups, each slice addressed by pure arithmetic so SPMD
+// threads need no coordination to find their group's slice.
+//
+// All stores/loads through this class charge shared- or global-memory
+// costs on the calling thread, so the cost of generic-mode sharing (and
+// of overflowing the space) is visible in kernel statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/memory.h"
+#include "gpusim/thread.h"
+#include "support/status.h"
+
+namespace simtomp::omprt {
+
+class SharingSpace {
+ public:
+  /// Bytes reserved at the front for team-level parallel args.
+  static constexpr uint32_t kTeamReserveBytes = 128;
+
+  /// Carve `bytes` out of the block's shared memory; `maxGroups` bounds
+  /// the number of simultaneously live SIMD groups (= worker threads,
+  /// since group size >= 1). If the scratchpad cannot fit the request
+  /// the space degenerates to size 0 and everything overflows to global
+  /// memory.
+  SharingSpace(gpusim::SharedMemory& shared, gpusim::DeviceMemory& global,
+               uint32_t bytes, uint32_t maxGroups);
+  ~SharingSpace();
+
+  SharingSpace(const SharingSpace&) = delete;
+  SharingSpace& operator=(const SharingSpace&) = delete;
+
+  [[nodiscard]] uint32_t sizeBytes() const { return bytes_; }
+
+  /// Pointer-slot capacity of one group's slice when the region is
+  /// divided among `numGroups` groups.
+  [[nodiscard]] uint32_t slotsPerGroup(uint32_t numGroups) const;
+
+  // ---- SIMD-group argument staging (generic-SIMD mode) ----
+
+  /// Begin sharing `numArgs` pointers for `group` of `numGroups`.
+  /// Returns the staging area (shared slice or global overflow block)
+  /// and records it so workers can fetch it.
+  void** beginSharing(gpusim::ThreadCtx& t, uint32_t group,
+                      uint32_t numGroups, uint32_t numArgs);
+  /// Store one argument pointer (charges shared or global store).
+  void storeArg(gpusim::ThreadCtx& t, uint32_t group, void** area,
+                uint32_t index, void* value);
+  /// Worker-side: fetch the staging area published for `group`.
+  void** fetchArgs(gpusim::ThreadCtx& t, uint32_t group);
+  /// End sharing; frees the overflow block if one was made.
+  void endSharing(gpusim::ThreadCtx& t, uint32_t group);
+  [[nodiscard]] bool overflowed(uint32_t group) const;
+
+  // ---- Team-level argument staging (generic teams mode) ----
+
+  void** beginTeamSharing(gpusim::ThreadCtx& t, uint32_t numArgs);
+  void** fetchTeamArgs(gpusim::ThreadCtx& t);
+  void endTeamSharing(gpusim::ThreadCtx& t);
+
+  /// Total overflow events since construction (for stats/tests).
+  [[nodiscard]] uint64_t overflowCount() const { return overflow_count_; }
+
+ private:
+  struct Slot {
+    void** area = nullptr;
+    gpusim::DevPtr overflow = gpusim::kNullDevPtr;
+  };
+
+  void** begin(gpusim::ThreadCtx& t, Slot& slot, void** slice,
+               uint32_t capacity, uint32_t numArgs);
+  void end(gpusim::ThreadCtx& t, Slot& slot);
+
+  gpusim::DeviceMemory* global_;
+  std::byte* base_ = nullptr;
+  uint32_t bytes_ = 0;
+  uint32_t team_reserve_ = 0;
+  std::vector<Slot> groups_;
+  Slot team_slot_;
+  uint64_t overflow_count_ = 0;
+};
+
+}  // namespace simtomp::omprt

@@ -1,0 +1,66 @@
+#include "omprt/target.h"
+
+#include <memory>
+
+#include "omprt/runtime.h"
+#include "support/log.h"
+
+namespace simtomp::omprt {
+
+Status TargetConfig::validate(const gpusim::ArchSpec& arch) const {
+  if (numTeams == 0) {
+    return Status::invalidArgument("numTeams must be positive");
+  }
+  if (threadsPerTeam == 0 || threadsPerTeam % arch.warpSize != 0) {
+    return Status::invalidArgument(
+        "threadsPerTeam must be a positive multiple of the warp size");
+  }
+  const uint32_t block_threads =
+      threadsPerTeam +
+      (teamsMode == ExecMode::kGeneric ? arch.warpSize : 0);
+  if (block_threads > arch.maxThreadsPerBlock) {
+    return Status::invalidArgument(
+        "threadsPerTeam (plus the generic-mode main warp) exceeds "
+        "maxThreadsPerBlock");
+  }
+  return Status::ok();
+}
+
+Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
+                                         const TargetConfig& config,
+                                         const TargetRegionFn& region) {
+  const Status valid = config.validate(device.arch());
+  if (!valid.isOk()) return valid;
+
+  gpusim::LaunchConfig launch;
+  launch.numBlocks = config.numTeams;
+  launch.threadsPerBlock =
+      config.threadsPerTeam +
+      (config.teamsMode == ExecMode::kGeneric ? device.arch().warpSize : 0);
+
+  // One TeamState per block; blocks run one at a time, so a single slot
+  // that outlives engine.run() suffices.
+  std::unique_ptr<TeamState> state;
+  const gpusim::BlockSetupHook setup = [&](gpusim::BlockEngine& engine) {
+    auto sharing = std::make_unique<SharingSpace>(
+        engine.sharedMemory(), engine.globalMemory(),
+        config.sharingSpaceBytes, config.threadsPerTeam);
+    state = std::make_unique<TeamState>(
+        config.teamsMode, config.threadsPerTeam, device.arch().warpSize,
+        device.arch().hasWarpLevelBarrier, std::move(sharing));
+    engine.setUserState(state.get());
+  };
+
+  const gpusim::Kernel kernel = [&region](gpusim::ThreadCtx& t) {
+    auto* ts = static_cast<TeamState*>(t.block().userState());
+    SIMTOMP_CHECK(ts != nullptr, "kernel launched without a TeamState");
+    OmpContext ctx(t, *ts);
+    if (rt::targetInit(ctx) == ThreadKind::kTerminated) return;
+    region(ctx);
+    rt::targetDeinit(ctx);
+  };
+
+  return device.launch(launch, kernel, setup);
+}
+
+}  // namespace simtomp::omprt

@@ -1,0 +1,13 @@
+#include "support/lane_mask.h"
+
+namespace simtomp {
+
+std::string maskToString(LaneMask mask, unsigned width) {
+  std::string out = "0b";
+  for (unsigned i = width; i-- > 0;) {
+    out.push_back(laneIn(mask, i) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace simtomp

@@ -1,0 +1,44 @@
+// Lane masks: bit sets over the lanes of a warp/wavefront.
+//
+// A LaneMask is 64 bits wide so the same type serves NVIDIA-style
+// 32-lane warps and AMD-style 64-lane wavefronts (paper section 5.4.1).
+// Bit i set means lane i participates in the operation.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace simtomp {
+
+using LaneMask = uint64_t;
+
+inline constexpr LaneMask kEmptyMask = 0;
+
+/// Mask with lanes [0, width) set. width==64 yields all-ones.
+constexpr LaneMask fullMask(unsigned width) {
+  if (width >= 64) return ~LaneMask{0};
+  return (LaneMask{1} << width) - 1;
+}
+
+/// Mask for the contiguous lane range [lo, lo+width).
+constexpr LaneMask rangeMask(unsigned lo, unsigned width) {
+  return fullMask(width) << lo;
+}
+
+constexpr bool laneIn(LaneMask mask, unsigned lane) {
+  return (mask >> lane) & 1u;
+}
+
+constexpr int popcount(LaneMask mask) { return std::popcount(mask); }
+
+/// Lowest set lane, or -1 when the mask is empty.
+constexpr int lowestLane(LaneMask mask) {
+  if (mask == 0) return -1;
+  return std::countr_zero(mask);
+}
+
+/// "0b0101..." rendering (lane 0 rightmost), width bits.
+std::string maskToString(LaneMask mask, unsigned width);
+
+}  // namespace simtomp

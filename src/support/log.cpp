@@ -1,0 +1,73 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace simtomp {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+std::mutex g_io_mutex;
+
+const char* levelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+void initFromEnv() {
+  if (const char* env = std::getenv("SIMTOMP_LOG")) {
+    g_level.store(parseLogLevel(env), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+LogLevel logLevel() {
+  std::call_once(g_env_once, initFromEnv);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void setLogLevel(LogLevel level) {
+  std::call_once(g_env_once, initFromEnv);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void logLine(LogLevel level, const char* fmt, ...) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[simtomp %s] ", levelTag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace simtomp

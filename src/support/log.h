@@ -1,0 +1,39 @@
+// Minimal leveled logger. Thread-safe at line granularity.
+//
+// The simulator is deliberately quiet by default (kWarn); tests and the
+// benches bump verbosity through setLogLevel or the SIMTOMP_LOG env var
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace simtomp {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+/// Parse "trace"/"debug"/... (case-insensitive); returns kWarn on garbage.
+LogLevel parseLogLevel(std::string_view name);
+
+namespace detail {
+void logLine(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+}  // namespace simtomp
+
+#define SIMTOMP_LOG(level, ...)                              \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::simtomp::logLevel())) {           \
+      ::simtomp::detail::logLine((level), __VA_ARGS__);      \
+    }                                                        \
+  } while (false)
+
+#define SIMTOMP_TRACE(...) SIMTOMP_LOG(::simtomp::LogLevel::kTrace, __VA_ARGS__)
+#define SIMTOMP_DEBUG(...) SIMTOMP_LOG(::simtomp::LogLevel::kDebug, __VA_ARGS__)
+#define SIMTOMP_INFO(...) SIMTOMP_LOG(::simtomp::LogLevel::kInfo, __VA_ARGS__)
+#define SIMTOMP_WARN(...) SIMTOMP_LOG(::simtomp::LogLevel::kWarn, __VA_ARGS__)
+#define SIMTOMP_ERROR(...) SIMTOMP_LOG(::simtomp::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,100 @@
+// Deterministic xoshiro256** RNG plus small distribution helpers.
+//
+// Workload generators (CSR matrices, stencil inputs, ...) must be
+// reproducible across runs and platforms, so we avoid std::mt19937's
+// distribution-implementation variance and keep everything self-contained.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace simtomp {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t nextBelow(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t nextInRange(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double nextDouble(double lo, double hi) {
+    return lo + (hi - lo) * nextDouble();
+  }
+
+  /// Geometric-ish skewed integer in [1, maxValue]: small values common,
+  /// long tail up to maxValue. Used to draw CSR row lengths with the
+  /// "varying sparsity" the paper's sparse_matvec kernel exhibits.
+  uint32_t nextSkewed(uint32_t mean, uint32_t maxValue) {
+    if (maxValue == 0) return 0;
+    double u = nextDouble();
+    // Exponential with the requested mean, clamped to [1, maxValue].
+    double v = -static_cast<double>(mean) * std::log(1.0 - u);
+    if (v < 1.0) v = 1.0;
+    if (v > static_cast<double>(maxValue)) v = static_cast<double>(maxValue);
+    return static_cast<uint32_t>(v);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(nextBelow(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace simtomp

@@ -1,0 +1,33 @@
+#include "support/status.h"
+
+namespace simtomp {
+
+std::string_view statusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::toString() const {
+  if (isOk()) return "OK";
+  std::string out(statusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void checkFailed(const char* file, int line, const char* expr,
+                 const std::string& msg) {
+  std::fprintf(stderr, "SIMTOMP_CHECK failed at %s:%d: %s\n  %s\n", file, line,
+               expr, msg.c_str());
+  std::abort();
+}
+
+}  // namespace simtomp

@@ -1,0 +1,102 @@
+// Lightweight status / result types used across the library.
+//
+// The simulator and runtime prefer to surface configuration and usage
+// errors as recoverable Status values; invariant violations inside the
+// execution engine use SIMTOMP_CHECK (which aborts) because continuing
+// after a broken scheduler invariant would corrupt simulation state.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace simtomp {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode.
+std::string_view statusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status invalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status failedPrecondition(std::string msg) {
+    return {StatusCode::kFailedPrecondition, std::move(msg)};
+  }
+  static Status outOfRange(std::string msg) {
+    return {StatusCode::kOutOfRange, std::move(msg)};
+  }
+  static Status resourceExhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status unimplemented(std::string msg) {
+    return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] bool isOk() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a Status error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool isOk() const {
+    return std::holds_alternative<T>(value_);
+  }
+  [[nodiscard]] const T& value() const& { return std::get<T>(value_); }
+  [[nodiscard]] T& value() & { return std::get<T>(value_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(value_)); }
+  [[nodiscard]] const Status& status() const {
+    static const Status kOk;
+    if (isOk()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+[[noreturn]] void checkFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+
+}  // namespace simtomp
+
+/// Fatal invariant check. Aborts with location info when `cond` is false.
+#define SIMTOMP_CHECK(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::simtomp::checkFailed(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                              \
+  } while (false)

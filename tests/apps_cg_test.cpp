@@ -1,0 +1,203 @@
+// Tests for the CG proxy application and the single/critical constructs
+// it builds on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/cg_solver.h"
+#include "dsl/dsl.h"
+
+namespace simtomp::apps {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Device;
+
+TEST(CgWorkloadTest, PoissonMatrixShape) {
+  const CgWorkload w = generateCgPoisson(4, 1);
+  EXPECT_EQ(w.A.numRows, 16u);
+  // Interior rows have 5 entries, corners 3, edges 4.
+  EXPECT_EQ(w.A.rowLength(0), 3u);    // corner
+  EXPECT_EQ(w.A.rowLength(1), 4u);    // edge
+  EXPECT_EQ(w.A.rowLength(5), 5u);    // interior
+  // Symmetric positive definite: diagonal dominance.
+  for (uint32_t row = 0; row < w.A.numRows; ++row) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (uint32_t k = w.A.rowPtr[row]; k < w.A.rowPtr[row + 1]; ++k) {
+      if (w.A.colIdx[k] == row) {
+        diag = w.A.values[k];
+      } else {
+        off += std::abs(w.A.values[k]);
+      }
+    }
+    EXPECT_GE(diag, off);
+  }
+}
+
+TEST(CgWorkloadTest, MatrixIsSymmetric) {
+  const CgWorkload w = generateCgPoisson(5, 1);
+  auto entry = [&](uint32_t i, uint32_t j) -> double {
+    for (uint32_t k = w.A.rowPtr[i]; k < w.A.rowPtr[i + 1]; ++k) {
+      if (w.A.colIdx[k] == j) return w.A.values[k];
+    }
+    return 0.0;
+  };
+  for (uint32_t i = 0; i < w.A.numRows; ++i) {
+    for (uint32_t k = w.A.rowPtr[i]; k < w.A.rowPtr[i + 1]; ++k) {
+      EXPECT_EQ(entry(i, w.A.colIdx[k]), entry(w.A.colIdx[k], i));
+    }
+  }
+}
+
+TEST(CgSolverTest, ConvergesOnSmallPoisson) {
+  const CgWorkload w = generateCgPoisson(8, 3);
+  Device dev(ArchSpec::testTiny());
+  CgOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  options.simdlen = 4;
+  options.maxIterations = 200;
+  auto result = runCg(dev, w, options);
+  ASSERT_TRUE(result.isOk()) << result.status().toString();
+  EXPECT_TRUE(result.value().converged);
+  EXPECT_TRUE(result.value().verified)
+      << "residual " << result.value().relativeResidual;
+  EXPECT_GT(result.value().iterations, 0u);
+  EXPECT_GT(result.value().kernelLaunches, result.value().iterations * 5);
+  EXPECT_EQ(dev.memory().bytesInUse(), 0u);  // everything released
+}
+
+class CgGroupSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CgGroupSweep, ConvergesAtEveryGroupSize) {
+  const CgWorkload w = generateCgPoisson(6, 5);
+  Device dev(ArchSpec::testTiny());
+  CgOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  options.simdlen = GetParam();
+  auto result = runCg(dev, w, options);
+  ASSERT_TRUE(result.isOk()) << result.status().toString();
+  EXPECT_TRUE(result.value().verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CgGroupSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(CgSolverTest, CycleBreakdownCoversTotal) {
+  const CgWorkload w = generateCgPoisson(6, 7);
+  Device dev(ArchSpec::testTiny());
+  CgOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  auto result = runCg(dev, w, options);
+  ASSERT_TRUE(result.isOk());
+  const CgResult& r = result.value();
+  EXPECT_EQ(r.totalCycles, r.spmvCycles + r.dotCycles + r.axpyCycles);
+  EXPECT_GT(r.spmvCycles, 0u);
+  EXPECT_GT(r.dotCycles, 0u);
+  EXPECT_GT(r.axpyCycles, 0u);
+}
+
+// ---------------- single / critical / master ----------------
+
+TEST(SingleTest, RunsExactlyOncePerTeam) {
+  Device dev(ArchSpec::testTiny());
+  dsl::LaunchSpec spec;
+  spec.numTeams = 3;
+  spec.threadsPerTeam = 64;
+  std::atomic<int> runs{0};
+  auto stats = dsl::target(dev, spec, [&](dsl::OmpContext& ctx) {
+    dsl::parallel(
+        ctx,
+        [&](dsl::OmpContext& inner) {
+          dsl::single(inner, [&](dsl::OmpContext&) { runs++; });
+        },
+        omprt::ParallelConfig{omprt::ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(runs.load(), 3);  // once per team
+}
+
+TEST(SingleTest, ResultVisibleAfterImplicitBarrier) {
+  Device dev(ArchSpec::testTiny());
+  dsl::LaunchSpec spec;
+  spec.numTeams = 1;
+  spec.threadsPerTeam = 64;
+  int value = 0;
+  auto stats = dsl::target(dev, spec, [&](dsl::OmpContext& ctx) {
+    dsl::parallel(
+        ctx,
+        [&](dsl::OmpContext& inner) {
+          dsl::single(inner, [&](dsl::OmpContext&) { value = 42; });
+          // After the implicit barrier every thread must see the value.
+          EXPECT_EQ(value, 42);
+        },
+        omprt::ParallelConfig{omprt::ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+}
+
+TEST(CriticalTest, OneExecutionPerOpenMPThread) {
+  Device dev(ArchSpec::testTiny());
+  dsl::LaunchSpec spec;
+  spec.numTeams = 1;
+  spec.threadsPerTeam = 64;
+  for (omprt::ExecMode mode :
+       {omprt::ExecMode::kSPMD, omprt::ExecMode::kGeneric}) {
+    int counter = 0;  // deliberately non-atomic: critical must protect it
+    auto stats = dsl::target(dev, spec, [&](dsl::OmpContext& ctx) {
+      dsl::parallel(
+          ctx,
+          [&](dsl::OmpContext& inner) {
+            dsl::critical(inner, [&](dsl::OmpContext&) { counter += 1; });
+          },
+          omprt::ParallelConfig{mode, 8});
+    });
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_EQ(counter, 8);  // 8 groups = 8 OpenMP threads
+  }
+}
+
+TEST(CriticalTest, SerializesModeledTime) {
+  // N critical sections of W work must cost at least N*W on the
+  // timeline even though the groups are "parallel".
+  Device dev(ArchSpec::testTiny());
+  dsl::LaunchSpec spec;
+  spec.numTeams = 1;
+  spec.threadsPerTeam = 64;
+  auto stats = dsl::target(dev, spec, [&](dsl::OmpContext& ctx) {
+    dsl::parallel(
+        ctx,
+        [&](dsl::OmpContext& inner) {
+          dsl::critical(inner,
+                        [](dsl::OmpContext& c) { c.gpu().work(1000); });
+        },
+        omprt::ParallelConfig{omprt::ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  // 8 groups serialized: the slowest thread's timeline spans all 8.
+  EXPECT_GE(stats.value().maxThreadCycles, 8u * 1000u);
+}
+
+TEST(MasterTest, ExactlyOneMasterLane) {
+  Device dev(ArchSpec::testTiny());
+  dsl::LaunchSpec spec;
+  spec.numTeams = 2;
+  spec.threadsPerTeam = 64;
+  std::atomic<int> masters{0};
+  auto stats = dsl::target(dev, spec, [&](dsl::OmpContext& ctx) {
+    dsl::parallel(
+        ctx,
+        [&](dsl::OmpContext& inner) {
+          if (dsl::isMaster(inner)) masters++;
+        },
+        omprt::ParallelConfig{omprt::ExecMode::kSPMD, 16});
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(masters.load(), 2);  // one per team
+}
+
+}  // namespace
+}  // namespace simtomp::apps

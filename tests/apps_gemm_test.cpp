@@ -1,0 +1,146 @@
+// Tests for the batched small-GEMM application and the lane-utilization
+// accounting it exercises.
+#include <gtest/gtest.h>
+
+#include "apps/batched_gemm.h"
+#include "dsl/dsl.h"
+
+namespace simtomp::apps {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+
+TEST(BatchedGemmTest, ReferenceIdentity) {
+  // A * I = A.
+  BatchedGemmWorkload w = generateBatchedGemm(3, 4, 5);
+  for (uint64_t item = 0; item < w.batch; ++item) {
+    for (uint32_t i = 0; i < 4; ++i) {
+      for (uint32_t j = 0; j < 4; ++j) {
+        w.b[item * 16 + i * 4 + j] = i == j ? 1.0 : 0.0;
+      }
+    }
+  }
+  const std::vector<double> c = batchedGemmReference(w);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_DOUBLE_EQ(c[i], w.a[i]);
+}
+
+class GemmGroupSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GemmGroupSweep, VerifiesAcrossGroupSizes) {
+  const BatchedGemmWorkload w = generateBatchedGemm(128, 4, 7);
+  Device dev(ArchSpec::testTiny());
+  BatchedGemmOptions options;
+  options.numTeams = 4;
+  options.threadsPerTeam = 64;
+  options.simdlen = GetParam();
+  auto result = runBatchedGemm(dev, w, options);
+  ASSERT_TRUE(result.isOk()) << result.status().toString();
+  EXPECT_TRUE(result.value().verified) << result.value().maxError;
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, GemmGroupSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+TEST(BatchedGemmTest, SpmdParallelModeAlsoVerifies) {
+  const BatchedGemmWorkload w = generateBatchedGemm(64, 6, 9);
+  Device dev(ArchSpec::testTiny());
+  BatchedGemmOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  options.simdlen = 8;
+  options.parallelMode = omprt::ExecMode::kSPMD;
+  auto result = runBatchedGemm(dev, w, options);
+  ASSERT_TRUE(result.isOk());
+  EXPECT_TRUE(result.value().verified);
+}
+
+TEST(BatchedGemmTest, LargerMatricesVerify) {
+  const BatchedGemmWorkload w = generateBatchedGemm(32, 8, 11);
+  Device dev(ArchSpec::testTiny());
+  BatchedGemmOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  options.simdlen = 16;
+  auto result = runBatchedGemm(dev, w, options);
+  ASSERT_TRUE(result.isOk());
+  EXPECT_TRUE(result.value().verified);
+}
+
+// ---------------- Lane-utilization accounting ----------------
+
+TEST(LaneUtilizationTest, ExactForDividingGroup) {
+  // m=4: 16-element inner loop; group 8 divides it exactly: no idle
+  // lane-rounds.
+  const BatchedGemmWorkload w = generateBatchedGemm(64, 4, 3);
+  Device dev(ArchSpec::testTiny());
+  BatchedGemmOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  options.simdlen = 8;
+  auto result = runBatchedGemm(dev, w, options);
+  ASSERT_TRUE(result.isOk());
+  const auto& counters = result.value().stats.counters;
+  EXPECT_EQ(counters.get(Counter::kSimdLaneRounds), 64u * 16u);
+  EXPECT_EQ(counters.get(Counter::kSimdIdleLaneRounds), 0u);
+}
+
+TEST(LaneUtilizationTest, WasteGrowsWithOversizedGroups) {
+  // m=4: 16-element loop on groups of 32 wastes half of every round.
+  const BatchedGemmWorkload w = generateBatchedGemm(64, 4, 3);
+  Device dev(ArchSpec::testTiny());
+  BatchedGemmOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  options.simdlen = 32;
+  auto result = runBatchedGemm(dev, w, options);
+  ASSERT_TRUE(result.isOk());
+  const auto& counters = result.value().stats.counters;
+  EXPECT_EQ(counters.get(Counter::kSimdLaneRounds), 64u * 32u);
+  EXPECT_EQ(counters.get(Counter::kSimdIdleLaneRounds), 64u * 16u);
+}
+
+TEST(LaneUtilizationTest, CeilDivisionRemainder) {
+  // Trip 36 (su3-like) on groups of 8: 5 rounds = 40 lane-rounds, 4
+  // idle. Use a direct simd loop to pin the arithmetic.
+  Device dev(ArchSpec::testTiny());
+  dsl::LaunchSpec spec;
+  spec.numTeams = 1;
+  spec.threadsPerTeam = 32;
+  spec.parallelMode = omprt::ExecMode::kGeneric;
+  spec.simdlen = 8;
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      dev, spec, 4, [&](dsl::OmpContext& ctx, uint64_t) {
+        dsl::simd(ctx, 36, [](dsl::OmpContext& c, uint64_t) {
+          c.gpu().work(1);
+        });
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kSimdLaneRounds), 4u * 40u);
+  EXPECT_EQ(stats.value().counters.get(Counter::kSimdIdleLaneRounds),
+            4u * 4u);
+}
+
+TEST(LaneUtilizationTest, ReductionLoopsAlsoBook) {
+  Device dev(ArchSpec::testTiny());
+  dsl::LaunchSpec spec;
+  spec.numTeams = 1;
+  spec.threadsPerTeam = 32;
+  spec.parallelMode = omprt::ExecMode::kSPMD;
+  spec.simdlen = 16;
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      dev, spec, 2, [&](dsl::OmpContext& ctx, uint64_t) {
+        (void)dsl::simdReduceAdd(ctx, 20, [](dsl::OmpContext&, uint64_t k) {
+          return static_cast<double>(k);
+        });
+      });
+  ASSERT_TRUE(stats.isOk());
+  // 20 iterations on 16 lanes: 2 rounds = 32 lane-rounds, 12 idle.
+  EXPECT_EQ(stats.value().counters.get(Counter::kSimdLaneRounds), 2u * 32u);
+  EXPECT_EQ(stats.value().counters.get(Counter::kSimdIdleLaneRounds),
+            2u * 12u);
+}
+
+}  // namespace
+}  // namespace simtomp::apps

@@ -1,0 +1,221 @@
+// Tests for the DSL extensions: schedule clauses, collapse(2), team
+// reductions, and the omp_* query API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "dsl/dsl.h"
+
+namespace simtomp::dsl {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+using loopir::CanonicalLoop;
+using loopir::CollapsedLoop2;
+
+LaunchSpec spmdSpec(uint32_t threads = 64, uint32_t teams = 1) {
+  LaunchSpec spec;
+  spec.numTeams = teams;
+  spec.threadsPerTeam = threads;
+  return spec;
+}
+
+// ---------------- parallelForSchedule ----------------
+
+TEST(DslScheduleTest, DynamicCoversSkewedWork) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(50);
+  auto stats = target(dev, spmdSpec(), [&](OmpContext& ctx) {
+    parallelForSchedule(
+        ctx, 50,
+        [&hits](OmpContext& c, uint64_t iv) {
+          // Skewed work: later iterations are heavier.
+          c.gpu().work(iv * 3);
+          hits[iv]++;
+        },
+        omprt::ScheduleClause{omprt::ForSchedule::kDynamic, 2},
+        omprt::ParallelConfig{ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 8);  // all 8 lanes of owner
+}
+
+TEST(DslScheduleTest, DynamicBeatsStaticOnSkewedWork) {
+  auto run = [](omprt::ForSchedule kind) {
+    Device dev(ArchSpec::testTiny());
+    auto stats = target(dev, spmdSpec(128), [&](OmpContext& ctx) {
+      parallelForSchedule(
+          ctx, 64,
+          [](OmpContext& c, uint64_t iv) {
+            // The last quarter of the iterations is 40x heavier.
+            c.gpu().work(iv >= 48 ? 2000 : 50);
+          },
+          omprt::ScheduleClause{kind, 2},
+          omprt::ParallelConfig{ExecMode::kSPMD, 32});
+    });
+    EXPECT_TRUE(stats.isOk());
+    return stats.value().cycles;
+  };
+  // Static chunked hands group 3 all sixteen heavy iterations
+  // (~32,000 cycles); dynamic spreads them across the four groups, so
+  // it must win clearly despite its per-grab atomic overhead.
+  const uint64_t dynamic_cycles = run(omprt::ForSchedule::kDynamic);
+  const uint64_t chunked_cycles = run(omprt::ForSchedule::kStaticChunked);
+  EXPECT_LT(dynamic_cycles, chunked_cycles);
+}
+
+// ---------------- collapse(2) ----------------
+
+TEST(DslCollapseTest, SimdCollapse2CoversCrossProduct) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(6 * 7);
+  const CollapsedLoop2 nest(CanonicalLoop::upTo(6), CanonicalLoop::upTo(7));
+  auto stats = targetTeamsDistributeParallelFor(
+      dev,
+      [&] {
+        LaunchSpec spec = spmdSpec();
+        spec.parallelMode = ExecMode::kGeneric;
+        spec.simdlen = 8;
+        return spec;
+      }(),
+      8, [&](OmpContext& ctx, uint64_t) {
+        simdCollapse2(ctx, nest, [&hits](OmpContext&, int64_t i, int64_t j) {
+          hits[static_cast<size_t>(i) * 7 + static_cast<size_t>(j)]++;
+        });
+      });
+  ASSERT_TRUE(stats.isOk());
+  // 8 rows each run the full collapsed nest once.
+  for (auto& h : hits) EXPECT_EQ(h.load(), 8);
+}
+
+TEST(DslCollapseTest, CollapseWithStridedLoopsOnDevice) {
+  Device dev(ArchSpec::testTiny());
+  const CollapsedLoop2 nest(CanonicalLoop::make(10, 0, -4).value(),   // 10,6,2
+                            CanonicalLoop::make(1, 8, 3).value());    // 1,4,7
+  std::mutex m;
+  std::set<std::pair<int64_t, int64_t>> seen;
+  auto stats = target(dev, spmdSpec(32), [&](OmpContext& ctx) {
+    parallelForCollapse2(
+        ctx, nest,
+        [&](OmpContext& c, int64_t i, int64_t j) {
+          if (c.simdGroupId() == 0) {
+            std::lock_guard<std::mutex> lock(m);
+            seen.insert({i, j});
+          }
+        },
+        omprt::ParallelConfig{ExecMode::kSPMD, 4});
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(seen.size(), 9u);
+  EXPECT_EQ(seen.count({10, 1}), 1u);
+  EXPECT_EQ(seen.count({2, 7}), 1u);
+  EXPECT_EQ(seen.count({6, 4}), 1u);
+}
+
+TEST(DslCollapseTest, ParallelForCollapse2SplitsAcrossGroups) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(12 * 5);
+  const CollapsedLoop2 nest(CanonicalLoop::upTo(12), CanonicalLoop::upTo(5));
+  auto stats = target(dev, spmdSpec(64), [&](OmpContext& ctx) {
+    parallelForCollapse2(
+        ctx, nest,
+        [&hits](OmpContext& c, int64_t i, int64_t j) {
+          if (c.simdGroupId() == 0) {
+            hits[static_cast<size_t>(i) * 5 + static_cast<size_t>(j)]++;
+          }
+        },
+        omprt::ParallelConfig{ExecMode::kSPMD, 16});
+  });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------- teamReduceAdd ----------------
+
+TEST(DslReduceTest, FullHierarchicalReduction) {
+  Device dev(ArchSpec::testTiny());
+  double result = 0.0;
+  auto stats = target(dev, spmdSpec(64), [&](OmpContext& ctx) {
+    parallel(
+        ctx,
+        [&result](OmpContext& inner) {
+          // Every device thread contributes exactly 1.0: lanes fold
+          // into groups, groups into the team.
+          const double total = teamReduceAdd(inner, 1.0);
+          if (inner.gpu().threadId() == 0) result = total;
+        },
+        omprt::ParallelConfig{ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_DOUBLE_EQ(result, 64.0);
+}
+
+TEST(DslReduceTest, MatchesSerialDotProduct) {
+  Device dev(ArchSpec::testTiny());
+  constexpr size_t kN = 256;
+  std::vector<double> a(kN);
+  std::vector<double> b(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    a[i] = 0.25 * static_cast<double>(i % 17);
+    b[i] = 1.0 / (1.0 + static_cast<double>(i % 5));
+  }
+  double expected = 0.0;
+  for (size_t i = 0; i < kN; ++i) expected += a[i] * b[i];
+
+  double result = 0.0;
+  auto stats = target(dev, spmdSpec(64), [&](OmpContext& ctx) {
+    parallel(
+        ctx,
+        [&](OmpContext& inner) {
+          // Each lane accumulates a strided slice, then reduce.
+          double local = 0.0;
+          const uint64_t stride = inner.numThreads() * inner.simdGroupSize();
+          const uint64_t start =
+              inner.threadNum() * inner.simdGroupSize() + inner.simdGroupId();
+          for (uint64_t i = start; i < kN; i += stride) {
+            local += a[i] * b[i];
+            inner.gpu().fma();
+          }
+          const double total = teamReduceAdd(inner, local);
+          if (inner.gpu().threadId() == 0) result = total;
+        },
+        omprt::ParallelConfig{ExecMode::kSPMD, 16});
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_NEAR(result, expected, 1e-9);
+}
+
+// ---------------- omp_* API ----------------
+
+TEST(OmpApiTest, QueriesMatchContext) {
+  Device dev(ArchSpec::testTiny());
+  auto stats = target(dev, spmdSpec(64, 3), [&](OmpContext& ctx) {
+    EXPECT_EQ(omprt::ompGetNumTeams(ctx), 3u);
+    EXPECT_LT(omprt::ompGetTeamNum(ctx), 3u);
+    EXPECT_FALSE(omprt::ompInParallel(ctx));
+    EXPECT_EQ(omprt::ompGetNumThreads(ctx), 1u);
+    EXPECT_EQ(omprt::ompGetMaxThreads(ctx), 64u);
+    EXPECT_FALSE(omprt::ompIsInitialDevice());
+    parallel(
+        ctx,
+        [](OmpContext& inner) {
+          EXPECT_TRUE(omprt::ompInParallel(inner));
+          EXPECT_EQ(omprt::ompGetNumThreads(inner), 8u);
+          EXPECT_EQ(omprt::ompGetSimdLen(inner), 8u);
+          EXPECT_EQ(omprt::ompGetThreadNum(inner),
+                    inner.gpu().threadId() / 8);
+          EXPECT_EQ(omprt::ompGetSimdLane(inner),
+                    inner.gpu().threadId() % 8);
+        },
+        omprt::ParallelConfig{ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+}
+
+}  // namespace
+}  // namespace simtomp::dsl

@@ -1,0 +1,205 @@
+// Unit tests for the directive DSL front-end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "dsl/dsl.h"
+
+namespace simtomp::dsl {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+
+LaunchSpec baseSpec() {
+  LaunchSpec spec;
+  spec.numTeams = 2;
+  spec.threadsPerTeam = 64;
+  return spec;
+}
+
+TEST(DslTest, InferSpmdFollowsTightNesting) {
+  EXPECT_EQ(inferSpmd(true), ExecMode::kSPMD);
+  EXPECT_EQ(inferSpmd(false), ExecMode::kGeneric);
+}
+
+TEST(DslTest, LaunchSpecConvertsToConfigs) {
+  LaunchSpec spec = baseSpec();
+  spec.teamsMode = ExecMode::kGeneric;
+  spec.parallelMode = ExecMode::kGeneric;
+  spec.simdlen = 16;
+  spec.sharingSpaceBytes = 1024;
+  const omprt::TargetConfig tc = spec.targetConfig();
+  EXPECT_EQ(tc.teamsMode, ExecMode::kGeneric);
+  EXPECT_EQ(tc.numTeams, 2u);
+  EXPECT_EQ(tc.threadsPerTeam, 64u);
+  EXPECT_EQ(tc.sharingSpaceBytes, 1024u);
+  const omprt::ParallelConfig pc = spec.parallelConfig();
+  EXPECT_EQ(pc.mode, ExecMode::kGeneric);
+  EXPECT_EQ(pc.simdGroupSize, 16u);
+}
+
+TEST(DslTest, TargetRunsRegion) {
+  Device dev(ArchSpec::testTiny());
+  std::atomic<int> runs{0};
+  auto stats = target(dev, baseSpec(), [&](OmpContext&) { runs++; });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(runs.load(), 2 * 64);  // SPMD teams: every thread
+}
+
+TEST(DslTest, TargetTeamsDistributeCoversIterationsOnce) {
+  Device dev(ArchSpec::testTiny());
+  LaunchSpec spec = baseSpec();
+  spec.teamsMode = ExecMode::kGeneric;  // main-only region execution
+  std::vector<std::atomic<int>> hits(50);
+  auto stats = targetTeamsDistribute(
+      dev, spec, 50, [&](OmpContext&, uint64_t iv) { hits[iv]++; });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DslTest, ParallelForSplitsAcrossGroups) {
+  Device dev(ArchSpec::testTiny());
+  LaunchSpec spec = baseSpec();
+  spec.numTeams = 1;
+  spec.parallelMode = ExecMode::kGeneric;
+  spec.simdlen = 8;
+  std::vector<std::atomic<int>> hits(100);
+  auto stats = target(dev, spec, [&](OmpContext& ctx) {
+    parallelFor(
+        ctx, 100, [&hits](OmpContext&, uint64_t iv) { hits[iv]++; },
+        spec.parallelConfig());
+  });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DslTest, CombinedConstructCoversAllIterations) {
+  Device dev(ArchSpec::testTiny());
+  for (ExecMode teams : {ExecMode::kSPMD, ExecMode::kGeneric}) {
+    for (ExecMode par : {ExecMode::kSPMD, ExecMode::kGeneric}) {
+      LaunchSpec spec = baseSpec();
+      spec.teamsMode = teams;
+      spec.parallelMode = par;
+      spec.simdlen = 4;
+      std::vector<std::atomic<int>> hits(77);
+      auto stats = targetTeamsDistributeParallelFor(
+          dev, spec, 77, [&](OmpContext& ctx, uint64_t iv) {
+            if (par == ExecMode::kSPMD) {
+              // Redundant lane execution: count once per group leader.
+              if (ctx.simdGroupId() == 0) hits[iv]++;
+            } else {
+              hits[iv]++;
+            }
+          });
+      ASSERT_TRUE(stats.isOk());
+      for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(DslTest, SimdSplitsIterationsAcrossLanes) {
+  Device dev(ArchSpec::testTiny());
+  LaunchSpec spec = baseSpec();
+  spec.numTeams = 1;
+  spec.parallelMode = ExecMode::kSPMD;
+  spec.simdlen = 8;
+  std::vector<std::atomic<int>> lanes_used(8);
+  auto stats = targetTeamsDistributeParallelFor(
+      dev, spec, 8, [&](OmpContext& ctx, uint64_t) {
+        simd(ctx, 64, [&](OmpContext& inner, uint64_t iv) {
+          // Cyclic schedule: lane l gets iterations iv % 8 == l.
+          EXPECT_EQ(iv % 8, inner.simdGroupId());
+          lanes_used[inner.simdGroupId()]++;
+        });
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& l : lanes_used) EXPECT_GT(l.load(), 0);
+}
+
+TEST(DslTest, GenericSimdGlobalizesBody) {
+  Device dev(ArchSpec::testTiny());
+  LaunchSpec spec = baseSpec();
+  spec.numTeams = 1;
+  spec.parallelMode = ExecMode::kGeneric;
+  spec.simdlen = 8;
+  std::atomic<int> total{0};
+  auto stats = targetTeamsDistributeParallelFor(
+      dev, spec, 8, [&](OmpContext& ctx, uint64_t) {
+        simd(ctx, 8, [&total](OmpContext&, uint64_t) { total++; });
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(total.load(), 64);
+  // Globalizing the body object copies it to shared memory.
+  EXPECT_GT(stats.value().counters.get(Counter::kSharedStore), 0u);
+}
+
+TEST(DslTest, SimdReduceAddMatchesSerialSum) {
+  Device dev(ArchSpec::testTiny());
+  for (ExecMode par : {ExecMode::kSPMD, ExecMode::kGeneric}) {
+    LaunchSpec spec = baseSpec();
+    spec.numTeams = 1;
+    spec.parallelMode = par;
+    spec.simdlen = 16;
+    std::vector<double> sums(64 / 16, 0.0);
+    auto stats = targetTeamsDistributeParallelFor(
+        dev, spec, 64 / 16, [&](OmpContext& ctx, uint64_t iv) {
+          const double s = simdReduceAdd(
+              ctx, 100, [](OmpContext&, uint64_t k) -> double {
+                return static_cast<double>(k + 1);
+              });
+          if (ctx.simdGroupId() == 0) sums[iv] = s;
+        });
+    ASSERT_TRUE(stats.isOk());
+    for (double s : sums) EXPECT_DOUBLE_EQ(s, 5050.0);
+  }
+}
+
+TEST(DslTest, ParallelRunsRegionPerOpenMPThread) {
+  Device dev(ArchSpec::testTiny());
+  LaunchSpec spec = baseSpec();
+  spec.numTeams = 1;
+  std::atomic<int> leaders{0};
+  auto stats = target(dev, spec, [&](OmpContext& ctx) {
+    parallel(
+        ctx, [&leaders](OmpContext&) { leaders++; },
+        omprt::ParallelConfig{ExecMode::kGeneric, 16});
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(leaders.load(), 64 / 16);
+}
+
+TEST(DslTest, UnregisteredBodiesDispatchIndirect) {
+  omprt::Dispatcher::global().clear();
+  Device dev(ArchSpec::testTiny());
+  LaunchSpec spec = baseSpec();
+  spec.numTeams = 1;
+  spec.parallelMode = ExecMode::kSPMD;
+  spec.simdlen = 8;
+  spec.registerInCascade = false;
+  auto stats = targetTeamsDistributeParallelFor(
+      dev, spec, 4,
+      [&](OmpContext& ctx, uint64_t) {
+        simd(
+            ctx, 8, [](OmpContext& c, uint64_t) { c.gpu().work(1); },
+            /*registerInCascade=*/false);
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_GT(stats.value().counters.get(Counter::kDispatchIndirect), 0u);
+  EXPECT_EQ(stats.value().counters.get(Counter::kDispatchCascade), 0u);
+  omprt::Dispatcher::global().clear();
+}
+
+TEST(DslTest, InvalidSpecSurfacesStatus) {
+  Device dev(ArchSpec::testTiny());
+  LaunchSpec spec = baseSpec();
+  spec.threadsPerTeam = 48;  // not a warp multiple
+  auto stats = target(dev, spec, [](OmpContext&) {});
+  ASSERT_FALSE(stats.isOk());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace simtomp::dsl

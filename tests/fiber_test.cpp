@@ -1,0 +1,180 @@
+// Unit tests for the cooperative fiber scheduler.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fiber/fiber.h"
+
+namespace simtomp::fiber {
+namespace {
+
+TEST(FiberTest, RunsSingleFiberToCompletion) {
+  FiberScheduler sched;
+  bool ran = false;
+  sched.spawn([&] { ran = true; });
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.finishedCount(), 1u);
+}
+
+TEST(FiberTest, RunsManyFibersInOrder) {
+  FiberScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sched.spawn([&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(FiberTest, YieldInterleavesRoundRobin) {
+  FiberScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sched.spawn([&sched, &order, i] {
+      order.push_back(i);
+      sched.yield();
+      order.push_back(i + 10);
+    });
+  }
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(FiberTest, BlockAndUnblockAll) {
+  FiberScheduler sched;
+  int tag = 0;
+  std::vector<int> order;
+  // Two waiters and one releaser.
+  for (int i = 0; i < 2; ++i) {
+    sched.spawn([&, i] {
+      sched.block(&tag);
+      order.push_back(i);
+    });
+  }
+  sched.spawn([&] {
+    order.push_back(99);
+    sched.unblockAll(&tag);
+  });
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_EQ(order, (std::vector<int>{99, 0, 1}));
+}
+
+TEST(FiberTest, DeadlockIsDetected) {
+  FiberScheduler sched;
+  int tag = 0;
+  sched.spawn([&] { sched.block(&tag); });  // nobody ever unblocks
+  const Status status = sched.run();
+  ASSERT_FALSE(status.isOk());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("deadlock"), std::string::npos);
+}
+
+TEST(FiberTest, PartialDeadlockReportsBlockedCount) {
+  FiberScheduler sched;
+  int tag = 0;
+  sched.spawn([&] { sched.block(&tag); });
+  sched.spawn([] {});  // finishes fine
+  const Status status = sched.run();
+  ASSERT_FALSE(status.isOk());
+  EXPECT_NE(status.message().find("1 blocked of 2"), std::string::npos);
+}
+
+TEST(FiberTest, ExceptionPropagatesToRun) {
+  FiberScheduler sched;
+  sched.spawn([] { throw std::runtime_error("kernel bug"); });
+  EXPECT_THROW((void)sched.run(), std::runtime_error);
+}
+
+TEST(FiberTest, ManyBlockUnblockRounds) {
+  FiberScheduler sched;
+  int tag = 0;
+  constexpr int kRounds = 50;
+  int counter = 0;
+  sched.spawn([&] {
+    for (int r = 0; r < kRounds; ++r) sched.block(&tag);
+    counter += 1;
+  });
+  sched.spawn([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      sched.unblockAll(&tag);
+      sched.yield();
+    }
+  });
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(FiberTest, CurrentIsNullOffFiber) {
+  FiberScheduler sched;
+  EXPECT_EQ(sched.current(), nullptr);
+}
+
+TEST(FiberTest, FiberIndicesAreDense) {
+  FiberScheduler sched;
+  EXPECT_EQ(sched.spawn([] {}), 0u);
+  EXPECT_EQ(sched.spawn([] {}), 1u);
+  EXPECT_EQ(sched.spawn([] {}), 2u);
+  EXPECT_EQ(sched.fiberCount(), 3u);
+}
+
+TEST(FiberTest, DeepStacksSurviveRecursion) {
+  FiberScheduler sched(256 * 1024);
+  // ~100 frames of recursion with some locals.
+  struct Recurse {
+    static int go(int n) {
+      volatile char pad[512] = {};
+      (void)pad;
+      if (n == 0) return 0;
+      return 1 + go(n - 1);
+    }
+  };
+  int depth = 0;
+  sched.spawn([&] { depth = Recurse::go(100); });
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(FiberTest, LargeFiberCount) {
+  FiberScheduler sched(64 * 1024);
+  constexpr int kFibers = 512;
+  int count = 0;
+  for (int i = 0; i < kFibers; ++i) {
+    sched.spawn([&count] { ++count; });
+  }
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_EQ(count, kFibers);
+}
+
+/// Barrier stress parameterized over participant count.
+class FiberBarrierProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FiberBarrierProperty, AllOrNothingRendezvous) {
+  const int n = GetParam();
+  FiberScheduler sched(64 * 1024);
+  int tag = 0;
+  int arrived = 0;
+  std::vector<int> after;
+  for (int i = 0; i < n; ++i) {
+    sched.spawn([&, i] {
+      ++arrived;
+      if (arrived == n) {
+        sched.unblockAll(&tag);
+      } else {
+        sched.block(&tag);
+      }
+      // By the time anyone proceeds, all must have arrived.
+      EXPECT_EQ(arrived, n);
+      after.push_back(i);
+    });
+  }
+  EXPECT_TRUE(sched.run().isOk());
+  EXPECT_EQ(static_cast<int>(after.size()), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FiberBarrierProperty,
+                         ::testing::Values(2, 3, 8, 32, 64));
+
+}  // namespace
+}  // namespace simtomp::fiber

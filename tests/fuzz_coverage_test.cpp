@@ -1,0 +1,118 @@
+// Randomized (seeded) coverage property: for arbitrary combinations of
+// execution modes, team/thread shapes, group sizes, schedules and trip
+// counts, every loop iteration must execute exactly once per owning
+// unit, and the kernel must terminate cleanly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "dsl/dsl.h"
+#include "support/rng.h"
+
+namespace simtomp::dsl {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Device;
+
+struct FuzzCase {
+  uint64_t seed;
+};
+
+class FuzzCoverage : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzCoverage, RandomConfigurationsCoverAllIterations) {
+  Rng rng(GetParam());
+  Device dev(ArchSpec::testTiny());
+
+  for (int round = 0; round < 6; ++round) {
+    LaunchSpec spec;
+    spec.numTeams = 1 + static_cast<uint32_t>(rng.nextBelow(4));
+    spec.threadsPerTeam = 32 * (1 + static_cast<uint32_t>(rng.nextBelow(4)));
+    spec.teamsMode =
+        rng.nextBelow(2) ? omprt::ExecMode::kGeneric : omprt::ExecMode::kSPMD;
+    spec.parallelMode =
+        rng.nextBelow(2) ? omprt::ExecMode::kGeneric : omprt::ExecMode::kSPMD;
+    spec.simdlen = 1u << rng.nextBelow(6);  // 1..32
+    // Generic teams mode adds an extra warp; keep under testTiny's cap.
+    if (spec.teamsMode == omprt::ExecMode::kGeneric &&
+        spec.threadsPerTeam + 32 > 256) {
+      spec.threadsPerTeam = 224;
+    }
+
+    const uint64_t outer_trip = 1 + rng.nextBelow(100);
+    const uint64_t inner_trip = rng.nextBelow(70);
+
+    std::vector<std::atomic<int>> outer_hits(outer_trip);
+    std::vector<std::atomic<int>> inner_hits(outer_trip * (inner_trip + 1));
+
+    auto stats = targetTeamsDistributeParallelFor(
+        dev, spec, outer_trip, [&](OmpContext& ctx, uint64_t row) {
+          if (ctx.simdGroupId() == 0) outer_hits[row]++;
+          simd(ctx, inner_trip,
+               [&inner_hits, row, inner_trip](OmpContext&, uint64_t k) {
+                 inner_hits[row * (inner_trip + 1) + k]++;
+               });
+        });
+    ASSERT_TRUE(stats.isOk())
+        << stats.status().toString() << " seed=" << GetParam()
+        << " round=" << round;
+
+    for (uint64_t row = 0; row < outer_trip; ++row) {
+      EXPECT_EQ(outer_hits[row].load(), 1)
+          << "row " << row << " teams=" << spec.numTeams
+          << " threads=" << spec.threadsPerTeam
+          << " simdlen=" << spec.simdlen;
+      for (uint64_t k = 0; k < inner_trip; ++k) {
+        EXPECT_EQ(inner_hits[row * (inner_trip + 1) + k].load(), 1)
+            << "row " << row << " k " << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCoverage,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+class FuzzSchedules : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSchedules, RandomScheduleConfigurationsCover) {
+  Rng rng(GetParam());
+  Device dev(ArchSpec::testTiny());
+
+  for (int round = 0; round < 6; ++round) {
+    LaunchSpec spec;
+    spec.numTeams = 1;
+    spec.threadsPerTeam = 32 * (1 + static_cast<uint32_t>(rng.nextBelow(4)));
+    spec.simdlen = 1u << rng.nextBelow(6);
+    const auto kind =
+        static_cast<omprt::ForSchedule>(rng.nextBelow(3));
+    const uint64_t chunk = rng.nextBelow(9);
+    const uint64_t trip = rng.nextBelow(200);
+
+    std::vector<std::atomic<int>> hits(trip + 1);
+    auto stats = target(dev, spec, [&](OmpContext& ctx) {
+      parallelForSchedule(
+          ctx, trip,
+          [&hits](OmpContext& c, uint64_t iv) {
+            if (c.simdGroupId() == 0) hits[iv]++;
+          },
+          omprt::ScheduleClause{kind, chunk},
+          omprt::ParallelConfig{omprt::ExecMode::kSPMD, spec.simdlen});
+    });
+    ASSERT_TRUE(stats.isOk()) << "seed=" << GetParam();
+    for (uint64_t iv = 0; iv < trip; ++iv) {
+      EXPECT_EQ(hits[iv].load(), 1)
+          << "iv=" << iv << " kind=" << static_cast<int>(kind)
+          << " chunk=" << chunk << " simdlen=" << spec.simdlen;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSchedules,
+                         ::testing::Values(5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace simtomp::dsl

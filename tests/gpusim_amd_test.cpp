@@ -1,0 +1,126 @@
+// Wavefront-64 (AMD-style) simulator behaviour: barriers, shuffles and
+// lane masks at 64-wide, plus the uncharged-lockstep barrier mode.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/block.h"
+#include "gpusim/device.h"
+
+namespace simtomp::gpusim {
+namespace {
+
+class AmdBlockTest : public ::testing::Test {
+ protected:
+  AmdBlockTest() : arch_(ArchSpec::amdMI100()), mem_(1 << 20) {}
+
+  std::unique_ptr<BlockEngine> makeBlock(uint32_t threads) {
+    return std::make_unique<BlockEngine>(arch_, cost_, mem_, 0, 1, threads);
+  }
+
+  ArchSpec arch_;
+  CostModel cost_;
+  DeviceMemory mem_;
+};
+
+TEST_F(AmdBlockTest, WavefrontIdentity) {
+  auto block = makeBlock(128);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    EXPECT_EQ(t.warpSize(), 64u);
+                    EXPECT_EQ(t.warpId(), t.threadId() / 64);
+                    EXPECT_EQ(t.laneId(), t.threadId() % 64);
+                  })
+                  .isOk());
+}
+
+TEST_F(AmdBlockTest, FullWavefrontBarrier) {
+  auto block = makeBlock(64);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    t.work(t.laneId());
+                    t.syncWarp(fullMask(64));
+                    EXPECT_GE(t.time(), 63u);
+                  })
+                  .isOk());
+}
+
+TEST_F(AmdBlockTest, HighLaneGroupMasks) {
+  // Groups living entirely in lanes 32..63 (impossible on 32-wide).
+  auto block = makeBlock(64);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const uint32_t group = t.laneId() / 16;
+                    const LaneMask mask = rangeMask(group * 16, 16);
+                    for (int round = 0; round < 3; ++round) {
+                      t.work(group + 1);
+                      t.syncWarp(mask);
+                    }
+                  })
+                  .isOk());
+}
+
+TEST_F(AmdBlockTest, ShuffleAcrossLane32Boundary) {
+  auto block = makeBlock(64);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const uint64_t got =
+                        t.shfl<uint64_t>(t.laneId(), 63, fullMask(64));
+                    EXPECT_EQ(got, 63u);
+                    const uint64_t xored =
+                        t.shflXor<uint64_t>(t.laneId(), 32, fullMask(64));
+                    EXPECT_EQ(xored, t.laneId() ^ 32u);
+                  })
+                  .isOk());
+}
+
+TEST_F(AmdBlockTest, BallotAt64Wide) {
+  auto block = makeBlock(64);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const LaneMask votes =
+                        t.ballot(t.laneId() >= 32, fullMask(64));
+                    EXPECT_EQ(votes, 0xFFFFFFFF00000000u);
+                  })
+                  .isOk());
+}
+
+TEST_F(AmdBlockTest, UnchargedBarrierStillAligns) {
+  auto block = makeBlock(64);
+  std::vector<uint64_t> busy(64);
+  std::vector<uint64_t> times(64);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    t.work(t.laneId() == 0 ? 500 : 1);
+                    block->warpBarrier(t, fullMask(64), /*charged=*/false);
+                    busy[t.laneId()] = t.busy();
+                    times[t.laneId()] = t.time();
+                  })
+                  .isOk());
+  // Lane 5 paid only its own work, but its timeline advanced to the
+  // slow lane's — implicit lockstep costs time, not instructions.
+  EXPECT_EQ(busy[5], cost_.aluOp);
+  EXPECT_EQ(times[5], times[0]);
+}
+
+TEST_F(AmdBlockTest, PartialWavefrontBlock) {
+  // 96 threads: wavefront 1 has only 32 member lanes.
+  auto block = makeBlock(96);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    t.syncWarp(fullMask(64));
+                    t.syncBlock();
+                  })
+                  .isOk());
+}
+
+TEST(AmdDeviceTest, LaunchRequiresWavefrontMultiples) {
+  Device dev(ArchSpec::amdMI100());
+  // 128 threads = 2 wavefronts: fine.
+  EXPECT_TRUE(dev.launch({1, 128}, [](ThreadCtx&) {}).isOk());
+  // Odd thread counts still run (partial last wavefront).
+  EXPECT_TRUE(dev.launch({1, 96}, [](ThreadCtx&) {}).isOk());
+}
+
+}  // namespace
+}  // namespace simtomp::gpusim

@@ -1,0 +1,292 @@
+// Unit tests for BlockEngine: barriers, lockstep timing semantics,
+// shuffle/ballot intrinsics, and block time aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/block.h"
+
+namespace simtomp::gpusim {
+namespace {
+
+class BlockTest : public ::testing::Test {
+ protected:
+  BlockTest() : arch_(ArchSpec::testTiny()), mem_(1 << 20) {}
+
+  std::unique_ptr<BlockEngine> makeBlock(uint32_t threads) {
+    return std::make_unique<BlockEngine>(arch_, cost_, mem_, /*block_id=*/0,
+                                         /*num_blocks=*/1, threads);
+  }
+
+  ArchSpec arch_;
+  CostModel cost_;
+  DeviceMemory mem_;
+};
+
+TEST_F(BlockTest, ThreadIdentity) {
+  auto block = makeBlock(64);
+  std::vector<uint32_t> warps;
+  std::vector<uint32_t> lanes;
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    warps.push_back(t.warpId());
+                    lanes.push_back(t.laneId());
+                    EXPECT_EQ(t.numThreads(), 64u);
+                    EXPECT_EQ(t.blockId(), 0u);
+                    EXPECT_EQ(t.warpSize(), 32u);
+                  })
+                  .isOk());
+  EXPECT_EQ(warps[0], 0u);
+  EXPECT_EQ(warps[33], 1u);
+  EXPECT_EQ(lanes[33], 1u);
+}
+
+TEST_F(BlockTest, BlockBarrierAlignsTimelines) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    // Thread i does i units of work, then a barrier.
+                    t.work(t.threadId() * 10);
+                    t.syncBlock();
+                    // Everyone resumes at the slowest timeline.
+                    EXPECT_GE(t.time(), 31u * 10u * t.cost().aluOp);
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, WarpBarrierOnlyAlignsMaskLanes) {
+  auto block = makeBlock(32);
+  const LaneMask lo = rangeMask(0, 8);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    if (t.laneId() < 8) {
+                      t.work(t.laneId() == 0 ? 1000 : 1);
+                      t.syncWarp(lo);
+                      EXPECT_GE(t.time(), 1000u);
+                    } else {
+                      t.work(1);
+                      EXPECT_LT(t.time(), 100u);
+                    }
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, DisjointGroupBarriersDoNotInterfere) {
+  auto block = makeBlock(32);
+  // Groups of 8: each group syncs independently many times.
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const uint32_t group = t.laneId() / 8;
+                    const LaneMask mask = rangeMask(group * 8, 8);
+                    for (int round = 0; round < 5; ++round) {
+                      t.work(group + 1);  // different speeds per group
+                      t.syncWarp(mask);
+                    }
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, RepeatedBarrierGenerationsAreIsolated) {
+  auto block = makeBlock(32);
+  std::vector<uint64_t> times(32, 0);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const LaneMask all = fullMask(32);
+                    for (int round = 0; round < 20; ++round) {
+                      // Lane 31 is the slow one each round.
+                      t.work(t.laneId() == 31 ? 100 : 1);
+                      t.syncWarp(all);
+                    }
+                    times[t.laneId()] = t.time();
+                  })
+                  .isOk());
+  // All lanes end aligned to the slow lane's accumulated time.
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(times[lane], times[31]);
+  }
+}
+
+TEST_F(BlockTest, MismatchedBarrierMasksDeadlock) {
+  auto block = makeBlock(32);
+  const Status status = block->run([&](ThreadCtx& t) {
+    if (t.laneId() == 0) {
+      t.syncWarp(rangeMask(0, 2));  // expects lane 1 to join; it never does
+    }
+  });
+  ASSERT_FALSE(status.isOk());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BlockTest, PartialLastWarpBarrierWorks) {
+  // 40 threads: last warp has only 8 member lanes.
+  auto block = makeBlock(40);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    // Full-warp mask, but only member lanes participate.
+                    t.syncWarp(fullMask(32));
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, UnchargedBarrierCostsNothing) {
+  auto block = makeBlock(32);
+  std::vector<uint64_t> busy(32, 0);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    block->warpBarrier(t, fullMask(32), /*charged=*/false);
+                    busy[t.laneId()] = t.busy();
+                  })
+                  .isOk());
+  for (uint64_t b : busy) EXPECT_EQ(b, 0u);
+}
+
+TEST_F(BlockTest, ShuffleBroadcast) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const double mine = static_cast<double>(t.laneId());
+                    const double from3 = t.shfl(mine, 3, fullMask(32));
+                    EXPECT_EQ(from3, 3.0);
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, ShuffleDownShiftsWithinMask) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const int mine = static_cast<int>(t.laneId());
+                    const int got = t.shflDown(mine, 1, fullMask(32));
+                    if (t.laneId() < 31) {
+                      EXPECT_EQ(got, mine + 1);
+                    } else {
+                      EXPECT_EQ(got, mine);  // edge lane keeps its own
+                    }
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, ShuffleXorButterflyPartner) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const uint32_t mine = t.laneId();
+                    const uint32_t got = t.shflXor(mine, 4, fullMask(32));
+                    EXPECT_EQ(got, mine ^ 4);
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, ShuffleWithinSubgroupMask) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const uint32_t group = t.laneId() / 8;
+                    const LaneMask mask = rangeMask(group * 8, 8);
+                    const uint32_t base = group * 8;
+                    const uint32_t got = t.shfl(t.laneId(), base, mask);
+                    EXPECT_EQ(got, base);  // group-local broadcast
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, BallotCollectsPredicates) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const LaneMask votes =
+                        t.ballot(t.laneId() % 2 == 0, fullMask(32));
+                    EXPECT_EQ(votes, 0x55555555u);
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, BallotScopedToMask) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    const uint32_t group = t.laneId() / 16;
+                    const LaneMask mask = rangeMask(group * 16, 16);
+                    const LaneMask votes = t.ballot(true, mask);
+                    EXPECT_EQ(votes, mask);
+                  })
+                  .isOk());
+}
+
+TEST_F(BlockTest, BlockTimeIsMaxThreadTimeWhenLatencyBound) {
+  auto block = makeBlock(32);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    if (t.threadId() == 5) t.work(10000);
+                  })
+                  .isOk());
+  EXPECT_EQ(block->maxThreadTime(), 10000u * cost_.aluOp);
+  EXPECT_EQ(block->blockTime(), block->maxThreadTime());
+}
+
+TEST_F(BlockTest, BlockTimeIsIssueBoundWhenAllWarpsBusy) {
+  // testTiny has 2 warp schedulers; 4 warps all doing equal work means
+  // the issue bound (sum/2) exceeds any single timeline.
+  auto block = makeBlock(128);
+  ASSERT_TRUE(block->run([&](ThreadCtx& t) { t.work(1000); }).isOk());
+  const uint64_t warp_busy = 1000 * cost_.aluOp;
+  EXPECT_EQ(block->blockTime(), 4 * warp_busy / 2);
+  EXPECT_EQ(block->busySum(), 128u * warp_busy);
+}
+
+TEST_F(BlockTest, CountersAggregateAcrossThreads) {
+  auto block = makeBlock(64);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    t.chargeGlobalLoad(2);
+                    t.chargeSharedStore();
+                  })
+                  .isOk());
+  EXPECT_EQ(block->counters().get(Counter::kGlobalLoad), 128u);
+  EXPECT_EQ(block->counters().get(Counter::kSharedStore), 64u);
+}
+
+TEST_F(BlockTest, UserStateRoundTrips) {
+  auto block = makeBlock(32);
+  int state = 7;
+  block->setUserState(&state);
+  ASSERT_TRUE(block
+                  ->run([&](ThreadCtx& t) {
+                    auto* s = static_cast<int*>(t.block().userState());
+                    EXPECT_EQ(*s, 7);
+                  })
+                  .isOk());
+}
+
+/// Lockstep-cost property over group sizes: after a masked barrier the
+/// group's timelines agree and equal the slowest member.
+class GroupBarrierProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GroupBarrierProperty, GroupTimelinesConverge) {
+  const uint32_t g = GetParam();
+  ArchSpec arch = ArchSpec::testTiny();
+  CostModel cost;
+  DeviceMemory mem(1 << 20);
+  BlockEngine block(arch, cost, mem, 0, 1, 32);
+  std::vector<uint64_t> times(32, 0);
+  ASSERT_TRUE(block
+                  .run([&](ThreadCtx& t) {
+                    const uint32_t base = (t.laneId() / g) * g;
+                    const LaneMask mask = rangeMask(base, g);
+                    t.work(t.laneId() * 7);
+                    t.syncWarp(mask);
+                    times[t.laneId()] = t.time();
+                  })
+                  .isOk());
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    const uint32_t slowest = (lane / g) * g + (g - 1);
+    EXPECT_EQ(times[lane], times[slowest]) << "lane " << lane;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, GroupBarrierProperty,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+}  // namespace
+}  // namespace simtomp::gpusim

@@ -1,0 +1,250 @@
+// Unit tests for the device memory subsystem: free-list allocator,
+// DeviceMemory, SharedMemory, and the typed span views.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "gpusim/block.h"
+#include "gpusim/device.h"
+#include "gpusim/memory.h"
+#include "support/rng.h"
+
+namespace simtomp::gpusim {
+namespace {
+
+TEST(FreeListAllocatorTest, BasicAllocateFree) {
+  FreeListAllocator alloc(1024);
+  auto a = alloc.allocate(100, 16);
+  ASSERT_TRUE(a.isOk());
+  EXPECT_EQ(a.value() % 16, 0u);
+  EXPECT_EQ(alloc.bytesInUse(), 100u);
+  EXPECT_TRUE(alloc.free(a.value()).isOk());
+  EXPECT_EQ(alloc.bytesInUse(), 0u);
+}
+
+TEST(FreeListAllocatorTest, ZeroBytesRejected) {
+  FreeListAllocator alloc(64);
+  EXPECT_FALSE(alloc.allocate(0, 8).isOk());
+}
+
+TEST(FreeListAllocatorTest, BadAlignmentRejected) {
+  FreeListAllocator alloc(64);
+  EXPECT_FALSE(alloc.allocate(8, 3).isOk());
+  EXPECT_FALSE(alloc.allocate(8, 0).isOk());
+}
+
+TEST(FreeListAllocatorTest, ExhaustionReported) {
+  FreeListAllocator alloc(128);
+  auto a = alloc.allocate(128, 1);
+  ASSERT_TRUE(a.isOk());
+  auto b = alloc.allocate(1, 1);
+  ASSERT_FALSE(b.isOk());
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FreeListAllocatorTest, DoubleFreeDetected) {
+  FreeListAllocator alloc(128);
+  auto a = alloc.allocate(64, 8);
+  ASSERT_TRUE(a.isOk());
+  EXPECT_TRUE(alloc.free(a.value()).isOk());
+  EXPECT_FALSE(alloc.free(a.value()).isOk());
+}
+
+TEST(FreeListAllocatorTest, UnknownFreeDetected) {
+  FreeListAllocator alloc(128);
+  EXPECT_FALSE(alloc.free(12).isOk());
+}
+
+TEST(FreeListAllocatorTest, CoalescingAllowsFullReuse) {
+  FreeListAllocator alloc(256);
+  std::vector<DevPtr> ptrs;
+  for (int i = 0; i < 4; ++i) {
+    auto p = alloc.allocate(64, 1);
+    ASSERT_TRUE(p.isOk());
+    ptrs.push_back(p.value());
+  }
+  // Free out of order; coalescing must restore one 256-byte block.
+  EXPECT_TRUE(alloc.free(ptrs[1]).isOk());
+  EXPECT_TRUE(alloc.free(ptrs[3]).isOk());
+  EXPECT_TRUE(alloc.free(ptrs[0]).isOk());
+  EXPECT_TRUE(alloc.free(ptrs[2]).isOk());
+  auto big = alloc.allocate(256, 1);
+  EXPECT_TRUE(big.isOk());
+}
+
+TEST(FreeListAllocatorTest, AlignmentPaddingIsReusable) {
+  FreeListAllocator alloc(256);
+  auto small = alloc.allocate(4, 1);  // offset 0
+  ASSERT_TRUE(small.isOk());
+  auto aligned = alloc.allocate(64, 64);  // must skip to offset 64
+  ASSERT_TRUE(aligned.isOk());
+  EXPECT_EQ(aligned.value() % 64, 0u);
+  // The padding gap [4,64) must still be allocatable.
+  auto gap = alloc.allocate(32, 4);
+  ASSERT_TRUE(gap.isOk());
+  EXPECT_LT(gap.value(), 64u);
+}
+
+/// Property: randomized allocate/free churn never corrupts bookkeeping
+/// and always recovers the full arena.
+class AllocatorChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorChurnProperty, ChurnAndRecover) {
+  FreeListAllocator alloc(1 << 16);
+  Rng rng(GetParam());
+  std::vector<DevPtr> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.nextBelow(2) == 0) {
+      const size_t bytes = 1 + rng.nextBelow(512);
+      const size_t align = size_t{1} << rng.nextBelow(7);
+      auto p = alloc.allocate(bytes, align);
+      if (p.isOk()) {
+        EXPECT_EQ(p.value() % align, 0u);
+        live.push_back(p.value());
+      }
+    } else {
+      const size_t idx = rng.nextBelow(live.size());
+      EXPECT_TRUE(alloc.free(live[idx]).isOk());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  for (DevPtr p : live) EXPECT_TRUE(alloc.free(p).isOk());
+  EXPECT_EQ(alloc.bytesInUse(), 0u);
+  EXPECT_EQ(alloc.liveAllocations(), 0u);
+  auto full = alloc.allocate(1 << 16, 1);
+  EXPECT_TRUE(full.isOk());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorChurnProperty,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(DeviceMemoryTest, RawAccessRoundTrips) {
+  DeviceMemory mem(4096);
+  auto p = mem.allocate(sizeof(double) * 4, alignof(double));
+  ASSERT_TRUE(p.isOk());
+  auto* d = reinterpret_cast<double*>(mem.raw(p.value()));
+  d[0] = 1.5;
+  d[3] = -2.5;
+  EXPECT_EQ(reinterpret_cast<const double*>(mem.raw(p.value()))[0], 1.5);
+  EXPECT_EQ(reinterpret_cast<const double*>(mem.raw(p.value()))[3], -2.5);
+}
+
+TEST(DeviceMemoryTest, TracksUsage) {
+  DeviceMemory mem(4096);
+  EXPECT_EQ(mem.bytesInUse(), 0u);
+  auto a = mem.allocate(128);
+  auto b = mem.allocate(256);
+  ASSERT_TRUE(a.isOk());
+  ASSERT_TRUE(b.isOk());
+  EXPECT_EQ(mem.bytesInUse(), 384u);
+  EXPECT_EQ(mem.liveAllocations(), 2u);
+  EXPECT_TRUE(mem.free(a.value()).isOk());
+  EXPECT_EQ(mem.bytesInUse(), 256u);
+}
+
+TEST(SharedMemoryTest, AllocateFreeReuse) {
+  SharedMemory shared(1024);
+  std::byte* a = shared.allocate(512, 16);
+  ASSERT_NE(a, nullptr);
+  std::byte* b = shared.allocate(512, 16);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(shared.allocate(16, 16), nullptr);  // full
+  EXPECT_TRUE(shared.free(a).isOk());
+  std::byte* c = shared.allocate(256, 16);
+  EXPECT_NE(c, nullptr);
+  EXPECT_TRUE(shared.free(b).isOk());
+  EXPECT_TRUE(shared.free(c).isOk());
+  EXPECT_EQ(shared.used(), 0u);
+}
+
+TEST(SharedMemoryTest, ForeignPointerRejected) {
+  SharedMemory shared(256);
+  std::byte local;
+  EXPECT_FALSE(shared.free(&local).isOk());
+}
+
+// ---- Typed spans charge the cost model ----
+
+class SpanChargingTest : public ::testing::Test {
+ protected:
+  SpanChargingTest()
+      : arch_(ArchSpec::testTiny()),
+        mem_(1 << 20),
+        block_(arch_, cost_, mem_, 0, 1, 32) {}
+
+  ArchSpec arch_;
+  CostModel cost_;
+  DeviceMemory mem_;
+  BlockEngine block_;
+};
+
+TEST_F(SpanChargingTest, GlobalGetChargesGlobalLoad) {
+  double storage[4] = {1, 2, 3, 4};
+  GlobalSpan<double> span(storage, 4);
+  uint64_t cycles = 0;
+  uint64_t loads = 0;
+  block_.scheduler().spawn([&] {
+    ThreadCtx& t = block_.thread(0);
+    EXPECT_EQ(span.get(t, 2), 3.0);
+    cycles = t.busy();
+    loads = t.counters().get(Counter::kGlobalLoad);
+  });
+  // Run only thread 0's fiber through a direct scheduler run.
+  ASSERT_TRUE(block_.scheduler().run().isOk());
+  EXPECT_EQ(cycles, cost_.globalAccess);
+  EXPECT_EQ(loads, 1u);
+}
+
+TEST_F(SpanChargingTest, GlobalSetAndAtomicCharge) {
+  double storage[2] = {0, 0};
+  GlobalSpan<double> span(storage, 2);
+  block_.scheduler().spawn([&] {
+    ThreadCtx& t = block_.thread(0);
+    span.set(t, 0, 5.0);
+    EXPECT_EQ(span.atomicAdd(t, 0, 2.0), 5.0);
+    EXPECT_EQ(span.raw(0), 7.0);
+    EXPECT_EQ(t.counters().get(Counter::kGlobalStore), 1u);
+    EXPECT_EQ(t.counters().get(Counter::kAtomicRmw), 1u);
+    EXPECT_EQ(t.busy(), cost_.globalAccess + cost_.atomicRmw);
+  });
+  ASSERT_TRUE(block_.scheduler().run().isOk());
+}
+
+TEST_F(SpanChargingTest, SharedSpanCharges) {
+  double storage[2] = {0, 0};
+  SharedSpan<double> span(storage, 2);
+  block_.scheduler().spawn([&] {
+    ThreadCtx& t = block_.thread(0);
+    span.set(t, 1, 9.0);
+    EXPECT_EQ(span.get(t, 1), 9.0);
+    EXPECT_EQ(t.counters().get(Counter::kSharedStore), 1u);
+    EXPECT_EQ(t.counters().get(Counter::kSharedLoad), 1u);
+    EXPECT_EQ(t.busy(), 2 * cost_.sharedAccess);
+  });
+  ASSERT_TRUE(block_.scheduler().run().isOk());
+}
+
+TEST(GlobalSpanTest, SubspanViewsSameStorage) {
+  double storage[8] = {};
+  GlobalSpan<double> span(storage, 8);
+  auto sub = span.subspan(2, 4);
+  EXPECT_EQ(sub.size(), 4u);
+  sub.raw(0) = 42.0;
+  EXPECT_EQ(storage[2], 42.0);
+}
+
+TEST(DeviceTest, AllocateArrayReturnsTypedView) {
+  Device dev(ArchSpec::testTiny(), CostModel{}, 1 << 20);
+  auto arr = dev.allocateArray<uint32_t>(100);
+  ASSERT_TRUE(arr.isOk());
+  EXPECT_EQ(arr.value().size(), 100u);
+  arr.value().raw(99) = 7;
+  EXPECT_EQ(arr.value().raw(99), 7u);
+  EXPECT_TRUE(dev.freeArray(arr.value().data()).isOk());
+  EXPECT_EQ(dev.memory().bytesInUse(), 0u);
+}
+
+}  // namespace
+}  // namespace simtomp::gpusim

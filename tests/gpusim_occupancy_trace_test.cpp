@@ -1,0 +1,153 @@
+// Tests for occupancy calculation and the chrome-trace recorder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "gpusim/device.h"
+#include "gpusim/occupancy.h"
+#include "gpusim/trace.h"
+
+namespace simtomp::gpusim {
+namespace {
+
+TEST(OccupancyTest, ThreadBoundOnly) {
+  const ArchSpec arch = ArchSpec::nvidiaA100();  // 2048 threads/SM
+  const OccupancyInfo info = computeOccupancy(arch, 256, 0);
+  EXPECT_EQ(info.warpsPerBlock, 8u);
+  EXPECT_EQ(info.blocksPerSmByThreads, 8u);
+  EXPECT_EQ(info.residentBlocksPerSm, 8u);
+  EXPECT_DOUBLE_EQ(info.warpOccupancy, 1.0);
+}
+
+TEST(OccupancyTest, SharedMemoryBound) {
+  const ArchSpec arch = ArchSpec::nvidiaA100();  // 164 KiB/SM
+  const OccupancyInfo info = computeOccupancy(arch, 128, 48 * 1024);
+  EXPECT_EQ(info.blocksPerSmByThreads, 16u);
+  EXPECT_EQ(info.blocksPerSmByShared, 3u);
+  EXPECT_EQ(info.residentBlocksPerSm, 3u);
+  // 3 blocks * 4 warps / 64 max warps.
+  EXPECT_NEAR(info.warpOccupancy, 12.0 / 64.0, 1e-12);
+}
+
+TEST(OccupancyTest, UnlaunchableShapeIsZero) {
+  const ArchSpec arch = ArchSpec::testTiny();
+  EXPECT_EQ(computeOccupancy(arch, 0, 0).residentBlocksPerSm, 0u);
+  EXPECT_EQ(computeOccupancy(arch, 100000, 0).residentBlocksPerSm, 0u);
+}
+
+TEST(OccupancyTest, PartialWarpRoundsUp) {
+  const ArchSpec arch = ArchSpec::nvidiaA100();
+  EXPECT_EQ(computeOccupancy(arch, 40, 0).warpsPerBlock, 2u);
+}
+
+TEST(OccupancyTest, KernelStatsCarryOccupancy) {
+  Device dev(ArchSpec::testTiny());  // 512 threads/SM
+  auto stats = dev.launch({2, 128}, [](ThreadCtx& t) {
+    // Touch shared memory so peak usage is non-zero.
+    if (t.threadId() == 0) {
+      (void)t.block().sharedMemory().allocate(1024, 16);
+    }
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_GE(stats.value().peakSharedBytes, 1024u);
+  EXPECT_EQ(stats.value().occupancy.threadsPerBlock, 128u);
+  EXPECT_EQ(stats.value().occupancy.blocksPerSmByThreads, 4u);
+  EXPECT_GT(stats.value().occupancy.warpOccupancy, 0.0);
+}
+
+TEST(OccupancyTest, MoreSharedUsageLowersOccupancy) {
+  const ArchSpec arch = ArchSpec::nvidiaA100();
+  const double lean = computeOccupancy(arch, 128, 1024).warpOccupancy;
+  const double fat = computeOccupancy(arch, 128, 40 * 1024).warpOccupancy;
+  EXPECT_GT(lean, fat);
+}
+
+// ---------------- TraceRecorder ----------------
+
+TEST(TraceTest, RecordsBlockAndKernelEvents) {
+  Device dev(ArchSpec::testTiny());
+  TraceRecorder trace;
+  dev.setTraceRecorder(&trace);
+  auto stats = dev.launch({3, 32}, [](ThreadCtx& t) { t.work(10); });
+  ASSERT_TRUE(stats.isOk());
+  ASSERT_EQ(trace.size(), 4u);  // 3 blocks + 1 kernel span
+  int kernel_events = 0;
+  for (const auto& e : trace.events()) {
+    if (e.track == TraceRecorder::kKernelTrack) {
+      ++kernel_events;
+      EXPECT_EQ(e.durationCycles, stats.value().cycles);
+    } else {
+      EXPECT_LT(e.track, dev.arch().numSMs);
+      EXPECT_GT(e.durationCycles, 0u);
+    }
+  }
+  EXPECT_EQ(kernel_events, 1);
+  dev.setTraceRecorder(nullptr);
+}
+
+TEST(TraceTest, BlockSpansDoNotOverlapPerSm) {
+  Device dev(ArchSpec::testTiny());  // 2 SMs
+  TraceRecorder trace;
+  dev.setTraceRecorder(&trace);
+  auto stats = dev.launch({6, 32}, [](ThreadCtx& t) { t.work(100); });
+  ASSERT_TRUE(stats.isOk());
+  // Per SM, spans must be sequential and non-overlapping.
+  for (uint32_t sm = 0; sm < 2; ++sm) {
+    uint64_t cursor = 0;
+    for (const auto& e : trace.events()) {
+      if (e.track != sm) continue;
+      EXPECT_GE(e.startCycle, cursor);
+      cursor = e.startCycle + e.durationCycles;
+    }
+  }
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormed) {
+  TraceRecorder trace;
+  trace.recordBlock(0, 1, 0, 50);
+  trace.recordKernel("k", 60);
+  std::ostringstream out;
+  trace.writeChromeJson(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"block 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 60"), std::string::npos);
+  // Six fields per event (5 commas each) plus one separator.
+  EXPECT_EQ(std::count(json.begin(), json.end(), ','),
+            static_cast<long>(2 * 5 + 1));
+}
+
+TEST(TraceTest, WriteToFileAndClear) {
+  TraceRecorder trace;
+  trace.recordKernel("k", 10);
+  const std::string path = "/tmp/simtomp_trace_test.json";
+  ASSERT_TRUE(trace.writeChromeJson(path).isOk());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"name\": \"k\""), std::string::npos);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceTest, BadPathFails) {
+  TraceRecorder trace;
+  EXPECT_FALSE(trace.writeChromeJson("/nonexistent-dir/x.json").isOk());
+}
+
+TEST(TraceTest, MultipleKernelsAccumulate) {
+  Device dev(ArchSpec::testTiny());
+  TraceRecorder trace;
+  dev.setTraceRecorder(&trace);
+  ASSERT_TRUE(dev.launch({1, 32}, [](ThreadCtx&) {}).isOk());
+  ASSERT_TRUE(dev.launch({1, 32}, [](ThreadCtx&) {}).isOk());
+  // 2 kernels x (1 block + 1 kernel span).
+  EXPECT_EQ(trace.size(), 4u);
+}
+
+}  // namespace
+}  // namespace simtomp::gpusim

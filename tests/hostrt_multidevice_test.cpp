@@ -1,0 +1,124 @@
+// Multi-device host runtime and transfer-model tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "hostrt/device_manager.h"
+
+namespace simtomp::hostrt {
+namespace {
+
+using gpusim::ArchSpec;
+
+omprt::TargetConfig tinyConfig(uint32_t threads = 64) {
+  omprt::TargetConfig config;
+  config.teamsMode = omprt::ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = threads;
+  return config;
+}
+
+TEST(DeviceManagerTest, EnumeratesDevices) {
+  DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::amdMI100()});
+  EXPECT_EQ(mgr.numDevices(), 2u);
+  EXPECT_EQ(mgr.device(0).arch().vendor, gpusim::Vendor::kNvidia);
+  EXPECT_EQ(mgr.device(1).arch().vendor, gpusim::Vendor::kAmd);
+}
+
+TEST(DeviceManagerTest, LaunchOnSelectsDevice) {
+  DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::amdMI100()});
+  uint32_t warp_size_seen = 0;
+  auto stats = mgr.launchOn(1, tinyConfig(128),
+                            [&](omprt::OmpContext& ctx) {
+                              if (ctx.gpu().threadId() == 0) {
+                                warp_size_seen = ctx.gpu().warpSize();
+                              }
+                            });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(warp_size_seen, 64u);  // ran on the AMD-like device
+}
+
+TEST(DeviceManagerTest, OutOfRangeDeviceFails) {
+  DeviceManager mgr({ArchSpec::testTiny()});
+  auto stats = mgr.launchOn(3, tinyConfig(), [](omprt::OmpContext&) {});
+  ASSERT_FALSE(stats.isOk());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceManagerTest, PerDeviceDataEnvironmentsAreIndependent) {
+  DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::testTiny()});
+  std::vector<double> host{1.0, 2.0};
+  ASSERT_TRUE(
+      mgr.dataEnv(0).mapEnter(std::span<double>(host), MapType::kTo).isOk());
+  EXPECT_TRUE(mgr.dataEnv(0).isPresent(host.data()));
+  EXPECT_FALSE(mgr.dataEnv(1).isPresent(host.data()));
+  ASSERT_TRUE(
+      mgr.dataEnv(0).mapExit(std::span<double>(host), MapType::kTo).isOk());
+}
+
+TEST(DeviceManagerTest, AsyncFanOutAcrossDevices) {
+  DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::testTiny()});
+  std::atomic<int> runs{0};
+  std::vector<std::future<Result<gpusim::KernelStats>>> futures;
+  for (size_t dev = 0; dev < 2; ++dev) {
+    for (int k = 0; k < 3; ++k) {
+      futures.push_back(mgr.launchOnAsync(
+          dev, tinyConfig(32), [&](omprt::OmpContext&) { runs++; }));
+    }
+  }
+  mgr.drainAll();
+  for (auto& f : futures) ASSERT_TRUE(f.get().isOk());
+  EXPECT_EQ(runs.load(), 2 * 3 * 32);
+}
+
+// ---------------- TransferModel ----------------
+
+TEST(TransferModelTest, CyclesFormula) {
+  TransferModel model;
+  model.latencyCycles = 100;
+  model.cyclesPerKilobyte = 10;
+  EXPECT_EQ(model.cyclesFor(0), 100u);
+  EXPECT_EQ(model.cyclesFor(1024), 110u);
+  EXPECT_EQ(model.cyclesFor(10 * 1024), 200u);
+}
+
+TEST(TransferModelTest, DataEnvAccumulatesTransferCycles) {
+  gpusim::Device dev(ArchSpec::testTiny());
+  TransferModel model;
+  model.latencyCycles = 1000;
+  model.cyclesPerKilobyte = 100;
+  DataEnvironment env(dev, model);
+  std::vector<double> host(1024, 1.0);  // 8 KiB
+  ASSERT_TRUE(env.mapEnter(std::span<double>(host), MapType::kToFrom).isOk());
+  EXPECT_EQ(env.stats().transferCycles, 1000u + 800u);
+  ASSERT_TRUE(env.mapExit(std::span<double>(host), MapType::kToFrom).isOk());
+  EXPECT_EQ(env.stats().transferCycles, 2 * (1000u + 800u));
+}
+
+TEST(TransferModelTest, SmallTransfersAreLatencyBound) {
+  gpusim::Device dev(ArchSpec::testTiny());
+  DataEnvironment env(dev);
+  std::vector<double> tiny_buffer(1, 1.0);
+  ASSERT_TRUE(
+      env.mapEnter(std::span<double>(tiny_buffer), MapType::kTo).isOk());
+  const uint64_t one = env.stats().transferCycles;
+  ASSERT_TRUE(env.updateTo(tiny_buffer.data()).isOk());
+  // Two 8-byte transfers: cost dominated by the fixed latency.
+  EXPECT_NEAR(static_cast<double>(env.stats().transferCycles),
+              2.0 * static_cast<double>(one), 2.0);
+  ASSERT_TRUE(env.mapExit(std::span<double>(tiny_buffer), MapType::kTo).isOk());
+}
+
+TEST(TransferModelTest, AllocMapsCostNoTransferCycles) {
+  gpusim::Device dev(ArchSpec::testTiny());
+  DataEnvironment env(dev);
+  std::vector<double> host(256, 0.0);
+  ASSERT_TRUE(env.mapEnter(std::span<double>(host), MapType::kAlloc).isOk());
+  EXPECT_EQ(env.stats().transferCycles, 0u);
+  ASSERT_TRUE(env.mapExit(std::span<double>(host), MapType::kAlloc).isOk());
+  EXPECT_EQ(env.stats().transferCycles, 0u);
+}
+
+}  // namespace
+}  // namespace simtomp::hostrt

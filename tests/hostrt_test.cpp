@@ -1,0 +1,214 @@
+// Unit tests for the host runtime: the target-data environment
+// (present table, refcounts, copy direction) and async target tasks.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hostrt/async.h"
+#include "hostrt/data_env.h"
+
+namespace simtomp::hostrt {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Device;
+
+class DataEnvTest : public ::testing::Test {
+ protected:
+  DataEnvTest() : dev_(ArchSpec::testTiny()), env_(dev_) {}
+
+  Device dev_;
+  DataEnvironment env_;
+};
+
+TEST_F(DataEnvTest, MapToCopiesIn) {
+  std::vector<double> host{1, 2, 3, 4};
+  ASSERT_TRUE(env_.mapEnter(std::span<double>(host), MapType::kTo).isOk());
+  auto dev = env_.deviceSpan(host.data());
+  ASSERT_TRUE(dev.isOk());
+  EXPECT_EQ(dev.value().size(), 4u);
+  EXPECT_EQ(dev.value().raw(2), 3.0);
+  EXPECT_EQ(env_.stats().bytesToDevice, 4 * sizeof(double));
+  ASSERT_TRUE(env_.mapExit(std::span<double>(host), MapType::kTo).isOk());
+  EXPECT_FALSE(env_.isPresent(host.data()));
+}
+
+TEST_F(DataEnvTest, MapFromCopiesBackOnExit) {
+  std::vector<double> host(4, 0.0);
+  ASSERT_TRUE(env_.mapEnter(std::span<double>(host), MapType::kFrom).isOk());
+  env_.deviceSpan(host.data()).value().raw(1) = 7.5;
+  ASSERT_TRUE(env_.mapExit(std::span<double>(host), MapType::kFrom).isOk());
+  EXPECT_EQ(host[1], 7.5);
+  EXPECT_EQ(env_.stats().bytesFromDevice, 4 * sizeof(double));
+}
+
+TEST_F(DataEnvTest, AllocDoesNotCopyEitherWay) {
+  std::vector<double> host{9, 9};
+  ASSERT_TRUE(env_.mapEnter(std::span<double>(host), MapType::kAlloc).isOk());
+  // Device storage is zeroed, not copied from host.
+  EXPECT_EQ(env_.deviceSpan(host.data()).value().raw(0), 0.0);
+  ASSERT_TRUE(env_.mapExit(std::span<double>(host), MapType::kAlloc).isOk());
+  EXPECT_EQ(host[0], 9.0);
+  EXPECT_EQ(env_.stats().bytesToDevice, 0u);
+  EXPECT_EQ(env_.stats().bytesFromDevice, 0u);
+}
+
+TEST_F(DataEnvTest, RefCountingSkipsInnerCopies) {
+  std::vector<double> host{1, 2};
+  ASSERT_TRUE(env_.mapEnter(std::span<double>(host), MapType::kToFrom).isOk());
+  ASSERT_TRUE(env_.mapEnter(std::span<double>(host), MapType::kToFrom).isOk());
+  EXPECT_EQ(env_.stats().transfersToDevice, 1u);  // second enter: refcount
+  env_.deviceSpan(host.data()).value().raw(0) = 42.0;
+  ASSERT_TRUE(env_.mapExit(std::span<double>(host), MapType::kToFrom).isOk());
+  EXPECT_EQ(host[0], 1.0);  // not yet: refcount still positive
+  ASSERT_TRUE(env_.mapExit(std::span<double>(host), MapType::kToFrom).isOk());
+  EXPECT_EQ(host[0], 42.0);  // last exit copies back
+}
+
+TEST_F(DataEnvTest, RemapWithDifferentExtentRejected) {
+  std::vector<double> host(8);
+  ASSERT_TRUE(env_.mapEnter(host.data(), 64, MapType::kTo).isOk());
+  EXPECT_FALSE(env_.mapEnter(host.data(), 32, MapType::kTo).isOk());
+  ASSERT_TRUE(env_.mapExit(host.data(), MapType::kTo).isOk());
+}
+
+TEST_F(DataEnvTest, ExitOfUnmappedPointerFails) {
+  int x = 0;
+  EXPECT_FALSE(env_.mapExit(&x, MapType::kFrom).isOk());
+}
+
+TEST_F(DataEnvTest, NullOrEmptyMapRejected) {
+  EXPECT_FALSE(env_.mapEnter(nullptr, 16, MapType::kTo).isOk());
+  int x = 0;
+  EXPECT_FALSE(env_.mapEnter(&x, 0, MapType::kTo).isOk());
+}
+
+TEST_F(DataEnvTest, UpdateToAndFrom) {
+  std::vector<double> host{1, 2};
+  ASSERT_TRUE(env_.mapEnter(std::span<double>(host), MapType::kTo).isOk());
+  host[0] = 100.0;
+  ASSERT_TRUE(env_.updateTo(host.data()).isOk());
+  EXPECT_EQ(env_.deviceSpan(host.data()).value().raw(0), 100.0);
+  env_.deviceSpan(host.data()).value().raw(1) = -5.0;
+  ASSERT_TRUE(env_.updateFrom(host.data()).isOk());
+  EXPECT_EQ(host[1], -5.0);
+  ASSERT_TRUE(env_.mapExit(std::span<double>(host), MapType::kTo).isOk());
+}
+
+TEST_F(DataEnvTest, UpdateOfUnmappedPointerFails) {
+  int x = 0;
+  EXPECT_FALSE(env_.updateTo(&x).isOk());
+  EXPECT_FALSE(env_.updateFrom(&x).isOk());
+}
+
+TEST_F(DataEnvTest, DeviceSpanOfUnmappedPointerFails) {
+  int x = 0;
+  EXPECT_FALSE(env_.deviceSpan(&x).isOk());
+}
+
+TEST_F(DataEnvTest, MappedSpanRaii) {
+  std::vector<double> host{3, 1, 4};
+  {
+    MappedSpan<double> mapped(env_, host, MapType::kToFrom);
+    ASSERT_TRUE(mapped.status().isOk());
+    EXPECT_TRUE(env_.isPresent(host.data()));
+    mapped.device().raw(0) = 30.0;
+  }
+  EXPECT_FALSE(env_.isPresent(host.data()));
+  EXPECT_EQ(host[0], 30.0);
+}
+
+TEST_F(DataEnvTest, ManyMappingsCoexist) {
+  std::vector<std::vector<double>> arrays(10, std::vector<double>(16, 1.0));
+  for (auto& a : arrays) {
+    ASSERT_TRUE(env_.mapEnter(std::span<double>(a), MapType::kTo).isOk());
+  }
+  EXPECT_EQ(env_.presentCount(), 10u);
+  for (auto& a : arrays) {
+    ASSERT_TRUE(env_.mapExit(std::span<double>(a), MapType::kTo).isOk());
+  }
+  EXPECT_EQ(env_.presentCount(), 0u);
+  EXPECT_EQ(dev_.memory().bytesInUse(), 0u);
+}
+
+// ---------------- Async target tasks ----------------
+
+omprt::TargetConfig tinyConfig() {
+  omprt::TargetConfig config;
+  config.teamsMode = omprt::ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = 32;
+  return config;
+}
+
+TEST(AsyncTest, EnqueueRunsTask) {
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  std::atomic<int> runs{0};
+  auto future = queue.enqueue(tinyConfig(),
+                              [&](omprt::OmpContext&) { runs++; });
+  auto result = future.get();
+  ASSERT_TRUE(result.isOk());
+  EXPECT_EQ(runs.load(), 32);
+}
+
+TEST(AsyncTest, TasksRunInFifoOrder) {
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  std::mutex m;
+  std::vector<int> order;
+  std::vector<std::future<Result<gpusim::KernelStats>>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(queue.enqueue(tinyConfig(), [&, i](omprt::OmpContext& ctx) {
+      if (ctx.gpu().threadId() == 0) {
+        std::lock_guard<std::mutex> lock(m);
+        order.push_back(i);
+      }
+    }));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().isOk());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(AsyncTest, DrainWaitsForCompletion) {
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 3; ++i) {
+    (void)queue.enqueue(tinyConfig(), [&](omprt::OmpContext& ctx) {
+      ctx.gpu().work(10);
+      runs++;
+    });
+  }
+  queue.drain();
+  EXPECT_EQ(runs.load(), 3 * 32);
+  EXPECT_EQ(queue.pendingTasks(), 0u);
+  EXPECT_EQ(queue.completedTasks(), 3u);
+}
+
+TEST(AsyncTest, InvalidConfigSurfacesThroughFuture) {
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  omprt::TargetConfig bad = tinyConfig();
+  bad.threadsPerTeam = 7;  // not a warp multiple
+  auto future = queue.enqueue(bad, [](omprt::OmpContext&) {});
+  auto result = future.get();
+  EXPECT_FALSE(result.isOk());
+}
+
+TEST(AsyncTest, ShutdownDrainsOutstandingTasks) {
+  Device dev(ArchSpec::testTiny());
+  std::atomic<int> runs{0};
+  {
+    TargetTaskQueue queue(dev);
+    for (int i = 0; i < 4; ++i) {
+      (void)queue.enqueue(tinyConfig(), [&](omprt::OmpContext&) { runs++; });
+    }
+    // Destructor must complete queued work before joining.
+  }
+  EXPECT_EQ(runs.load(), 4 * 32);
+}
+
+}  // namespace
+}  // namespace simtomp::hostrt

@@ -1,0 +1,261 @@
+// Integration tests: cross-module scenarios tying the DSL, runtime,
+// host runtime and simulator together, including the paper's
+// architectural claims (AMD fallback, sharing-space sizing, execution
+// mode cost ordering).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "apps/laplace3d.h"
+#include "dsl/dsl.h"
+#include "hostrt/async.h"
+#include "hostrt/data_env.h"
+
+namespace simtomp {
+namespace {
+
+using apps::SimdMode;
+using dsl::LaunchSpec;
+using dsl::OmpContext;
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+using omprt::ExecMode;
+
+// ---------------- End-to-end: map data, run kernel, copy back --------
+
+TEST(IntegrationTest, TargetDataPlusKernelRoundTrip) {
+  Device dev(ArchSpec::testTiny());
+  hostrt::DataEnvironment env(dev);
+  std::vector<double> host_in(256);
+  std::vector<double> host_out(256, 0.0);
+  for (size_t i = 0; i < host_in.size(); ++i) host_in[i] = double(i);
+
+  {
+    hostrt::MappedSpan<double> in(env, std::span<double>(host_in),
+                                  hostrt::MapType::kTo);
+    hostrt::MappedSpan<double> out(env, std::span<double>(host_out),
+                                   hostrt::MapType::kFrom);
+    ASSERT_TRUE(in.status().isOk());
+    ASSERT_TRUE(out.status().isOk());
+    auto dev_in = in.device();
+    auto dev_out = out.device();
+
+    LaunchSpec spec;
+    spec.numTeams = 2;
+    spec.threadsPerTeam = 64;
+    spec.parallelMode = ExecMode::kGeneric;
+    spec.simdlen = 8;
+    auto stats = dsl::targetTeamsDistributeParallelFor(
+        dev, spec, 256 / 8, [&](OmpContext& ctx, uint64_t chunk) {
+          dsl::simd(ctx, 8, [&, chunk](OmpContext& c, uint64_t k) {
+            const size_t i = chunk * 8 + k;
+            dev_out.set(c.gpu(), i, 2.0 * dev_in.get(c.gpu(), i));
+          });
+        });
+    ASSERT_TRUE(stats.isOk());
+  }  // MappedSpan dtors copy `out` back
+
+  for (size_t i = 0; i < host_out.size(); ++i) {
+    EXPECT_EQ(host_out[i], 2.0 * double(i));
+  }
+}
+
+// ---------------- AMD fallback (paper 5.4.1) ----------------
+
+TEST(IntegrationTest, AmdGenericSimdFallsBackSequentially) {
+  Device amd(ArchSpec::amdMI100());
+  LaunchSpec spec;
+  spec.numTeams = 1;
+  spec.threadsPerTeam = 128;  // wavefront 64: two wavefronts
+  spec.parallelMode = ExecMode::kGeneric;
+  spec.simdlen = 16;
+  std::vector<std::atomic<int>> per_iv(64);
+  std::atomic<int> executors{0};
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      amd, spec, 128, [&](OmpContext& ctx, uint64_t) {
+        // simdGroupSize must have degraded to 1.
+        EXPECT_EQ(ctx.simdGroupSize(), 1u);
+        executors++;
+        dsl::simd(ctx, 64, [&](OmpContext&, uint64_t k) { per_iv[k]++; });
+      });
+  ASSERT_TRUE(stats.isOk());
+  // Every thread is its own leader; each simd loop ran fully serially.
+  EXPECT_EQ(executors.load(), 128);
+  for (auto& c : per_iv) EXPECT_EQ(c.load(), 128);
+}
+
+TEST(IntegrationTest, AmdSpmdSimdStillWorkshares) {
+  Device amd(ArchSpec::amdMI100());
+  LaunchSpec spec;
+  spec.numTeams = 1;
+  spec.threadsPerTeam = 128;
+  spec.parallelMode = ExecMode::kSPMD;
+  spec.simdlen = 16;
+  std::atomic<int> iterations{0};
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      amd, spec, 8, [&](OmpContext& ctx, uint64_t) {
+        EXPECT_EQ(ctx.simdGroupSize(), 16u);
+        dsl::simd(ctx, 64, [&](OmpContext&, uint64_t) { iterations++; });
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(iterations.load(), 8 * 64);
+  // No warp-barrier instruction exists on this architecture: the
+  // rendezvous happens but is uncharged, so warp_sync counts exist with
+  // zero added cycles only through other costs. Verify no crash and
+  // correct coverage is the main property here.
+}
+
+TEST(IntegrationTest, AmdVsNvidiaGenericSimdCounters) {
+  // On NVIDIA the generic simd path polls the warp state machine; on
+  // AMD (group size 1) it never does.
+  auto run = [](Device& dev) {
+    LaunchSpec spec;
+    spec.numTeams = 1;
+    spec.threadsPerTeam = 128;
+    spec.parallelMode = ExecMode::kGeneric;
+    spec.simdlen = 32;
+    auto stats = dsl::targetTeamsDistributeParallelFor(
+        dev, spec, 16, [&](OmpContext& ctx, uint64_t) {
+          dsl::simd(ctx, 32, [](OmpContext& c, uint64_t) { c.gpu().work(1); });
+        });
+    EXPECT_TRUE(stats.isOk());
+    return stats.value().counters.get(Counter::kStatePoll);
+  };
+  Device nv(ArchSpec::nvidiaA100());
+  Device amd(ArchSpec::amdMI100());
+  EXPECT_GT(run(nv), 0u);
+  EXPECT_EQ(run(amd), 0u);
+}
+
+// ---------------- Sharing space sizing (paper 5.3.1) ----------------
+
+TEST(IntegrationTest, SmallSharingSpaceOverflowsMoreOften) {
+  auto overflows = [](uint32_t bytes) {
+    Device dev(ArchSpec::testTiny());
+    LaunchSpec spec;
+    spec.numTeams = 1;
+    spec.threadsPerTeam = 64;
+    spec.parallelMode = ExecMode::kGeneric;
+    spec.simdlen = 2;  // 32 groups: tiny slices
+    spec.sharingSpaceBytes = bytes;
+    auto stats = dsl::targetTeamsDistributeParallelFor(
+        dev, spec, 32, [&](OmpContext& ctx, uint64_t) {
+          // A fat body: payload plus many shared args would not fit a
+          // tiny slice.
+          double a = 0;
+          double b = 0;
+          double c = 0;
+          double d = 0;
+          auto body = [&a, &b, &c, &d](OmpContext& inner, uint64_t) {
+            inner.gpu().work(1);
+            a = b + c + d;
+          };
+          auto outlined = loopir::outlineLoop(ctx, body, true, a, b, c, d);
+          omprt::rt::simd(ctx, outlined.fn, 4, outlined.payload.data(),
+                          outlined.payload.size());
+        });
+    EXPECT_TRUE(stats.isOk());
+    return stats.value().counters.get(Counter::kSharingSpaceOverflow);
+  };
+  const uint64_t small = overflows(256);
+  const uint64_t paper_default = overflows(2048);
+  EXPECT_GT(small, paper_default);
+}
+
+TEST(IntegrationTest, GlobalMemoryCleanAfterOverflowingKernel) {
+  Device dev(ArchSpec::testTiny());
+  const size_t before = dev.memory().bytesInUse();
+  LaunchSpec spec;
+  spec.numTeams = 2;
+  spec.threadsPerTeam = 64;
+  spec.parallelMode = ExecMode::kGeneric;
+  spec.simdlen = 2;
+  spec.sharingSpaceBytes = 0;  // force every group to overflow
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      dev, spec, 64, [&](OmpContext& ctx, uint64_t) {
+        dsl::simd(ctx, 4, [](OmpContext& c, uint64_t) { c.gpu().work(1); });
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_GT(stats.value().counters.get(Counter::kSharingSpaceOverflow), 0u);
+  EXPECT_EQ(dev.memory().bytesInUse(), before);
+}
+
+// ---------------- Execution-mode cost ordering (Fig. 10) ------------
+
+TEST(IntegrationTest, ModeCostOrderingOnLaplace) {
+  Device dev(ArchSpec::testTiny());
+  const apps::Laplace3dWorkload w = apps::generateLaplace3d(18, 3);
+  uint64_t cycles[3] = {};
+  int i = 0;
+  for (SimdMode mode :
+       {SimdMode::kNoSimd, SimdMode::kSpmdSimd, SimdMode::kGenericSimd}) {
+    apps::Laplace3dOptions options;
+    options.mode = mode;
+    options.numTeams = 4;
+    options.threadsPerTeam = 64;
+    options.simdlen = 16;
+    auto result = apps::runLaplace3d(dev, w, options);
+    ASSERT_TRUE(result.isOk());
+    cycles[i++] = result.value().stats.cycles;
+  }
+  // Generic-SIMD pays for its state machine relative to SPMD-SIMD.
+  EXPECT_GT(cycles[2], cycles[1]);
+}
+
+// ---------------- Async + DSL ----------------
+
+TEST(IntegrationTest, ConcurrentTargetTasksProduceSameResults) {
+  Device dev(ArchSpec::testTiny());
+  hostrt::TargetTaskQueue queue(dev);
+  std::vector<std::vector<double>> outputs(4, std::vector<double>(64, 0.0));
+  std::vector<std::future<Result<gpusim::KernelStats>>> futures;
+  for (int task = 0; task < 4; ++task) {
+    omprt::TargetConfig config;
+    config.teamsMode = ExecMode::kSPMD;
+    config.numTeams = 1;
+    config.threadsPerTeam = 64;
+    auto* out = &outputs[task];
+    futures.push_back(queue.enqueue(config, [out, task](OmpContext& ctx) {
+      const uint32_t tid = ctx.gpu().threadId();
+      (*out)[tid] = double(task * 1000 + tid);
+    }));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().isOk());
+  for (int task = 0; task < 4; ++task) {
+    for (uint32_t tid = 0; tid < 64; ++tid) {
+      EXPECT_EQ(outputs[task][tid], double(task * 1000 + tid));
+    }
+  }
+}
+
+// ---------------- Dispatch cascade end-to-end (5.5) ----------------
+
+TEST(IntegrationTest, CascadeVsIndirectCostDifference) {
+  auto run = [](bool registered) {
+    omprt::Dispatcher::global().clear();
+    Device dev(ArchSpec::testTiny());
+    LaunchSpec spec;
+    spec.numTeams = 1;
+    spec.threadsPerTeam = 64;
+    spec.parallelMode = ExecMode::kSPMD;
+    spec.simdlen = 8;
+    spec.registerInCascade = registered;
+    auto stats = dsl::targetTeamsDistributeParallelFor(
+        dev, spec, 64, [&](OmpContext& ctx, uint64_t) {
+          dsl::simd(
+              ctx, 64, [](OmpContext& c, uint64_t) { c.gpu().work(1); },
+              registered);
+        });
+    EXPECT_TRUE(stats.isOk());
+    return stats.value().cycles;
+  };
+  const uint64_t with_cascade = run(true);
+  const uint64_t indirect = run(false);
+  EXPECT_LT(with_cascade, indirect);
+  omprt::Dispatcher::global().clear();
+}
+
+}  // namespace
+}  // namespace simtomp

@@ -1,0 +1,326 @@
+// Unit tests for the loop IR layer: canonical loops, collapsing,
+// outlining/payload packing, globalization, and the IR builder facade.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "loopir/builder.h"
+#include "loopir/canonical_loop.h"
+#include "loopir/globalize.h"
+#include "loopir/outline.h"
+#include "omprt/target.h"
+
+namespace simtomp::loopir {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+using omprt::ExecMode;
+using omprt::OmpContext;
+using omprt::TargetConfig;
+
+// ---------------- CanonicalLoop ----------------
+
+TEST(CanonicalLoopTest, SimpleUpCount) {
+  auto loop = CanonicalLoop::make(0, 10, 1);
+  ASSERT_TRUE(loop.isOk());
+  EXPECT_EQ(loop.value().tripCount(), 10u);
+  EXPECT_EQ(loop.value().ivAt(0), 0);
+  EXPECT_EQ(loop.value().ivAt(9), 9);
+}
+
+TEST(CanonicalLoopTest, StridedUpCount) {
+  auto loop = CanonicalLoop::make(3, 20, 4);  // 3,7,11,15,19
+  ASSERT_TRUE(loop.isOk());
+  EXPECT_EQ(loop.value().tripCount(), 5u);
+  EXPECT_EQ(loop.value().ivAt(4), 19);
+}
+
+TEST(CanonicalLoopTest, DownCount) {
+  auto loop = CanonicalLoop::make(10, 0, -2);  // 10,8,6,4,2
+  ASSERT_TRUE(loop.isOk());
+  EXPECT_EQ(loop.value().tripCount(), 5u);
+  EXPECT_EQ(loop.value().ivAt(0), 10);
+  EXPECT_EQ(loop.value().ivAt(4), 2);
+}
+
+TEST(CanonicalLoopTest, EmptyRanges) {
+  EXPECT_EQ(CanonicalLoop::make(5, 5, 1).value().tripCount(), 0u);
+  EXPECT_EQ(CanonicalLoop::make(5, 3, 1).value().tripCount(), 0u);
+  EXPECT_EQ(CanonicalLoop::make(3, 5, -1).value().tripCount(), 0u);
+}
+
+TEST(CanonicalLoopTest, ZeroStepRejected) {
+  EXPECT_FALSE(CanonicalLoop::make(0, 10, 0).isOk());
+}
+
+TEST(CanonicalLoopTest, NegativeBounds) {
+  auto loop = CanonicalLoop::make(-10, -4, 2);  // -10,-8,-6
+  ASSERT_TRUE(loop.isOk());
+  EXPECT_EQ(loop.value().tripCount(), 3u);
+  EXPECT_EQ(loop.value().ivAt(2), -6);
+}
+
+TEST(CanonicalLoopTest, UpToConvenience) {
+  const CanonicalLoop loop = CanonicalLoop::upTo(7);
+  EXPECT_EQ(loop.tripCount(), 7u);
+  EXPECT_EQ(loop.ivAt(6), 6);
+}
+
+TEST(CollapsedLoop2Test, TripAndIvDecomposition) {
+  const CollapsedLoop2 nest(CanonicalLoop::make(0, 3, 1).value(),
+                            CanonicalLoop::make(10, 40, 10).value());
+  EXPECT_EQ(nest.tripCount(), 9u);
+  EXPECT_EQ(nest.ivsAt(0), (std::pair<int64_t, int64_t>{0, 10}));
+  EXPECT_EQ(nest.ivsAt(5), (std::pair<int64_t, int64_t>{1, 30}));
+  EXPECT_EQ(nest.ivsAt(8), (std::pair<int64_t, int64_t>{2, 30}));
+}
+
+TEST(CollapsedLoop2Test, CoversFullCrossProduct) {
+  const CollapsedLoop2 nest(CanonicalLoop::make(0, 4, 1).value(),
+                            CanonicalLoop::make(0, 5, 1).value());
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (uint64_t l = 0; l < nest.tripCount(); ++l) seen.insert(nest.ivsAt(l));
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+// ---------------- Outlining / ArgPack ----------------
+
+TargetConfig spmdConfig(uint32_t threads = 32) {
+  TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = threads;
+  return config;
+}
+
+TEST(OutlineTest, ArgPackChargesPerArg) {
+  Device dev(ArchSpec::testTiny());
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        int a = 0;
+        double b = 0;
+        ArgPack pack = ArgPack::of(ctx, a, b);
+        EXPECT_EQ(pack.size(), 2u);
+        EXPECT_EQ(pack.data()[0], &a);
+        EXPECT_EQ(pack.data()[1], &b);
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kPayloadArgCopy), 64u);
+}
+
+TEST(OutlineTest, ArgAsRecoversTypedReference) {
+  int x = 41;
+  void* args[] = {&x};
+  argAs<int>(args, 0) += 1;
+  EXPECT_EQ(x, 42);
+}
+
+TEST(OutlineTest, LoopTrampolineInvokesBodyWithIv) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(16);
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        auto body = [&hits](OmpContext&, uint64_t iv) { hits[iv]++; };
+        auto outlined = outlineLoop(ctx, body, /*registerInCascade=*/false);
+        // Invoke the trampoline directly, as the runtime would.
+        for (uint64_t iv = 0; iv < 16; ++iv) {
+          if (ctx.gpu().threadId() == 0) {
+            outlined.fn(ctx, iv, outlined.payload.data());
+          }
+        }
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(OutlineTest, ExtraVarsTravelInPayload) {
+  Device dev(ArchSpec::testTiny());
+  int seen = 0;
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        if (ctx.gpu().threadId() != 0) return;
+        int shared_var = 7;
+        auto body = [](OmpContext&, uint64_t, void** rest) {
+          argAs<int>(rest, 0) *= 6;
+        };
+        auto outlined = outlineLoop(ctx, body, false, shared_var);
+        outlined.fn(ctx, 0, outlined.payload.data());
+        seen = shared_var;
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(OutlineTest, RegistrationAddsToGlobalCascade) {
+  omprt::Dispatcher::global().clear();
+  Device dev(ArchSpec::testTiny());
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        auto body = [](OmpContext&, uint64_t) {};
+        auto outlined = outlineLoop(ctx, body, /*registerInCascade=*/true);
+        EXPECT_TRUE(omprt::Dispatcher::global().isKnown(
+            reinterpret_cast<const void*>(outlined.fn)));
+      });
+  ASSERT_TRUE(stats.isOk());
+  omprt::Dispatcher::global().clear();
+}
+
+TEST(OutlineTest, RegionTrampolineRuns) {
+  Device dev(ArchSpec::testTiny());
+  std::atomic<int> runs{0};
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        auto region = [&runs](OmpContext&) { runs++; };
+        auto outlined = outlineRegion(ctx, region, false);
+        outlined.fn(ctx, outlined.payload.data());
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(runs.load(), 32);
+}
+
+// ---------------- Globalizer ----------------
+
+TEST(GlobalizerTest, PromotesToSharedMemoryAndReleases) {
+  Device dev(ArchSpec::testTiny());
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        if (ctx.gpu().threadId() != 0) return;
+        gpusim::SharedMemory& shared = ctx.gpu().block().sharedMemory();
+        const size_t used_before = shared.used();
+        {
+          Globalizer globalizer(ctx);
+          double local = 3.25;
+          double* promoted = globalizer.globalize(local);
+          ASSERT_NE(promoted, nullptr);
+          EXPECT_EQ(*promoted, 3.25);
+          EXPECT_NE(promoted, &local);
+          EXPECT_GT(shared.used(), used_before);
+          EXPECT_EQ(globalizer.promotedCount(), 1u);
+          EXPECT_EQ(globalizer.overflowCount(), 0u);
+        }
+        EXPECT_EQ(shared.used(), used_before);  // released at region end
+      });
+  ASSERT_TRUE(stats.isOk());
+}
+
+TEST(GlobalizerTest, ChargesSharedStores) {
+  Device dev(ArchSpec::testTiny());
+  uint64_t stores = 0;
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        if (ctx.gpu().threadId() != 0) return;
+        const uint64_t before =
+            ctx.gpu().counters().get(Counter::kSharedStore);
+        Globalizer globalizer(ctx);
+        struct Big {
+          double values[8];
+        } big{};
+        globalizer.globalize(big);
+        stores = ctx.gpu().counters().get(Counter::kSharedStore) - before;
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stores, 8u);  // one store per 8 bytes
+}
+
+TEST(GlobalizerTest, OverflowsToGlobalWhenScratchpadFull) {
+  Device dev(ArchSpec::testTiny());
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        if (ctx.gpu().threadId() != 0) return;
+        gpusim::SharedMemory& shared = ctx.gpu().block().sharedMemory();
+        // Exhaust the scratchpad first.
+        while (shared.allocate(1024, 8) != nullptr) {
+        }
+        Globalizer globalizer(ctx);
+        std::vector<std::byte> big(2048);
+        void* promoted = globalizer.globalizeBytes(big.data(), big.size(), 8);
+        ASSERT_NE(promoted, nullptr);
+        EXPECT_EQ(globalizer.overflowCount(), 1u);
+        EXPECT_GT(ctx.gpu().counters().get(Counter::kGlobalAlloc), 0u);
+      });
+  ASSERT_TRUE(stats.isOk());
+}
+
+TEST(GlobalizerTest, ReadBackCopiesAndCharges) {
+  Device dev(ArchSpec::testTiny());
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        if (ctx.gpu().threadId() != 0) return;
+        Globalizer globalizer(ctx);
+        double local = 1.0;
+        double* promoted = globalizer.globalize(local);
+        *promoted = 9.0;  // loop wrote through the promoted copy
+        globalizer.readBack(local, promoted);
+        EXPECT_EQ(local, 9.0);
+        EXPECT_GT(ctx.gpu().counters().get(Counter::kSharedLoad), 0u);
+      });
+  ASSERT_TRUE(stats.isOk());
+}
+
+// ---------------- IrBuilder facade ----------------
+
+TEST(IrBuilderTest, SimdLoopThroughBuilder) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(24);
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        omprt::rt::parallel(
+            ctx,
+            +[](OmpContext& inner, void** args) {
+              auto* h = static_cast<std::vector<std::atomic<int>>*>(args[0]);
+              IrBuilder::createWorkshareLoop(
+                  inner, WorkshareKind::kSimd,
+                  [](OmpContext&) -> uint64_t { return 24; },
+                  [h](OmpContext&, uint64_t iv) { (*h)[iv]++; });
+            },
+            [&] {
+              static void* args_storage[1];
+              args_storage[0] = &hits;
+              return args_storage;
+            }(),
+            1, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 8);  // once per group
+}
+
+TEST(IrBuilderTest, CanonicalLoopDenormalizesIvs) {
+  Device dev(ArchSpec::testTiny());
+  std::set<int64_t> seen;
+  auto stats = omprt::launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        if (ctx.gpu().threadId() != 0) return;
+        const CanonicalLoop loop = CanonicalLoop::make(10, 0, -3).value();
+        IrBuilder::createWorkshareLoop(
+            ctx, WorkshareKind::kDistribute, loop,
+            [&seen](OmpContext&, int64_t iv) { seen.insert(iv); });
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(seen, (std::set<int64_t>{10, 7, 4, 1}));
+}
+
+TEST(IrBuilderTest, DistributeSplitsAcrossTeams) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(30);
+  auto stats = omprt::launchTarget(
+      dev, [&] {
+        TargetConfig c = spmdConfig(32);
+        c.numTeams = 4;
+        return c;
+      }(), [&](OmpContext& ctx) {
+        if (ctx.gpu().threadId() != 0) return;  // one lane per team
+        IrBuilder::createWorkshareLoop(
+            ctx, WorkshareKind::kDistribute,
+            [](OmpContext&) -> uint64_t { return 30; },
+            [&hits](OmpContext&, uint64_t iv) { hits[iv]++; });
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace simtomp::loopir

@@ -1,0 +1,163 @@
+// Tests for the smaller extensions: dist_schedule(static, chunk), CSV
+// stats export, out-of-memory error paths, and cross-architecture
+// end-to-end app runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include "apps/sparse_matvec.h"
+#include "apps/su3.h"
+#include "hostrt/data_env.h"
+#include "omprt/runtime.h"
+#include "omprt/target.h"
+
+namespace simtomp {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Device;
+using omprt::ExecMode;
+using omprt::OmpContext;
+using omprt::TargetConfig;
+
+TargetConfig genericConfig(uint32_t teams, uint32_t threads) {
+  TargetConfig config;
+  config.teamsMode = ExecMode::kGeneric;
+  config.numTeams = teams;
+  config.threadsPerTeam = threads;
+  return config;
+}
+
+// ---------------- distributeStaticChunked ----------------
+
+void distBody(OmpContext& ctx, uint64_t iv, void** args) {
+  auto* hits = static_cast<std::atomic<int>*>(args[0]);
+  hits[iv]++;
+  auto* owner = static_cast<std::atomic<int>*>(args[1]);
+  owner[iv].store(static_cast<int>(ctx.teamNum()));
+  ctx.gpu().work(1);
+}
+
+TEST(DistributeChunkedTest, CoversEveryIterationOnce) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(103);
+  std::vector<std::atomic<int>> owner(103);
+  void* args[] = {hits.data(), owner.data()};
+  auto stats = omprt::launchTarget(
+      dev, genericConfig(4, 32), [&](OmpContext& ctx) {
+        omprt::rt::distributeStaticChunked(ctx, 103, 8, &distBody, args);
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DistributeChunkedTest, ChunksRotateAcrossTeams) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::atomic<int>> owner(64);
+  void* args[] = {hits.data(), owner.data()};
+  auto stats = omprt::launchTarget(
+      dev, genericConfig(2, 32), [&](OmpContext& ctx) {
+        omprt::rt::distributeStaticChunked(ctx, 64, 8, &distBody, args);
+      });
+  ASSERT_TRUE(stats.isOk());
+  // chunk 8, 2 teams: [0,8) -> team 0, [8,16) -> team 1, [16,24) -> 0...
+  for (size_t iv = 0; iv < 64; ++iv) {
+    EXPECT_EQ(owner[iv].load(), static_cast<int>((iv / 8) % 2)) << iv;
+  }
+}
+
+TEST(DistributeChunkedTest, ZeroChunkBehavesAsOne) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(10);
+  std::vector<std::atomic<int>> owner(10);
+  void* args[] = {hits.data(), owner.data()};
+  auto stats = omprt::launchTarget(
+      dev, genericConfig(3, 32), [&](OmpContext& ctx) {
+        omprt::rt::distributeStaticChunked(ctx, 10, 0, &distBody, args);
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (size_t iv = 0; iv < 10; ++iv) {
+    EXPECT_EQ(owner[iv].load(), static_cast<int>(iv % 3)) << iv;
+  }
+}
+
+// ---------------- CSV export ----------------
+
+TEST(CsvStatsTest, HeaderAndRowColumnCountsMatch) {
+  Device dev(ArchSpec::testTiny());
+  auto stats = dev.launch({2, 64}, [](gpusim::ThreadCtx& t) {
+    t.work(5);
+    t.chargeGlobalLoad();
+  });
+  ASSERT_TRUE(stats.isOk());
+  const std::string header = gpusim::KernelStats::csvHeader();
+  const std::string row = stats.value().csvRow();
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_NE(header.find("warp_sync"), std::string::npos);
+  EXPECT_NE(header.find("simd_idle_lane_rounds"), std::string::npos);
+  // The row starts with the cycle count.
+  EXPECT_EQ(row.rfind(std::to_string(stats.value().cycles) + ",", 0), 0u);
+}
+
+// ---------------- Error paths ----------------
+
+TEST(OomTest, DeviceAllocationFailureSurfaces) {
+  Device dev(ArchSpec::testTiny(), gpusim::CostModel{}, 1 << 16);  // 64 KiB
+  auto big = dev.allocateArray<double>(1 << 20);
+  ASSERT_FALSE(big.isOk());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OomTest, MapEnterFailsCleanlyWhenDeviceFull) {
+  Device dev(ArchSpec::testTiny(), gpusim::CostModel{}, 1 << 16);
+  hostrt::DataEnvironment env(dev);
+  std::vector<double> host(1 << 17, 0.0);  // 1 MiB >> 64 KiB
+  const Status s = env.mapEnter(std::span<double>(host), hostrt::MapType::kTo);
+  EXPECT_FALSE(s.isOk());
+  EXPECT_FALSE(env.isPresent(host.data()));
+  EXPECT_EQ(dev.memory().bytesInUse(), 0u);
+}
+
+// ---------------- Cross-architecture app runs ----------------
+
+TEST(CrossArchTest, SpmvVerifiesOnAmd) {
+  apps::CsrGenConfig config;
+  config.numRows = 256;
+  config.meanRowLength = 6;
+  config.maxRowLength = 24;
+  const apps::CsrMatrix A = apps::generateCsr(config);
+  Device amd(ArchSpec::amdMI100());
+  apps::SpmvOptions options;
+  options.variant = apps::SpmvVariant::kThreeLevelAtomic;
+  options.numTeams = 4;
+  options.threadsPerTeam = 128;  // wavefront multiple
+  options.simdlen = 8;           // degrades to 1 in generic mode
+  auto result = apps::runSpmv(amd, A, options);
+  ASSERT_TRUE(result.isOk()) << result.status().toString();
+  EXPECT_TRUE(result.value().verified);
+
+  // SPMD parallel keeps the groups on AMD.
+  options.parallelMode = ExecMode::kSPMD;
+  auto spmd = apps::runSpmv(amd, A, options);
+  ASSERT_TRUE(spmd.isOk());
+  EXPECT_TRUE(spmd.value().verified);
+}
+
+TEST(CrossArchTest, Su3VerifiesOnAmd) {
+  const apps::Su3Workload w = apps::generateSu3(128, 3);
+  Device amd(ArchSpec::amdMI100());
+  apps::Su3Options options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 128;
+  options.simdlen = 4;  // SPMD-SIMD: works on AMD
+  auto result = apps::runSu3(amd, w, options);
+  ASSERT_TRUE(result.isOk());
+  EXPECT_TRUE(result.value().verified);
+}
+
+}  // namespace
+}  // namespace simtomp

@@ -1,0 +1,243 @@
+// Contract tests: API misuse must fail loudly (SIMTOMP_CHECK aborts),
+// and the synchronization protocol's event counts must match the paper
+// figures exactly — not just "be positive".
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "loopir/outline.h"
+#include "omprt/runtime.h"
+#include "omprt/target.h"
+
+namespace simtomp::omprt {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+
+TargetConfig spmdConfig(uint32_t threads) {
+  TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = threads;
+  return config;
+}
+
+void noopBody(OmpContext& ctx, uint64_t, void**) { ctx.gpu().work(1); }
+void noopRegion(OmpContext&, void**) {}
+
+// ---------------- Misuse death tests ----------------
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, SimdOutsideParallelAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Device dev(ArchSpec::testTiny());
+  EXPECT_DEATH(
+      {
+        (void)launchTarget(dev, spmdConfig(32), [&](OmpContext& ctx) {
+          rt::simd(ctx, &noopBody, 4, nullptr, 0);
+        });
+      },
+      "requires an enclosing parallel");
+}
+
+TEST(ContractDeathTest, NestedParallelAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Device dev(ArchSpec::testTiny());
+  auto nested = +[](OmpContext& ctx, void**) {
+    rt::parallel(ctx, &noopRegion, nullptr, 0, {ExecMode::kSPMD, 1});
+  };
+  EXPECT_DEATH(
+      {
+        (void)launchTarget(dev, spmdConfig(32), [&](OmpContext& ctx) {
+          rt::parallel(ctx, nested, nullptr, 0, {ExecMode::kSPMD, 1});
+        });
+      },
+      "nested parallel");
+}
+
+TEST(ContractDeathTest, TeamBarrierInGenericParallelAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Device dev(ArchSpec::testTiny());
+  auto region = +[](OmpContext& ctx, void**) { rt::teamBarrier(ctx); };
+  EXPECT_DEATH(
+      {
+        (void)launchTarget(dev, spmdConfig(32), [&](OmpContext& ctx) {
+          rt::parallel(ctx, region, nullptr, 0, {ExecMode::kGeneric, 8});
+        });
+      },
+      "teamBarrier requires");
+}
+
+TEST(ContractDeathTest, ArgPackOverflowAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Device dev(ArchSpec::testTiny());
+  EXPECT_DEATH(
+      {
+        (void)launchTarget(dev, spmdConfig(32), [&](OmpContext& ctx) {
+          loopir::ArgPack pack;
+          int x = 0;
+          for (size_t i = 0; i < loopir::ArgPack::kMaxArgs + 1; ++i) {
+            pack.push(ctx, &x);
+          }
+        });
+      },
+      "ArgPack overflow");
+}
+
+// ---------------- Exact protocol counts ----------------
+
+TEST(ProtocolCountTest, SpmdSimdWarpSyncCount) {
+  // SPMD-SIMD per simd loop per lane: one sync inside __simd_loop and
+  // one at __simd exit (paper Figs. 4 and 8) -> 2 per lane per loop.
+  Device dev(ArchSpec::testTiny());
+  uint64_t trip = 8;
+  void* args[] = {&trip};
+  auto region = +[](OmpContext& ctx, void** inner) {
+    const auto t = *static_cast<uint64_t*>(inner[0]);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+  };
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, region, args, 1, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kWarpSync), 32u * 2u);
+}
+
+TEST(ProtocolCountTest, GenericSimdWarpSyncCount) {
+  // Generic-SIMD (paper Figs. 3, 4, 6, 8), one simd loop, per lane:
+  //   leader: release-sync (Fig. 4) + loop-entry sync (Fig. 8) +
+  //           loop-exit sync (Fig. 4) + termination sync (Fig. 3) = 4
+  //   worker: wait-sync + loop-entry + loop-done + final wait = 4.
+  Device dev(ArchSpec::testTiny());
+  uint64_t trip = 8;
+  void* args[] = {&trip};
+  auto region = +[](OmpContext& ctx, void** inner) {
+    const auto t = *static_cast<uint64_t*>(inner[0]);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+  };
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, region, args, 1, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kWarpSync), 32u * 4u);
+}
+
+TEST(ProtocolCountTest, EmptyGenericRegionSyncCount) {
+  // A generic parallel region with no simd loop still costs one
+  // termination sync per lane (Fig. 3).
+  Device dev(ArchSpec::testTiny());
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &noopRegion, nullptr, 0, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kWarpSync), 32u);
+}
+
+TEST(ProtocolCountTest, GenericTeamsBlockSyncCount) {
+  // Teams-generic, N parallel regions: workers sit at a block barrier
+  // per region start + end, plus the termination release; the team
+  // main mirrors them. Expected block-sync events per thread:
+  //   per region: 2 (start/end) -> N*2, plus 1 termination barrier.
+  Device dev(ArchSpec::testTiny());
+  constexpr uint64_t kRegions = 3;
+  TargetConfig config;
+  config.teamsMode = ExecMode::kGeneric;
+  config.numTeams = 1;
+  config.threadsPerTeam = 32;
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    for (uint64_t r = 0; r < kRegions; ++r) {
+      rt::parallel(ctx, &noopRegion, nullptr, 0, {ExecMode::kSPMD, 1});
+    }
+  });
+  ASSERT_TRUE(stats.isOk());
+  const uint64_t threads = 32 + 32;  // workers + extra main warp
+  EXPECT_EQ(stats.value().counters.get(Counter::kBlockSync),
+            threads * (kRegions * 2 + 1));
+}
+
+TEST(ProtocolCountTest, StatePollsScaleWithSimdLoops) {
+  // Each published simd work item costs each *worker* exactly one
+  // state-machine poll (Fig. 6), plus the final termination poll.
+  Device dev(ArchSpec::testTiny());
+  uint64_t trip = 4;
+  void* args[] = {&trip};
+  auto one = +[](OmpContext& ctx, void** inner) {
+    const auto t = *static_cast<uint64_t*>(inner[0]);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+  };
+  auto three = +[](OmpContext& ctx, void** inner) {
+    const auto t = *static_cast<uint64_t*>(inner[0]);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+  };
+  auto run = [&](OutlinedFn region) {
+    auto stats = launchTarget(
+        dev, spmdConfig(32), [&](OmpContext& ctx) {
+          rt::parallel(ctx, region, args, 1, {ExecMode::kGeneric, 8});
+        });
+    EXPECT_TRUE(stats.isOk());
+    return stats.value().counters.get(Counter::kStatePoll);
+  };
+  const uint64_t workers = 32 - 4;  // 4 groups of 8: 28 workers
+  EXPECT_EQ(run(one), workers * 2);    // 1 loop + termination
+  EXPECT_EQ(run(three), workers * 4);  // 3 loops + termination
+}
+
+TEST(ProtocolCountTest, SimdLoopAndParallelCounters) {
+  Device dev(ArchSpec::testTiny());
+  uint64_t trip = 4;
+  void* args[] = {&trip};
+  auto region = +[](OmpContext& ctx, void** inner) {
+    const auto t = *static_cast<uint64_t*>(inner[0]);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+    rt::simd(ctx, &noopBody, t, inner, 1);
+  };
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, region, args, 1, {ExecMode::kGeneric, 16});
+        rt::parallel(ctx, region, args, 1, {ExecMode::kSPMD, 16});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // kSimdLoop is charged once per group leader per simd call:
+  // 2 regions x 2 loops x 4 groups.
+  EXPECT_EQ(stats.value().counters.get(Counter::kSimdLoop), 16u);
+  EXPECT_EQ(stats.value().counters.get(Counter::kParallelRegion), 2u);
+}
+
+// ---------------- Mixed group sizes across regions ----------------
+
+TEST(MixedGroupTest, DifferentSimdlenPerRegion) {
+  // Paper 5.3.1: "the size of a SIMD group can differ among different
+  // parallel regions".
+  Device dev(ArchSpec::testTiny());
+  std::atomic<int> counts[3] = {{0}, {0}, {0}};
+  auto probe = +[](OmpContext& ctx, void** args) {
+    auto* slot = static_cast<std::atomic<int>*>(args[0]);
+    if (ctx.isSimdGroupLeader()) (*slot) += ctx.simdGroupSize();
+  };
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        void* a0[] = {&counts[0]};
+        rt::parallel(ctx, probe, a0, 1, {ExecMode::kGeneric, 2});
+        void* a1[] = {&counts[1]};
+        rt::parallel(ctx, probe, a1, 1, {ExecMode::kGeneric, 8});
+        void* a2[] = {&counts[2]};
+        rt::parallel(ctx, probe, a2, 1, {ExecMode::kGeneric, 32});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // Each region: (64/g leaders) x g = 64 regardless of g — but only if
+  // the group size really changed each time.
+  EXPECT_EQ(counts[0].load(), 64);
+  EXPECT_EQ(counts[1].load(), 64);
+  EXPECT_EQ(counts[2].load(), 64);
+}
+
+}  // namespace
+}  // namespace simtomp::omprt

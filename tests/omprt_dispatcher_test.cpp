@@ -1,0 +1,106 @@
+// Unit tests for the outlined-function dispatch cascade (section 5.5).
+#include <gtest/gtest.h>
+
+#include "gpusim/block.h"
+#include "omprt/dispatcher.h"
+
+namespace simtomp::omprt {
+namespace {
+
+using gpusim::Counter;
+
+void fnA(OmpContext&, void**) {}
+void fnB(OmpContext&, void**) {}
+void fnC(OmpContext&, void**) {}
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  DispatcherTest()
+      : arch_(gpusim::ArchSpec::testTiny()),
+        mem_(1 << 16),
+        block_(arch_, cost_, mem_, 0, 1, 32) {}
+
+  gpusim::ThreadCtx& t() { return block_.thread(0); }
+
+  gpusim::ArchSpec arch_;
+  gpusim::CostModel cost_;
+  gpusim::DeviceMemory mem_;
+  gpusim::BlockEngine block_;
+  Dispatcher dispatcher_;
+};
+
+TEST_F(DispatcherTest, RegistrationIsIdempotent) {
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnA));
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnA));
+  EXPECT_EQ(dispatcher_.size(), 1u);
+  EXPECT_TRUE(dispatcher_.isKnown(reinterpret_cast<const void*>(&fnA)));
+}
+
+TEST_F(DispatcherTest, NullRegistrationIgnored) {
+  dispatcher_.registerOutlined(nullptr);
+  EXPECT_EQ(dispatcher_.size(), 0u);
+}
+
+TEST_F(DispatcherTest, CascadeHitChargesSmallCost) {
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnA));
+  EXPECT_TRUE(
+      dispatcher_.chargeDispatch(t(), reinterpret_cast<const void*>(&fnA)));
+  EXPECT_EQ(t().busy(), cost_.dispatchCascade);
+  EXPECT_EQ(t().counters().get(Counter::kDispatchCascade), 1u);
+}
+
+TEST_F(DispatcherTest, LaterCascadePositionsCostMore) {
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnA));
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnB));
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnC));
+  const uint64_t before = t().busy();
+  dispatcher_.chargeDispatch(t(), reinterpret_cast<const void*>(&fnC));
+  EXPECT_EQ(t().busy() - before, cost_.dispatchCascade + 2 * cost_.aluOp);
+}
+
+TEST_F(DispatcherTest, UnknownFunctionFallsBackToIndirect) {
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnA));
+  EXPECT_FALSE(
+      dispatcher_.chargeDispatch(t(), reinterpret_cast<const void*>(&fnB)));
+  EXPECT_EQ(t().busy(), cost_.dispatchIndirect);
+  EXPECT_EQ(t().counters().get(Counter::kDispatchIndirect), 1u);
+}
+
+TEST_F(DispatcherTest, IndirectCostsMoreThanCascade) {
+  EXPECT_GT(cost_.dispatchIndirect, cost_.dispatchCascade);
+}
+
+TEST_F(DispatcherTest, CascadeCapStopsRegistration) {
+  // Fill past the cap with synthetic addresses.
+  char blob[Dispatcher::kMaxCascade + 8];
+  for (size_t i = 0; i < Dispatcher::kMaxCascade + 8; ++i) {
+    dispatcher_.registerOutlined(&blob[i]);
+  }
+  EXPECT_EQ(dispatcher_.size(), Dispatcher::kMaxCascade);
+}
+
+TEST_F(DispatcherTest, ClearEmptiesCascade) {
+  dispatcher_.registerOutlined(reinterpret_cast<const void*>(&fnA));
+  dispatcher_.clear();
+  EXPECT_EQ(dispatcher_.size(), 0u);
+  EXPECT_FALSE(dispatcher_.isKnown(reinterpret_cast<const void*>(&fnA)));
+}
+
+TEST_F(DispatcherTest, GlobalSingletonIsStable) {
+  Dispatcher& a = Dispatcher::global();
+  Dispatcher& b = Dispatcher::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ScopedRegistrationTest, RegistersInGlobal) {
+  Dispatcher::global().clear();
+  {
+    ScopedOutlinedRegistration reg(reinterpret_cast<const void*>(&fnA));
+    EXPECT_TRUE(
+        Dispatcher::global().isKnown(reinterpret_cast<const void*>(&fnA)));
+  }
+  Dispatcher::global().clear();
+}
+
+}  // namespace
+}  // namespace simtomp::omprt

@@ -1,0 +1,168 @@
+// Protocol-flow tests: assert the exact state-machine transitions of
+// paper Figs. 5 and 7 by recording per-thread event sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "omprt/runtime.h"
+#include "omprt/target.h"
+
+namespace simtomp::omprt {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Device;
+
+/// Thread-ordered event log. The block's fibers run on one OS thread,
+/// so plain containers are safe; the mutex guards cross-block cases.
+class EventLog {
+ public:
+  void record(uint32_t team, uint32_t tid, const std::string& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_[{team, tid}].push_back(event);
+  }
+  std::vector<std::string> of(uint32_t team, uint32_t tid) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_[{team, tid}];
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<std::string>> events_;
+};
+
+struct FlowArgs {
+  EventLog* log;
+};
+
+void flowSimdBody(OmpContext& ctx, uint64_t iv, void** args) {
+  auto* fa = static_cast<FlowArgs*>(args[0]);
+  if (iv == ctx.simdGroupId()) {  // once per lane: its first iteration
+    fa->log->record(ctx.teamNum(), ctx.gpu().threadId(), "simd-body");
+  }
+}
+
+void flowRegion(OmpContext& ctx, void** args) {
+  auto* fa = static_cast<FlowArgs*>(args[0]);
+  fa->log->record(ctx.teamNum(), ctx.gpu().threadId(), "region-enter");
+  rt::simd(ctx, &flowSimdBody, 16, args, 1);
+  fa->log->record(ctx.teamNum(), ctx.gpu().threadId(), "region-exit");
+}
+
+TEST(FlowTest, GenericTeamsGenericParallelFig5) {
+  // Fig. 5: the full generic/generic program flow. Team main runs the
+  // target region; worker threads run parallel regions via the team
+  // state machine; SIMD workers see only simd bodies.
+  Device dev(ArchSpec::testTiny());
+  EventLog log;
+  FlowArgs fa{&log};
+  void* args[] = {&fa};
+  TargetConfig config;
+  config.teamsMode = ExecMode::kGeneric;
+  config.numTeams = 1;
+  config.threadsPerTeam = 32;
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    log.record(ctx.teamNum(), ctx.gpu().threadId(), "target-region");
+    rt::parallel(ctx, &flowRegion, args, 1, {ExecMode::kGeneric, 8});
+    log.record(ctx.teamNum(), ctx.gpu().threadId(), "after-parallel");
+  });
+  ASSERT_TRUE(stats.isOk());
+
+  // Team main = thread 32 (lane 0 of the extra warp): target region
+  // code only — it does NOT execute the parallel region.
+  EXPECT_EQ(log.of(0, 32),
+            (std::vector<std::string>{"target-region", "after-parallel"}));
+  // SIMD group leaders (worker threads 0, 8, 16, 24): region body, one
+  // simd-body (their lane's iteration), region exit.
+  for (uint32_t leader : {0u, 8u, 16u, 24u}) {
+    EXPECT_EQ(log.of(0, leader),
+              (std::vector<std::string>{"region-enter", "simd-body",
+                                        "region-exit"}))
+        << "leader " << leader;
+  }
+  // SIMD workers (e.g. threads 1..7): only the simd body, via the
+  // warp-level state machine — never the region code.
+  for (uint32_t worker : {1u, 7u, 9u, 31u}) {
+    EXPECT_EQ(log.of(0, worker), (std::vector<std::string>{"simd-body"}))
+        << "worker " << worker;
+  }
+  // Idle lanes of the extra main warp (threads 33..63): nothing.
+  for (uint32_t idle : {33u, 40u, 63u}) {
+    EXPECT_TRUE(log.of(0, idle).empty()) << "idle " << idle;
+  }
+}
+
+TEST(FlowTest, SpmdWorkerFlowFig7) {
+  // Fig. 7: SPMD-mode parallel regions are executed whole by every
+  // worker thread (no state machine).
+  Device dev(ArchSpec::testTiny());
+  EventLog log;
+  FlowArgs fa{&log};
+  void* args[] = {&fa};
+  TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = 32;
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    rt::parallel(ctx, &flowRegion, args, 1, {ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  for (uint32_t tid = 0; tid < 32; ++tid) {
+    EXPECT_EQ(log.of(0, tid),
+              (std::vector<std::string>{"region-enter", "simd-body",
+                                        "region-exit"}))
+        << "thread " << tid;
+  }
+}
+
+TEST(FlowTest, TerminationSignalEndsStateMachine) {
+  // After the parallel region ends (leader publishes nullptr), SIMD
+  // workers must exit their state machine; a second parallel region
+  // restarts it cleanly.
+  Device dev(ArchSpec::testTiny());
+  EventLog log;
+  FlowArgs fa{&log};
+  void* args[] = {&fa};
+  TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = 32;
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    rt::parallel(ctx, &flowRegion, args, 1, {ExecMode::kGeneric, 8});
+    rt::parallel(ctx, &flowRegion, args, 1, {ExecMode::kGeneric, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  // Workers see exactly two simd bodies: one per region's loop.
+  EXPECT_EQ(log.of(0, 1),
+            (std::vector<std::string>{"simd-body", "simd-body"}));
+  // Leaders see the full sequence twice.
+  EXPECT_EQ(log.of(0, 8),
+            (std::vector<std::string>{"region-enter", "simd-body",
+                                      "region-exit", "region-enter",
+                                      "simd-body", "region-exit"}));
+}
+
+TEST(FlowTest, MultipleTeamsHaveIndependentFlows) {
+  Device dev(ArchSpec::testTiny());
+  EventLog log;
+  FlowArgs fa{&log};
+  void* args[] = {&fa};
+  TargetConfig config;
+  config.teamsMode = ExecMode::kGeneric;
+  config.numTeams = 2;
+  config.threadsPerTeam = 32;
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    rt::parallel(ctx, &flowRegion, args, 1, {ExecMode::kGeneric, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  for (uint32_t team = 0; team < 2; ++team) {
+    EXPECT_EQ(log.of(team, 0).size(), 3u);   // leader sequence
+    EXPECT_EQ(log.of(team, 1).size(), 1u);   // worker: simd body only
+    EXPECT_TRUE(log.of(team, 32).empty());   // team main logs nothing
+  }
+}
+
+}  // namespace
+}  // namespace simtomp::omprt

@@ -1,0 +1,188 @@
+// Unit tests for the reduction extension (paper section 7 future work):
+// warp-shuffle butterfly reductions and reducing simd loops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "omprt/runtime.h"
+#include "omprt/target.h"
+
+namespace simtomp::omprt {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+
+TargetConfig spmdConfig(uint32_t threads) {
+  TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = threads;
+  return config;
+}
+
+// ---------------- simdReduceAdd (butterfly) ----------------
+
+void butterflyMicrotask(OmpContext& ctx, void** args) {
+  auto* results = static_cast<double*>(args[0]);
+  const double mine = static_cast<double>(ctx.gpu().threadId());
+  const double total = rt::simdReduceAdd(ctx, mine);
+  results[ctx.gpu().threadId()] = total;
+}
+
+class ButterflyProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ButterflyProperty, EveryLaneGetsGroupTotal) {
+  const uint32_t group = GetParam();
+  Device dev(ArchSpec::testTiny());
+  std::vector<double> results(64, -1.0);
+  void* args[] = {results.data()};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &butterflyMicrotask, args, 1,
+                     {ExecMode::kSPMD, group});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (uint32_t tid = 0; tid < 64; ++tid) {
+    const uint32_t base = (tid / group) * group;
+    double expected = 0.0;
+    for (uint32_t lane = base; lane < base + group; ++lane) {
+      expected += static_cast<double>(lane);
+    }
+    EXPECT_DOUBLE_EQ(results[tid], expected) << "thread " << tid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, ButterflyProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+TEST(ButterflyTest, ChargesShuffles) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<double> results(32, 0.0);
+  void* args[] = {results.data()};
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &butterflyMicrotask, args, 1, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // log2(8) = 3 butterfly steps per lane.
+  EXPECT_EQ(stats.value().counters.get(Counter::kShuffle), 32u * 3u);
+}
+
+TEST(ButterflyTest, IntegersReduceExactly) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<int64_t> results(32, 0);
+  auto microtask = +[](OmpContext& ctx, void** args) {
+    auto* out = static_cast<int64_t*>(args[0]);
+    const int64_t total =
+        rt::simdReduceAdd(ctx, static_cast<int64_t>(1));
+    out[ctx.gpu().threadId()] = total;
+  };
+  void* args[] = {results.data()};
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, microtask, args, 1, {ExecMode::kSPMD, 16});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (int64_t r : results) EXPECT_EQ(r, 16);
+}
+
+// ---------------- simdLoopReduceAdd ----------------
+
+double reduceBody(OmpContext& ctx, uint64_t iv, void** args) {
+  const auto* scale = static_cast<const double*>(args[0]);
+  ctx.gpu().fma();
+  return *scale * static_cast<double>(iv);
+}
+
+struct ReduceRegionArgs {
+  double scale = 1.0;
+  uint64_t trip = 0;
+  std::atomic<int> leaders{0};
+  double results[64] = {};
+};
+
+void reduceRegion(OmpContext& ctx, void** args) {
+  auto* ra = static_cast<ReduceRegionArgs*>(args[0]);
+  void* body_args[] = {&ra->scale};
+  const double total =
+      rt::simdLoopReduceAdd(ctx, &reduceBody, ra->trip, body_args, 1);
+  if (ctx.isSimdGroupLeader()) {
+    ra->results[ctx.simdGroup()] = total;
+    ra->leaders++;
+  }
+}
+
+class ReduceLoopMatrix
+    : public ::testing::TestWithParam<std::tuple<ExecMode, uint32_t>> {};
+
+TEST_P(ReduceLoopMatrix, SumMatchesClosedForm) {
+  const auto [mode, group] = GetParam();
+  Device dev(ArchSpec::testTiny());
+  ReduceRegionArgs ra;
+  ra.scale = 2.0;
+  ra.trip = 25;
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &reduceRegion, args, 1, {mode, group});
+      });
+  ASSERT_TRUE(stats.isOk());
+  const double expected = 2.0 * (25.0 * 24.0 / 2.0);
+  const int groups = static_cast<int>(64 / group);
+  EXPECT_EQ(ra.leaders.load(), groups);
+  for (int g = 0; g < groups; ++g) {
+    EXPECT_DOUBLE_EQ(ra.results[g], expected) << "group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndGroups, ReduceLoopMatrix,
+    ::testing::Combine(::testing::Values(ExecMode::kSPMD, ExecMode::kGeneric),
+                       ::testing::Values(1u, 4u, 8u, 32u)));
+
+TEST(ReduceLoopTest, EmptyLoopYieldsZero) {
+  Device dev(ArchSpec::testTiny());
+  ReduceRegionArgs ra;
+  ra.trip = 0;
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &reduceRegion, args, 1, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(ra.results[g], 0.0);
+}
+
+TEST(ReduceLoopTest, GenericModeUsesStateMachine) {
+  Device dev(ArchSpec::testTiny());
+  ReduceRegionArgs ra;
+  ra.trip = 64;
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &reduceRegion, args, 1, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_GT(stats.value().counters.get(Counter::kStatePoll), 0u);
+  EXPECT_DOUBLE_EQ(ra.results[0], 64.0 * 63.0 / 2.0);
+}
+
+TEST(ReduceLoopTest, ReductionAvoidsAtomics) {
+  Device dev(ArchSpec::testTiny());
+  ReduceRegionArgs ra;
+  ra.trip = 32;
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &reduceRegion, args, 1, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kAtomicRmw), 0u);
+}
+
+}  // namespace
+}  // namespace simtomp::omprt

@@ -1,0 +1,493 @@
+// Unit tests for the device OpenMP runtime (paper section 5): target
+// init protocol, __parallel, __simd, state machines, SIMD group
+// mapping, and the execution-mode matrix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "loopir/outline.h"
+#include "omprt/runtime.h"
+#include "omprt/target.h"
+
+namespace simtomp::omprt {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+
+TargetConfig makeConfig(ExecMode teams, uint32_t numTeams = 1,
+                        uint32_t threads = 64) {
+  TargetConfig config;
+  config.teamsMode = teams;
+  config.numTeams = numTeams;
+  config.threadsPerTeam = threads;
+  return config;
+}
+
+// ---------------- TargetConfig validation ----------------
+
+TEST(TargetConfigTest, RejectsZeroTeams) {
+  Device dev(ArchSpec::testTiny());
+  auto config = makeConfig(ExecMode::kSPMD, 0);
+  EXPECT_FALSE(config.validate(dev.arch()).isOk());
+}
+
+TEST(TargetConfigTest, RejectsNonWarpMultipleThreads) {
+  Device dev(ArchSpec::testTiny());
+  auto config = makeConfig(ExecMode::kSPMD, 1, 40);
+  EXPECT_FALSE(config.validate(dev.arch()).isOk());
+}
+
+TEST(TargetConfigTest, GenericModeAccountsForExtraWarp) {
+  Device dev(ArchSpec::testTiny());  // max 256 threads/block
+  auto spmd = makeConfig(ExecMode::kSPMD, 1, 256);
+  EXPECT_TRUE(spmd.validate(dev.arch()).isOk());
+  auto generic = makeConfig(ExecMode::kGeneric, 1, 256);
+  EXPECT_FALSE(generic.validate(dev.arch()).isOk());  // 256+32 > 256
+  auto generic_ok = makeConfig(ExecMode::kGeneric, 1, 224);
+  EXPECT_TRUE(generic_ok.validate(dev.arch()).isOk());
+}
+
+// ---------------- Target init protocol ----------------
+
+TEST(TargetInitTest, SpmdRunsRegionOnEveryThread) {
+  Device dev(ArchSpec::testTiny());
+  std::atomic<int> region_threads{0};
+  auto stats =
+      launchTarget(dev, makeConfig(ExecMode::kSPMD, 2, 64),
+                   [&](OmpContext&) { region_threads++; });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(region_threads.load(), 2 * 64);
+}
+
+TEST(TargetInitTest, GenericRunsRegionOnTeamMainOnly) {
+  Device dev(ArchSpec::testTiny());
+  std::atomic<int> region_threads{0};
+  std::set<uint32_t> main_ids;
+  auto stats = launchTarget(dev, makeConfig(ExecMode::kGeneric, 3, 64),
+                            [&](OmpContext& ctx) {
+                              region_threads++;
+                              main_ids.insert(ctx.gpu().threadId());
+                            });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(region_threads.load(), 3);
+  // The main thread is lane 0 of the extra warp.
+  ASSERT_EQ(main_ids.size(), 1u);
+  EXPECT_EQ(*main_ids.begin(), 64u);
+  // The block really carries the extra warp.
+  EXPECT_EQ(stats.value().threadsPerBlock, 64u + 32u);
+}
+
+TEST(TargetInitTest, GenericWorkersIdleThroughEmptyRegion) {
+  Device dev(ArchSpec::testTiny());
+  // A region with no parallel: workers must go straight from the state
+  // machine to termination without executing anything.
+  auto stats = launchTarget(dev, makeConfig(ExecMode::kGeneric, 1, 64),
+                            [](OmpContext& ctx) { ctx.gpu().work(10); });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_GT(stats.value().counters.get(Counter::kStatePoll), 0u);
+}
+
+// ---------------- __parallel mode matrix ----------------
+
+struct ParallelProbe {
+  std::atomic<int> microtask_runs{0};
+  std::set<uint32_t> thread_ids;
+};
+
+void probeMicrotask(OmpContext& ctx, void** args) {
+  auto* probe = static_cast<ParallelProbe*>(args[0]);
+  probe->microtask_runs++;
+  probe->thread_ids.insert(ctx.gpu().threadId());
+}
+
+TEST(ParallelTest, SpmdParallelRunsOnAllThreads) {
+  Device dev(ArchSpec::testTiny());
+  ParallelProbe probe;
+  void* args[] = {&probe};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &probeMicrotask, args, 1, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.microtask_runs.load(), 64);
+}
+
+TEST(ParallelTest, GenericParallelRunsOnGroupLeadersOnly) {
+  Device dev(ArchSpec::testTiny());
+  ParallelProbe probe;
+  void* args[] = {&probe};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &probeMicrotask, args, 1, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.microtask_runs.load(), 64 / 8);
+  for (uint32_t id : probe.thread_ids) EXPECT_EQ(id % 8, 0u);
+}
+
+TEST(ParallelTest, GenericTeamsPublishesToWorkers) {
+  Device dev(ArchSpec::testTiny());
+  ParallelProbe probe;
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kGeneric, 1, 64), [&](OmpContext& ctx) {
+        // Only team main executes this; args must travel through the
+        // team sharing space to the workers.
+        void* args[] = {&probe};
+        rt::parallel(ctx, &probeMicrotask, args, 1, {ExecMode::kSPMD, 1});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.microtask_runs.load(), 64);  // main does not participate
+  EXPECT_EQ(probe.thread_ids.count(64), 0u);
+}
+
+TEST(ParallelTest, GroupSizeOneMakesEveryThreadALeader) {
+  Device dev(ArchSpec::testTiny());
+  ParallelProbe probe;
+  void* args[] = {&probe};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &probeMicrotask, args, 1, {ExecMode::kGeneric, 1});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.microtask_runs.load(), 32);
+}
+
+TEST(ParallelTest, SequentialParallelRegionsReuseTheTeam) {
+  Device dev(ArchSpec::testTiny());
+  ParallelProbe probe;
+  void* args[] = {&probe};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kGeneric, 1, 64), [&](OmpContext& ctx) {
+        for (int round = 0; round < 4; ++round) {
+          rt::parallel(ctx, &probeMicrotask, args, 1, {ExecMode::kSPMD, 1});
+        }
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.microtask_runs.load(), 4 * 64);
+  EXPECT_EQ(stats.value().counters.get(Counter::kParallelRegion), 4u);
+}
+
+// ---------------- SIMD group mapping (section 5.1) ----------------
+
+struct MappingProbe {
+  std::atomic<int> checks{0};
+};
+
+void mappingMicrotask(OmpContext& ctx, void** args) {
+  auto* probe = static_cast<MappingProbe*>(args[0]);
+  const uint32_t tid = ctx.gpu().threadId();
+  EXPECT_EQ(ctx.simdGroup(), tid / 8);
+  EXPECT_EQ(ctx.simdGroupId(), tid % 8);
+  EXPECT_EQ(ctx.simdGroupSize(), 8u);
+  EXPECT_EQ(ctx.isSimdGroupLeader(), tid % 8 == 0);
+  // simdmask covers exactly this group's lanes within the warp.
+  const uint32_t lane_base = (ctx.gpu().laneId() / 8) * 8;
+  EXPECT_EQ(ctx.simdMask(), rangeMask(lane_base, 8));
+  EXPECT_EQ(ctx.threadNum(), ctx.simdGroup());
+  EXPECT_EQ(ctx.numThreads(), ctx.gpu().numThreads() / 8);
+  probe->checks++;
+}
+
+TEST(MappingTest, AllFunctionsConsistentInSpmdParallel) {
+  Device dev(ArchSpec::testTiny());
+  MappingProbe probe;
+  void* args[] = {&probe};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &mappingMicrotask, args, 1, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.checks.load(), 64);
+}
+
+TEST(MappingTest, OutsideParallelGroupSizeIsOne) {
+  Device dev(ArchSpec::testTiny());
+  auto stats = launchTarget(dev, makeConfig(ExecMode::kSPMD, 1, 32),
+                            [&](OmpContext& ctx) {
+                              EXPECT_EQ(ctx.simdGroupSize(), 1u);
+                              EXPECT_TRUE(ctx.isSimdGroupLeader());
+                              EXPECT_EQ(ctx.numThreads(), 1u);
+                              EXPECT_EQ(popcount(ctx.simdMask()), 1);
+                            });
+  ASSERT_TRUE(stats.isOk());
+}
+
+// ---------------- normalizeParallelConfig ----------------
+
+TEST(NormalizeTest, ClampsToWarpSizeAndPowerOfTwo) {
+  TeamState ts(ExecMode::kSPMD, 64, 32, true, nullptr);
+  EXPECT_EQ(rt::normalizeParallelConfig(ts, {ExecMode::kSPMD, 0}).simdGroupSize,
+            1u);
+  EXPECT_EQ(
+      rt::normalizeParallelConfig(ts, {ExecMode::kSPMD, 48}).simdGroupSize,
+      32u);
+  EXPECT_EQ(rt::normalizeParallelConfig(ts, {ExecMode::kSPMD, 6}).simdGroupSize,
+            4u);
+  EXPECT_EQ(
+      rt::normalizeParallelConfig(ts, {ExecMode::kSPMD, 16}).simdGroupSize,
+      16u);
+}
+
+TEST(NormalizeTest, AmdGenericFallsBackToSequentialSimd) {
+  TeamState amd(ExecMode::kSPMD, 64, 64, /*arch_has_warp_barrier=*/false,
+                nullptr);
+  EXPECT_EQ(
+      rt::normalizeParallelConfig(amd, {ExecMode::kGeneric, 16}).simdGroupSize,
+      1u);
+  // SPMD mode keeps its groups even without warp barriers.
+  EXPECT_EQ(
+      rt::normalizeParallelConfig(amd, {ExecMode::kSPMD, 16}).simdGroupSize,
+      16u);
+}
+
+// ---------------- __simd / state machine ----------------
+
+struct SimdProbe {
+  std::atomic<int> iterations{0};
+  std::vector<std::atomic<int>> perIv = std::vector<std::atomic<int>>(32);
+};
+
+void simdBody(OmpContext& ctx, uint64_t iv, void** args) {
+  auto* probe = static_cast<SimdProbe*>(args[0]);
+  probe->iterations++;
+  probe->perIv[iv]++;
+  ctx.gpu().work(1);
+}
+
+void simdRegion(OmpContext& ctx, void** args) {
+  // args[0] = probe, args[1] = trip count
+  const auto trip = *static_cast<uint64_t*>(args[1]);
+  rt::simd(ctx, &simdBody, trip, args, 2);
+}
+
+class SimdModeMatrix
+    : public ::testing::TestWithParam<std::tuple<ExecMode, uint32_t>> {};
+
+TEST_P(SimdModeMatrix, EveryIterationRunsExactlyOncePerGroup) {
+  const auto [parallel_mode, group] = GetParam();
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 20;
+  void* args[] = {&probe, &trip};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &simdRegion, args, 2, {parallel_mode, group});
+      });
+  ASSERT_TRUE(stats.isOk());
+  const int groups = static_cast<int>(64 / group);
+  EXPECT_EQ(probe.iterations.load(), groups * 20);
+  for (int iv = 0; iv < 20; ++iv) {
+    EXPECT_EQ(probe.perIv[iv].load(), groups) << "iv " << iv;
+  }
+  for (int iv = 20; iv < 32; ++iv) EXPECT_EQ(probe.perIv[iv].load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndGroups, SimdModeMatrix,
+    ::testing::Combine(::testing::Values(ExecMode::kSPMD, ExecMode::kGeneric),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u)));
+
+TEST(SimdTest, GenericSimdSharesArgsThroughSharingSpace) {
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 8;
+  void* args[] = {&probe, &trip};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &simdRegion, args, 2, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // Leaders stored two arg pointers each (plus region bookkeeping).
+  EXPECT_GT(stats.value().counters.get(Counter::kPayloadArgCopy), 0u);
+  EXPECT_GT(stats.value().counters.get(Counter::kSharedStore), 0u);
+  EXPECT_GT(stats.value().counters.get(Counter::kStatePoll), 0u);
+}
+
+TEST(SimdTest, SpmdSimdNeedsNoStateMachine) {
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 8;
+  void* args[] = {&probe, &trip};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &simdRegion, args, 2, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kStatePoll), 0u);
+}
+
+TEST(SimdTest, MultipleSimdLoopsPerRegion) {
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 16;
+  void* args[] = {&probe, &trip};
+  auto region = +[](OmpContext& ctx, void** inner_args) {
+    const auto t = *static_cast<uint64_t*>(inner_args[1]);
+    rt::simd(ctx, &simdBody, t, inner_args, 2);
+    rt::simd(ctx, &simdBody, t, inner_args, 2);
+    rt::simd(ctx, &simdBody, t, inner_args, 2);
+  };
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, region, args, 2, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.iterations.load(), 3 * 8 * 16);
+  EXPECT_EQ(stats.value().counters.get(Counter::kSimdLoop), 3u * 8u);
+}
+
+TEST(SimdTest, EmptyTripCountIsSafe) {
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 0;
+  void* args[] = {&probe, &trip};
+  for (ExecMode mode : {ExecMode::kSPMD, ExecMode::kGeneric}) {
+    auto stats = launchTarget(
+        dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+          rt::parallel(ctx, &simdRegion, args, 2, {mode, 8});
+        });
+    ASSERT_TRUE(stats.isOk());
+  }
+  EXPECT_EQ(probe.iterations.load(), 0);
+}
+
+TEST(SimdTest, TripSmallerThanGroupLeavesLanesIdle) {
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 3;  // < group size 8
+  void* args[] = {&probe, &trip};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &simdRegion, args, 2, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(probe.iterations.load(), 4 * 3);
+}
+
+// ---------------- workshareFor / distribute ----------------
+
+void forBody(OmpContext& ctx, uint64_t iv, void** args) {
+  auto* hits = static_cast<std::atomic<int>*>(args[0]);
+  hits[iv]++;
+  ctx.gpu().work(1);
+}
+
+void forRegion(OmpContext& ctx, void** args) {
+  const auto trip = *static_cast<uint64_t*>(args[1]);
+  rt::workshareFor(ctx, trip, &forBody, args);
+}
+
+TEST(WorkshareForTest, IterationsSplitAcrossGroupsOnce) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(40);
+  uint64_t trip = 40;
+  void* args[] = {hits.data(), &trip};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &forRegion, args, 2, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.value().counters.get(Counter::kWorkshareLoop), 8u);
+}
+
+TEST(WorkshareForTest, SpmdModeRunsRedundantlyPerLane) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(10);
+  uint64_t trip = 10;
+  void* args[] = {hits.data(), &trip};
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kSPMD, 1, 32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &forRegion, args, 2, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // Every lane of the owning group executes the iteration redundantly.
+  for (auto& h : hits) EXPECT_EQ(h.load(), 8);
+}
+
+TEST(DistributeTest, ContiguousCoverageAcrossTeams) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(100);
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kGeneric, 7, 32), [&](OmpContext& ctx) {
+        const rt::Range r = rt::distributeStatic(ctx, 100);
+        for (uint64_t iv = r.begin; iv < r.end; ++iv) hits[iv]++;
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DistributeTest, MoreTeamsThanIterations) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<std::atomic<int>> hits(3);
+  auto stats = launchTarget(
+      dev, makeConfig(ExecMode::kGeneric, 8, 32), [&](OmpContext& ctx) {
+        const rt::Range r = rt::distributeStatic(ctx, 3);
+        for (uint64_t iv = r.begin; iv < r.end; ++iv) hits[iv]++;
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ---------------- teamBarrier ----------------
+
+TEST(TeamBarrierTest, SynchronizesSpmdTeam) {
+  Device dev(ArchSpec::testTiny());
+  std::atomic<int> before{0};
+  auto stats = launchTarget(dev, makeConfig(ExecMode::kSPMD, 1, 64),
+                            [&](OmpContext& ctx) {
+                              before++;
+                              rt::teamBarrier(ctx);
+                              EXPECT_EQ(before.load(), 64);
+                            });
+  ASSERT_TRUE(stats.isOk());
+}
+
+// ---------------- Generic overhead ordering ----------------
+
+TEST(OverheadTest, GenericParallelCostsMoreThanSpmd) {
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 32;
+  void* args[] = {&probe, &trip};
+  uint64_t cycles[2] = {0, 0};
+  int idx = 0;
+  for (ExecMode mode : {ExecMode::kSPMD, ExecMode::kGeneric}) {
+    auto stats = launchTarget(
+        dev, makeConfig(ExecMode::kSPMD, 1, 64), [&](OmpContext& ctx) {
+          for (int i = 0; i < 10; ++i) {
+            rt::parallel(ctx, &simdRegion, args, 2, {mode, 8});
+          }
+        });
+    ASSERT_TRUE(stats.isOk());
+    cycles[idx++] = stats.value().cycles;
+  }
+  EXPECT_LT(cycles[0], cycles[1]);  // SPMD cheaper than generic
+}
+
+TEST(OverheadTest, TeamsGenericCostsMoreThanTeamsSpmd) {
+  Device dev(ArchSpec::testTiny());
+  SimdProbe probe;
+  uint64_t trip = 32;
+  void* args[] = {&probe, &trip};
+  uint64_t cycles[2] = {0, 0};
+  int idx = 0;
+  for (ExecMode teams : {ExecMode::kSPMD, ExecMode::kGeneric}) {
+    auto stats = launchTarget(
+        dev, makeConfig(teams, 2, 64), [&](OmpContext& ctx) {
+          for (int i = 0; i < 5; ++i) {
+            rt::parallel(ctx, &simdRegion, args, 2, {ExecMode::kSPMD, 8});
+          }
+        });
+    ASSERT_TRUE(stats.isOk());
+    cycles[idx++] = stats.value().cycles;
+  }
+  EXPECT_LT(cycles[0], cycles[1]);
+}
+
+}  // namespace
+}  // namespace simtomp::omprt

@@ -1,0 +1,270 @@
+// Tests for worksharing schedules (static cyclic/chunked, dynamic) and
+// the team-level reduction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "omprt/runtime.h"
+#include "omprt/target.h"
+
+namespace simtomp::omprt {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Counter;
+using gpusim::Device;
+
+TargetConfig spmdConfig(uint32_t threads, uint32_t teams = 1) {
+  TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = teams;
+  config.threadsPerTeam = threads;
+  return config;
+}
+
+struct SchedProbe {
+  std::vector<std::atomic<int>> hits;
+  std::vector<std::atomic<int>> owner;  // which group ran each iv
+  explicit SchedProbe(size_t n) : hits(n), owner(n) {}
+};
+
+void schedBody(OmpContext& ctx, uint64_t iv, void** args) {
+  auto* probe = static_cast<SchedProbe*>(args[0]);
+  probe->hits[iv]++;
+  probe->owner[iv].store(static_cast<int>(ctx.threadNum()));
+  ctx.gpu().work(1);
+}
+
+struct SchedRegionArgs {
+  SchedProbe* probe;
+  uint64_t trip;
+  ScheduleClause schedule;
+};
+
+void schedRegion(OmpContext& ctx, void** args) {
+  auto* ra = static_cast<SchedRegionArgs*>(args[0]);
+  void* body_args[] = {ra->probe};
+  rt::workshareForScheduled(ctx, ra->trip, &schedBody, body_args,
+                            ra->schedule);
+}
+
+class ScheduleMatrix
+    : public ::testing::TestWithParam<std::tuple<ForSchedule, uint32_t>> {};
+
+TEST_P(ScheduleMatrix, EveryIterationRunsOnce) {
+  const auto [kind, group] = GetParam();
+  Device dev(ArchSpec::testTiny());
+  SchedProbe probe(97);
+  SchedRegionArgs ra{&probe, 97, {kind, 3}};
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &schedRegion, args, 1, {ExecMode::kSPMD, group});
+      });
+  ASSERT_TRUE(stats.isOk()) << stats.status().toString();
+  for (size_t iv = 0; iv < 97; ++iv) {
+    // SPMD: every lane of the owning group runs the iteration.
+    EXPECT_EQ(probe.hits[iv].load(), static_cast<int>(group)) << iv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndGroups, ScheduleMatrix,
+    ::testing::Combine(::testing::Values(ForSchedule::kStaticCyclic,
+                                         ForSchedule::kStaticChunked,
+                                         ForSchedule::kDynamic),
+                       ::testing::Values(1u, 4u, 16u)));
+
+TEST(ScheduleTest, StaticChunkedIsContiguous) {
+  Device dev(ArchSpec::testTiny());
+  SchedProbe probe(64);
+  SchedRegionArgs ra{&probe, 64, {ForSchedule::kStaticChunked, 0}};
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &schedRegion, args, 1, {ExecMode::kSPMD, 16});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // 4 groups, chunk 16: iv / 16 == owning group.
+  for (size_t iv = 0; iv < 64; ++iv) {
+    EXPECT_EQ(probe.owner[iv].load(), static_cast<int>(iv / 16)) << iv;
+  }
+}
+
+TEST(ScheduleTest, StaticCyclicInterleaves) {
+  Device dev(ArchSpec::testTiny());
+  SchedProbe probe(64);
+  SchedRegionArgs ra{&probe, 64, {ForSchedule::kStaticCyclic, 0}};
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &schedRegion, args, 1, {ExecMode::kSPMD, 16});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (size_t iv = 0; iv < 64; ++iv) {
+    EXPECT_EQ(probe.owner[iv].load(), static_cast<int>(iv % 4)) << iv;
+  }
+}
+
+TEST(ScheduleTest, DynamicUsesAtomicGrabs) {
+  Device dev(ArchSpec::testTiny());
+  SchedProbe probe(80);
+  SchedRegionArgs ra{&probe, 80, {ForSchedule::kDynamic, 4}};
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &schedRegion, args, 1, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // 80 iterations in chunks of 4: at least 20 successful grabs, plus
+  // one failing grab per group (8 groups) to observe exhaustion.
+  EXPECT_GE(stats.value().counters.get(Counter::kAtomicRmw), 20u + 8u);
+}
+
+TEST(ScheduleTest, DynamicFallsBackInGenericParallel) {
+  Device dev(ArchSpec::testTiny());
+  SchedProbe probe(40);
+  SchedRegionArgs ra{&probe, 40, {ForSchedule::kDynamic, 4}};
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &schedRegion, args, 1, {ExecMode::kGeneric, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  // Fallback is static: no dynamic-counter atomics, still correct.
+  EXPECT_EQ(stats.value().counters.get(Counter::kAtomicRmw), 0u);
+  for (size_t iv = 0; iv < 40; ++iv) {
+    EXPECT_EQ(probe.hits[iv].load(), 1);  // generic: leaders only
+  }
+}
+
+TEST(ScheduleTest, DynamicFallsBackInGenericTeams) {
+  Device dev(ArchSpec::testTiny());
+  TargetConfig config;
+  config.teamsMode = ExecMode::kGeneric;
+  config.numTeams = 1;
+  config.threadsPerTeam = 64;
+  SchedProbe probe(40);
+  SchedRegionArgs ra{&probe, 40, {ForSchedule::kDynamic, 4}};
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    void* args[] = {&ra};
+    rt::parallel(ctx, &schedRegion, args, 1, {ExecMode::kSPMD, 8});
+  });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats.value().counters.get(Counter::kAtomicRmw), 0u);
+  for (size_t iv = 0; iv < 40; ++iv) {
+    EXPECT_EQ(probe.hits[iv].load(), 8);  // SPMD region: all group lanes
+  }
+}
+
+TEST(ScheduleTest, BackToBackDynamicLoopsReinitialize) {
+  Device dev(ArchSpec::testTiny());
+  SchedProbe probe_a(32);
+  SchedProbe probe_b(32);
+  auto region = +[](OmpContext& ctx, void** args) {
+    auto* pa = static_cast<SchedProbe*>(args[0]);
+    auto* pb = static_cast<SchedProbe*>(args[1]);
+    const ScheduleClause dyn{ForSchedule::kDynamic, 2};
+    void* a_args[] = {pa};
+    rt::workshareForScheduled(ctx, 32, &schedBody, a_args, dyn);
+    void* b_args[] = {pb};
+    rt::workshareForScheduled(ctx, 32, &schedBody, b_args, dyn);
+  };
+  void* args[] = {&probe_a, &probe_b};
+  auto stats = launchTarget(
+      dev, spmdConfig(32), [&](OmpContext& ctx) {
+        rt::parallel(ctx, region, args, 2, {ExecMode::kSPMD, 4});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (size_t iv = 0; iv < 32; ++iv) {
+    EXPECT_EQ(probe_a.hits[iv].load(), 4);
+    EXPECT_EQ(probe_b.hits[iv].load(), 4);
+  }
+}
+
+TEST(ScheduleTest, EmptyTripAllSchedules) {
+  Device dev(ArchSpec::testTiny());
+  for (ForSchedule kind : {ForSchedule::kStaticCyclic,
+                           ForSchedule::kStaticChunked,
+                           ForSchedule::kDynamic}) {
+    SchedProbe probe(1);
+    SchedRegionArgs ra{&probe, 0, {kind, 2}};
+    void* args[] = {&ra};
+    auto stats = launchTarget(
+        dev, spmdConfig(32), [&](OmpContext& ctx) {
+          rt::parallel(ctx, &schedRegion, args, 1, {ExecMode::kSPMD, 8});
+        });
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_EQ(probe.hits[0].load(), 0);
+  }
+}
+
+// ---------------- teamReduceAdd ----------------
+
+struct TeamReduceArgs {
+  double result = 0.0;
+};
+
+void teamReduceRegion(OmpContext& ctx, void** args) {
+  auto* ra = static_cast<TeamReduceArgs*>(args[0]);
+  // Each group contributes its leader's group index + 1.
+  const double mine = static_cast<double>(ctx.threadNum() + 1);
+  const double total = rt::teamReduceAdd(ctx, mine);
+  if (ctx.gpu().threadId() == 0) ra->result = total;
+}
+
+class TeamReduceProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TeamReduceProperty, SumsAllGroups) {
+  const uint32_t group = GetParam();
+  Device dev(ArchSpec::testTiny());
+  TeamReduceArgs ra;
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &teamReduceRegion, args, 1,
+                     {ExecMode::kSPMD, group});
+      });
+  ASSERT_TRUE(stats.isOk());
+  const uint32_t n = 64 / group;
+  EXPECT_DOUBLE_EQ(ra.result, static_cast<double>(n) * (n + 1) / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, TeamReduceProperty,
+                         ::testing::Values(1u, 2u, 8u, 32u));
+
+TEST(TeamReduceTest, NonPowerOfTwoGroupCount) {
+  // 96 threads, group 32 -> 3 groups (non-power-of-two tree).
+  Device dev(ArchSpec::testTiny());
+  TeamReduceArgs ra;
+  void* args[] = {&ra};
+  auto stats = launchTarget(
+      dev, spmdConfig(96), [&](OmpContext& ctx) {
+        rt::parallel(ctx, &teamReduceRegion, args, 1, {ExecMode::kSPMD, 32});
+      });
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_DOUBLE_EQ(ra.result, 1.0 + 2.0 + 3.0);
+}
+
+TEST(TeamReduceTest, RepeatedReductionsStayConsistent) {
+  Device dev(ArchSpec::testTiny());
+  std::vector<double> results(5, 0.0);
+  auto region = +[](OmpContext& ctx, void** args) {
+    auto* out = static_cast<std::vector<double>*>(args[0]);
+    for (int round = 0; round < 5; ++round) {
+      const double total = rt::teamReduceAdd(ctx, 1.0);
+      if (ctx.gpu().threadId() == 0) (*out)[round] = total;
+    }
+  };
+  void* args[] = {&results};
+  auto stats = launchTarget(
+      dev, spmdConfig(64), [&](OmpContext& ctx) {
+        rt::parallel(ctx, region, args, 1, {ExecMode::kSPMD, 8});
+      });
+  ASSERT_TRUE(stats.isOk());
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 8.0);  // 8 groups x 1.0
+}
+
+}  // namespace
+}  // namespace simtomp::omprt

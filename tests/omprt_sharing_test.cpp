@@ -1,0 +1,176 @@
+// Unit tests for the variable sharing space (paper section 5.3.1).
+#include <gtest/gtest.h>
+
+#include "gpusim/block.h"
+#include "omprt/sharing.h"
+
+namespace simtomp::omprt {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::BlockEngine;
+using gpusim::CostModel;
+using gpusim::Counter;
+using gpusim::DeviceMemory;
+
+class SharingTest : public ::testing::Test {
+ protected:
+  SharingTest()
+      : arch_(ArchSpec::testTiny()),
+        mem_(1 << 20),
+        block_(arch_, cost_, mem_, 0, 1, 32) {}
+
+  gpusim::ThreadCtx& t() { return block_.thread(0); }
+
+  ArchSpec arch_;
+  CostModel cost_;
+  DeviceMemory mem_;
+  BlockEngine block_;
+};
+
+TEST_F(SharingTest, SlotsPerGroupDividesEvenly) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 32);
+  // 2048 bytes - 128 team reserve = 1920 bytes over N groups.
+  EXPECT_EQ(space.slotsPerGroup(4), 1920u / 4 / 8);
+  EXPECT_EQ(space.slotsPerGroup(16), 1920u / 16 / 8);
+  EXPECT_EQ(space.slotsPerGroup(64), 1920u / 64 / 8);
+  EXPECT_EQ(space.sizeBytes(), 2048u);
+}
+
+TEST_F(SharingTest, PaperSizesSmallerSpaceMeansFewerSlots) {
+  SharingSpace space1024(block_.sharedMemory(), mem_, 1024, 32);
+  SharingSpace space2048(block_.sharedMemory(), mem_, 2048, 32);
+  EXPECT_LT(space1024.slotsPerGroup(16), space2048.slotsPerGroup(16));
+}
+
+TEST_F(SharingTest, ShareAndFetchRoundTrip) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 32);
+  int a = 1;
+  int b = 2;
+  void** area = space.beginSharing(t(), /*group=*/3, /*numGroups=*/8, 2);
+  ASSERT_NE(area, nullptr);
+  space.storeArg(t(), 3, area, 0, &a);
+  space.storeArg(t(), 3, area, 1, &b);
+  void** fetched = space.fetchArgs(t(), 3);
+  EXPECT_EQ(fetched, area);
+  EXPECT_EQ(fetched[0], &a);
+  EXPECT_EQ(fetched[1], &b);
+  EXPECT_FALSE(space.overflowed(3));
+  space.endSharing(t(), 3);
+}
+
+TEST_F(SharingTest, GroupSlicesAreDisjoint) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 32);
+  const uint32_t slots = space.slotsPerGroup(4);
+  void** a0 = space.beginSharing(t(), 0, 4, slots);
+  void** a1 = space.beginSharing(t(), 1, 4, slots);
+  void** a3 = space.beginSharing(t(), 3, 4, slots);
+  EXPECT_EQ(a1, a0 + slots);
+  EXPECT_EQ(a3, a0 + 3 * slots);
+  space.endSharing(t(), 0);
+  space.endSharing(t(), 1);
+  space.endSharing(t(), 3);
+}
+
+TEST_F(SharingTest, OverflowGoesToGlobalMemory) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 64);
+  const uint32_t slots = space.slotsPerGroup(64);  // small slices
+  const size_t global_before = mem_.bytesInUse();
+  void** area = space.beginSharing(t(), 5, 64, slots + 1);
+  ASSERT_NE(area, nullptr);
+  EXPECT_TRUE(space.overflowed(5));
+  EXPECT_GT(mem_.bytesInUse(), global_before);
+  EXPECT_EQ(space.overflowCount(), 1u);
+  EXPECT_EQ(t().counters().get(Counter::kSharingSpaceOverflow), 1u);
+  space.endSharing(t(), 5);
+  EXPECT_EQ(mem_.bytesInUse(), global_before);  // overflow released
+  EXPECT_FALSE(space.overflowed(5));
+}
+
+TEST_F(SharingTest, OverflowChargesGlobalStores) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 64);
+  const uint32_t slots = space.slotsPerGroup(64);
+  void** area = space.beginSharing(t(), 0, 64, slots + 4);
+  int v = 0;
+  const uint64_t global_stores_before =
+      t().counters().get(Counter::kGlobalStore);
+  space.storeArg(t(), 0, area, 0, &v);
+  EXPECT_EQ(t().counters().get(Counter::kGlobalStore),
+            global_stores_before + 1);
+  space.endSharing(t(), 0);
+}
+
+TEST_F(SharingTest, InSpaceSharingChargesSharedStores) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 8);
+  void** area = space.beginSharing(t(), 0, 8, 2);
+  int v = 0;
+  const uint64_t shared_stores_before =
+      t().counters().get(Counter::kSharedStore);
+  space.storeArg(t(), 0, area, 0, &v);
+  EXPECT_EQ(t().counters().get(Counter::kSharedStore),
+            shared_stores_before + 1);
+  EXPECT_GT(t().counters().get(Counter::kPayloadArgCopy), 0u);
+  space.endSharing(t(), 0);
+}
+
+TEST_F(SharingTest, TeamSharingUsesReserve) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 8);
+  int v = 9;
+  void** area = space.beginTeamSharing(t(), 4);
+  ASSERT_NE(area, nullptr);
+  space.storeArg(t(), 0, area, 0, &v);
+  EXPECT_EQ(space.fetchTeamArgs(t()), area);
+  space.endTeamSharing(t());
+}
+
+TEST_F(SharingTest, TeamSharingOverflowsBeyondReserve) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 8);
+  // Reserve is 128 bytes = 16 slots; ask for more.
+  const size_t global_before = mem_.bytesInUse();
+  void** area = space.beginTeamSharing(t(), 20);
+  ASSERT_NE(area, nullptr);
+  EXPECT_GT(mem_.bytesInUse(), global_before);
+  space.endTeamSharing(t());
+  EXPECT_EQ(mem_.bytesInUse(), global_before);
+}
+
+TEST_F(SharingTest, ZeroSizedSpaceAlwaysOverflows) {
+  SharingSpace space(block_.sharedMemory(), mem_, 0, 4);
+  void** area = space.beginSharing(t(), 0, 4, 1);
+  ASSERT_NE(area, nullptr);
+  EXPECT_TRUE(space.overflowed(0));
+  space.endSharing(t(), 0);
+}
+
+TEST_F(SharingTest, OversizedRequestDegradesToOverflowOnly) {
+  // Bigger than the whole scratchpad: the constructor warns and keeps
+  // working with size 0.
+  SharingSpace space(block_.sharedMemory(), mem_,
+                     static_cast<uint32_t>(block_.sharedMemory().capacity()) +
+                         4096,
+                     4);
+  EXPECT_EQ(space.sizeBytes(), 0u);
+  void** area = space.beginSharing(t(), 1, 4, 2);
+  ASSERT_NE(area, nullptr);
+  EXPECT_TRUE(space.overflowed(1));
+  space.endSharing(t(), 1);
+}
+
+TEST_F(SharingTest, ManyGroupsFewSlotsEach) {
+  SharingSpace space(block_.sharedMemory(), mem_, 2048, 64);
+  // Paper: "In a case where a large number of SIMD groups are used the
+  // variable sharing space is less likely to be able to fit all
+  // variables" — with 64 groups each slice has (1920/64)/8 = 3 slots.
+  EXPECT_EQ(space.slotsPerGroup(64), 3u);
+  void** ok = space.beginSharing(t(), 0, 64, 3);
+  EXPECT_FALSE(space.overflowed(0));
+  void** over = space.beginSharing(t(), 1, 64, 4);
+  EXPECT_TRUE(space.overflowed(1));
+  ASSERT_NE(ok, nullptr);
+  ASSERT_NE(over, nullptr);
+  space.endSharing(t(), 0);
+  space.endSharing(t(), 1);
+}
+
+}  // namespace
+}  // namespace simtomp::omprt

@@ -1,0 +1,97 @@
+// simtomp_info: inspect the simulated architectures and launch shapes.
+//
+//   simtomp_info                      — list the architecture presets
+//   simtomp_info occupancy T [S]      — occupancy table for blocks of T
+//                                       threads using S bytes of shared
+//                                       memory (default: the runtime's
+//                                       2,048-byte sharing space)
+//   simtomp_info groups T             — legal SIMD group configurations
+//                                       for a team of T worker threads
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "gpusim/arch.h"
+#include "gpusim/occupancy.h"
+#include "omprt/target.h"
+
+using namespace simtomp;
+
+namespace {
+
+const gpusim::ArchSpec kPresets[] = {
+    gpusim::ArchSpec::nvidiaA100(),
+    gpusim::ArchSpec::amdMI100(),
+    gpusim::ArchSpec::testTiny(),
+};
+
+void listPresets() {
+  std::printf("%-10s %-7s %5s %5s %9s %11s %12s %s\n", "name", "vendor",
+              "warp", "SMs", "thr/blk", "shared/blk", "shared/SM",
+              "warp barriers");
+  for (const auto& arch : kPresets) {
+    std::printf("%-10s %-7s %5u %5u %9u %10uK %11uK %s\n", arch.name.c_str(),
+                arch.vendor == gpusim::Vendor::kNvidia ? "nvidia" : "amd",
+                arch.warpSize, arch.numSMs, arch.maxThreadsPerBlock,
+                arch.sharedMemPerBlock / 1024, arch.sharedMemPerSM / 1024,
+                arch.hasWarpLevelBarrier ? "yes" : "no");
+  }
+}
+
+void occupancyTable(uint32_t threads, uint32_t shared_bytes) {
+  std::printf("occupancy for %u threads/block, %u shared bytes/block:\n",
+              threads, shared_bytes);
+  std::printf("%-10s %9s %12s %12s %10s\n", "arch", "warps/blk",
+              "blk/SM(thr)", "blk/SM(shm)", "occupancy");
+  for (const auto& arch : kPresets) {
+    const gpusim::OccupancyInfo info =
+        gpusim::computeOccupancy(arch, threads, shared_bytes);
+    std::printf("%-10s %9u %12u %12u %9.0f%%\n", arch.name.c_str(),
+                info.warpsPerBlock, info.blocksPerSmByThreads,
+                info.blocksPerSmByShared, info.warpOccupancy * 100.0);
+  }
+}
+
+void groupTable(uint32_t threads) {
+  std::printf("SIMD group configurations for %u worker threads:\n", threads);
+  for (const auto& arch : kPresets) {
+    std::printf("%s (warp %u):\n", arch.name.c_str(), arch.warpSize);
+    if (threads % arch.warpSize != 0) {
+      std::printf("  (threads must be a multiple of the warp size)\n");
+      continue;
+    }
+    std::printf("  %-8s %-8s %-14s %s\n", "simdlen", "groups", "groups/warp",
+                "generic-SIMD");
+    for (uint32_t g = 1; g <= arch.warpSize; g *= 2) {
+      const bool generic_ok = arch.hasWarpLevelBarrier || g == 1;
+      std::printf("  %-8u %-8u %-14u %s\n", g, threads / g,
+                  arch.warpSize / g,
+                  generic_ok ? "supported" : "falls back to simdlen 1");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc <= 1) {
+    listPresets();
+    return 0;
+  }
+  if (std::strcmp(argv[1], "occupancy") == 0 && argc >= 3) {
+    const auto threads = static_cast<uint32_t>(std::atoi(argv[2]));
+    const uint32_t shared_bytes =
+        argc >= 4 ? static_cast<uint32_t>(std::atoi(argv[3]))
+                  : omprt::kDefaultSharingSpaceBytes;
+    occupancyTable(threads, shared_bytes);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "groups") == 0 && argc >= 3) {
+    groupTable(static_cast<uint32_t>(std::atoi(argv[2])));
+    return 0;
+  }
+  std::fprintf(stderr,
+               "usage: simtomp_info [occupancy <threads> [sharedBytes] | "
+               "groups <threads>]\n");
+  return 2;
+}

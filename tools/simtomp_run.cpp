@@ -1,0 +1,178 @@
+// simtomp_run: run a built-in workload under a directive you type.
+//
+//   simtomp_run <kernel> "<directive>" [--csv]
+//
+//   kernels: spmv | su3 | ideal | laplace3d | transpose | interpol | gemm
+//
+// Examples:
+//   simtomp_run spmv "target teams distribute parallel for simd \
+//                     num_teams(64) thread_limit(256) simdlen(8)"
+//   simtomp_run su3  "target teams distribute parallel for simd simdlen(4)"
+//   simtomp_run laplace3d "target teams distribute parallel for \
+//                          parallel_mode(generic) simdlen(32)"
+//
+// The directive's constructs pick the execution modes via the
+// tightly-nested => SPMD rule (override with teams_mode/parallel_mode);
+// num_teams/thread_limit/simdlen shape the launch. The tool runs the
+// kernel on the A100-like device, verifies against the host reference,
+// and prints cycles plus the interesting counters (or a CSV row).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/batched_gemm.h"
+#include "apps/ideal_kernel.h"
+#include "apps/laplace3d.h"
+#include "apps/muram.h"
+#include "apps/sparse_matvec.h"
+#include "apps/su3.h"
+#include "front/directive.h"
+
+using namespace simtomp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simtomp_run <spmv|su3|ideal|laplace3d|transpose|"
+               "interpol|gemm> \"<directive>\" [--csv]\n");
+  return 2;
+}
+
+apps::SimdMode modeFromSpec(const dsl::LaunchSpec& launch) {
+  if (launch.simdlen <= 1) return apps::SimdMode::kNoSimd;
+  return launch.parallelMode == omprt::ExecMode::kGeneric
+             ? apps::SimdMode::kGenericSimd
+             : apps::SimdMode::kSpmdSimd;
+}
+
+Result<apps::AppRunResult> runKernel(const std::string& kernel,
+                                     gpusim::Device& device,
+                                     const dsl::LaunchSpec& launch) {
+  if (kernel == "spmv") {
+    apps::CsrGenConfig config;
+    config.numRows = 4096;
+    config.meanRowLength = 8;
+    config.maxRowLength = 64;
+    const apps::CsrMatrix A = apps::generateCsr(config);
+    apps::SpmvOptions options;
+    options.variant = launch.simdlen > 1
+                          ? apps::SpmvVariant::kThreeLevelAtomic
+                          : apps::SpmvVariant::kTwoLevel;
+    options.numTeams = launch.numTeams;
+    options.threadsPerTeam = launch.threadsPerTeam;
+    options.simdlen = launch.simdlen;
+    options.parallelMode = launch.parallelMode;
+    return apps::runSpmv(device, A, options);
+  }
+  if (kernel == "su3") {
+    const apps::Su3Workload w = apps::generateSu3(5120, 3);
+    apps::Su3Options options;
+    options.numTeams = launch.numTeams;
+    options.threadsPerTeam = launch.threadsPerTeam;
+    options.simdlen = launch.simdlen;
+    return apps::runSu3(device, w, options);
+  }
+  if (kernel == "ideal") {
+    const apps::IdealWorkload w = apps::generateIdeal(432, 32, 5);
+    apps::IdealOptions options;
+    options.numTeams = launch.numTeams;
+    options.threadsPerTeam = launch.threadsPerTeam;
+    options.simdlen = launch.simdlen;
+    return apps::runIdeal(device, w, options);
+  }
+  if (kernel == "laplace3d") {
+    const apps::Laplace3dWorkload w = apps::generateLaplace3d(34, 34, 258, 9);
+    apps::Laplace3dOptions options;
+    options.mode = modeFromSpec(launch);
+    options.numTeams = launch.numTeams;
+    options.threadsPerTeam = launch.threadsPerTeam;
+    options.simdlen = launch.simdlen;
+    return apps::runLaplace3d(device, w, options);
+  }
+  if (kernel == "transpose" || kernel == "interpol") {
+    const apps::MuramWorkload w = apps::generateMuram(32, 32, 256, 11);
+    apps::MuramOptions options;
+    options.mode = modeFromSpec(launch);
+    options.numTeams = launch.numTeams;
+    options.threadsPerTeam = launch.threadsPerTeam;
+    options.simdlen = launch.simdlen;
+    return kernel == "transpose" ? apps::runMuramTranspose(device, w, options)
+                                 : apps::runMuramInterpol(device, w, options);
+  }
+  if (kernel == "gemm") {
+    const apps::BatchedGemmWorkload w = apps::generateBatchedGemm(2048, 4, 7);
+    apps::BatchedGemmOptions options;
+    options.numTeams = launch.numTeams;
+    options.threadsPerTeam = launch.threadsPerTeam;
+    options.simdlen = launch.simdlen;
+    options.parallelMode = launch.parallelMode;
+    return apps::runBatchedGemm(device, w, options);
+  }
+  return Status::invalidArgument("unknown kernel '" + kernel + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string kernel = argv[1];
+  const std::string directive = argv[2];
+  const bool csv = argc >= 4 && std::strcmp(argv[3], "--csv") == 0;
+
+  auto parsed = front::parseDirective(directive);
+  if (!parsed.isOk()) {
+    std::fprintf(stderr, "directive error: %s\n",
+                 parsed.status().toString().c_str());
+    return 1;
+  }
+  gpusim::Device device;
+  const dsl::LaunchSpec launch = parsed.value().toLaunchSpec(device.arch());
+
+  auto result = runKernel(kernel, device, launch);
+  if (!result.isOk()) {
+    std::fprintf(stderr, "run error: %s\n",
+                 result.status().toString().c_str());
+    return 1;
+  }
+  const apps::AppRunResult& r = result.value();
+  if (!r.verified) {
+    std::fprintf(stderr, "VERIFICATION FAILED (max error %g)\n", r.maxError);
+    return 1;
+  }
+
+  if (csv) {
+    std::printf("kernel,%s\n", gpusim::KernelStats::csvHeader().c_str());
+    std::printf("%s,%s\n", kernel.c_str(), r.stats.csvRow().c_str());
+    return 0;
+  }
+  std::printf("%s: verified (max error %.2e)\n", kernel.c_str(), r.maxError);
+  std::printf("  launch     : %u teams x %u threads, teams %s, parallel %s, "
+              "simdlen %u\n",
+              launch.numTeams, launch.threadsPerTeam,
+              omprt::execModeName(launch.teamsMode).data(),
+              omprt::execModeName(launch.parallelMode).data(),
+              launch.simdlen);
+  std::printf("  cycles     : %llu (%u waves, occupancy %.0f%%)\n",
+              static_cast<unsigned long long>(r.stats.cycles), r.stats.waves,
+              r.stats.occupancy.warpOccupancy * 100.0);
+  const auto& c = r.stats.counters;
+  using gpusim::Counter;
+  std::printf("  simd loops : %llu (lane rounds %llu, idle %llu)\n",
+              static_cast<unsigned long long>(c.get(Counter::kSimdLoop)),
+              static_cast<unsigned long long>(c.get(Counter::kSimdLaneRounds)),
+              static_cast<unsigned long long>(
+                  c.get(Counter::kSimdIdleLaneRounds)));
+  std::printf("  syncs      : %llu warp, %llu block, %llu state polls\n",
+              static_cast<unsigned long long>(c.get(Counter::kWarpSync)),
+              static_cast<unsigned long long>(c.get(Counter::kBlockSync)),
+              static_cast<unsigned long long>(c.get(Counter::kStatePoll)));
+  std::printf("  memory     : %llu global loads, %llu stores, %llu atomics, "
+              "%llu shared accesses\n",
+              static_cast<unsigned long long>(c.get(Counter::kGlobalLoad)),
+              static_cast<unsigned long long>(c.get(Counter::kGlobalStore)),
+              static_cast<unsigned long long>(c.get(Counter::kAtomicRmw)),
+              static_cast<unsigned long long>(c.get(Counter::kSharedLoad) +
+                                              c.get(Counter::kSharedStore)));
+  return 0;
+}
