@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
         {{"simd reduction (future work)", reduction,
           static_cast<double>(atomic) / static_cast<double>(reduction)}});
   }
+  (void)bench::writeBenchJson("abl_reduction");
   return 0;
 }

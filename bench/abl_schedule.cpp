@@ -89,5 +89,6 @@ int main(int argc, char** argv) {
   }
   bench::printTable("Ablation: worksharing schedule under skewed work",
                     "static cyclic (runtime default)", cyclic, rows);
+  (void)bench::writeBenchJson("abl_schedule");
   return 0;
 }

@@ -89,5 +89,6 @@ int main(int argc, char** argv) {
        std::to_string(base.overflows) + " overflows)")
           .c_str(),
       "2048 bytes (paper)", base.cycles, rows);
+  (void)bench::writeBenchJson("abl_sharing_space");
   return 0;
 }

@@ -177,5 +177,6 @@ int main(int argc, char** argv) {
               &runTransposeCycles);
   printSeries("Fig. 10c muram_interpol (paper: spmd ~1.0x, generic ~0.85x)",
               &runInterpolCycles);
+  (void)bench::writeBenchJson("fig10_mode_overhead");
   return 0;
 }

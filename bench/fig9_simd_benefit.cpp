@@ -41,10 +41,13 @@ apps::CsrMatrix spmvMatrix() {
   return generateCsr(config);
 }
 
-uint64_t runSpmvCycles(const apps::SpmvOptions& options) {
+uint64_t runSpmvCycles(const apps::SpmvOptions& options,
+                       double* host_ms = nullptr) {
   gpusim::Device dev;  // fresh A100-like device per run
   static const apps::CsrMatrix A = spmvMatrix();
+  const bench::WallTimer timer;
   const auto result = checkOk(runSpmv(dev, A, options), "sparse_matvec");
+  if (host_ms != nullptr) *host_ms = timer.elapsedMs();
   checkVerified(result.verified, "sparse_matvec");
   return result.stats.cycles;
 }
@@ -201,6 +204,40 @@ void printFig9Summary() {
   }
 }
 
+// Host-parallel block execution: same spmv kernel, same simulated
+// cycles, wall-clock scaled by spreading independent teams over host
+// workers. Speedup here is host-time speedup over the 1-worker serial
+// run; the table asserts (via the cycle column) that the modeled
+// results don't move.
+void printHostParallelSummary() {
+  constexpr uint32_t kWorkerCounts[] = {2, 4, 8};
+  apps::SpmvOptions options = spmvSimdOptions(8);
+  options.hostWorkers = 1;
+  double serial_ms = 0.0;
+  const uint64_t serial_cycles = runSpmvCycles(options, &serial_ms);
+
+  std::vector<Row> rows;
+  rows.push_back({"host workers 1 (serial)", serial_cycles, 1.0, serial_ms});
+  for (uint32_t workers : kWorkerCounts) {
+    options.hostWorkers = workers;
+    double ms = 0.0;
+    const uint64_t cycles = runSpmvCycles(options, &ms);
+    if (cycles != serial_cycles) {
+      std::fprintf(stderr,
+                   "FATAL: host workers %u changed simulated cycles "
+                   "(%llu vs %llu)\n",
+                   workers, static_cast<unsigned long long>(cycles),
+                   static_cast<unsigned long long>(serial_cycles));
+      std::abort();
+    }
+    rows.push_back({"host workers " + std::to_string(workers), cycles,
+                    serial_ms / ms, ms});
+  }
+  bench::printTable(
+      "Host-parallel blocks: spmv simd group 8 (cycles must not move)",
+      "host workers 1 (serial)", serial_cycles, rows);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -208,5 +245,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   printFig9Summary();
+  printHostParallelSummary();
+  (void)bench::writeBenchJson("fig9_simd_benefit");
   return 0;
 }

@@ -69,6 +69,7 @@ Result<gpusim::KernelStats> launchTwoLevel(gpusim::Device& device,
   spec.teamsMode = omprt::ExecMode::kGeneric;
   spec.parallelMode = omprt::ExecMode::kSPMD;
   spec.simdlen = 1;
+  spec.hostWorkers = options.hostWorkers;
   return dsl::targetTeamsDistribute(
       device, spec, A.numRows, [&](OmpContext& ctx, uint64_t row) {
         gpusim::ThreadCtx& t = ctx.gpu();
@@ -95,6 +96,7 @@ Result<gpusim::KernelStats> launchThreeLevel(gpusim::Device& device,
   spec.teamsMode = omprt::ExecMode::kSPMD;
   spec.parallelMode = options.parallelMode;
   spec.simdlen = options.simdlen;
+  spec.hostWorkers = options.hostWorkers;
   return dsl::targetTeamsDistributeParallelFor(
       device, spec, A.numRows, [&](OmpContext& ctx, uint64_t row) {
         gpusim::ThreadCtx& t = ctx.gpu();

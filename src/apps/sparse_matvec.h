@@ -41,6 +41,9 @@ struct SpmvOptions {
   /// Parallel-region mode for the 3-level variants (the paper runs the
   /// sparse_matvec parallel region in generic mode).
   omprt::ExecMode parallelMode = omprt::ExecMode::kGeneric;
+  /// Host worker threads simulating independent teams (0 = auto,
+  /// 1 = serial); modeled cycles are identical for any value.
+  uint32_t hostWorkers = 0;
 };
 
 /// Run y = A*x on the device and verify against the host reference.

@@ -49,6 +49,9 @@ struct LaunchSpec {
   /// Whether outlined regions enter the dispatch if-cascade (paper
   /// section 5.5); off models regions from foreign translation units.
   bool registerInCascade = true;
+  /// Host worker threads simulating independent teams (0 = auto,
+  /// 1 = serial); see omprt::TargetConfig::hostWorkers.
+  uint32_t hostWorkers = 0;
 
   [[nodiscard]] omprt::TargetConfig targetConfig() const {
     omprt::TargetConfig config;
@@ -56,6 +59,7 @@ struct LaunchSpec {
     config.numTeams = numTeams;
     config.threadsPerTeam = threadsPerTeam;
     config.sharingSpaceBytes = sharingSpaceBytes;
+    config.hostWorkers = hostWorkers;
     return config;
   }
   [[nodiscard]] omprt::ParallelConfig parallelConfig() const {

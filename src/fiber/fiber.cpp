@@ -4,16 +4,50 @@
 
 #include "support/log.h"
 
+// ThreadSanitizer cannot follow swapcontext() on its own; tell it about
+// every fiber and every switch so tsan builds of the host-parallel
+// executor stay free of false positives.
+#if defined(__SANITIZE_THREAD__)
+#define SIMTOMP_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SIMTOMP_TSAN 1
+#endif
+#endif
+#ifdef SIMTOMP_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace simtomp::fiber {
 
 namespace {
 // The scheduler driving the OS thread right now. Fibers find their way
 // back to it through this pointer (set around every context switch).
 thread_local FiberScheduler* g_active_scheduler = nullptr;
+
+#ifdef SIMTOMP_TSAN
+void* tsanCreateFiber() { return __tsan_create_fiber(0); }
+void tsanDestroyFiber(void* f) {
+  if (f != nullptr) __tsan_destroy_fiber(f);
+}
+void tsanSwitchTo(void* f) {
+  if (f != nullptr) __tsan_switch_to_fiber(f, 0);
+}
+void* tsanCurrentFiber() { return __tsan_get_current_fiber(); }
+#else
+void* tsanCreateFiber() { return nullptr; }
+void tsanDestroyFiber(void*) {}
+void tsanSwitchTo(void*) {}
+void* tsanCurrentFiber() { return nullptr; }
+#endif
 }  // namespace
 
 Fiber::Fiber(size_t index, Entry entry, size_t stack_size)
-    : index_(index), entry_(std::move(entry)), stack_(stack_size) {}
+    : index_(index), entry_(std::move(entry)), stack_(stack_size) {
+  tsan_fiber_ = tsanCreateFiber();
+}
+
+Fiber::~Fiber() { tsanDestroyFiber(tsan_fiber_); }
 
 void Fiber::trampoline() {
   FiberScheduler* sched = g_active_scheduler;
@@ -39,6 +73,8 @@ FiberScheduler::~FiberScheduler() = default;
 
 size_t FiberScheduler::spawn(Fiber::Entry entry) {
   SIMTOMP_CHECK(!running_, "spawn() during run() is not supported");
+  SIMTOMP_CHECK(std::this_thread::get_id() == owner_thread_,
+                "spawn() off the scheduler's owning thread");
   const size_t index = fibers_.size();
   fibers_.emplace_back(
       new Fiber(index, std::move(entry), stack_size_));
@@ -47,6 +83,9 @@ size_t FiberScheduler::spawn(Fiber::Entry entry) {
 
 Status FiberScheduler::run() {
   SIMTOMP_CHECK(!running_, "re-entrant run()");
+  SIMTOMP_CHECK(std::this_thread::get_id() == owner_thread_,
+                "run() off the scheduler's owning thread; fibers are "
+                "confined to the host thread that created them");
   running_ = true;
   pending_exception_ = nullptr;
 
@@ -87,6 +126,8 @@ void FiberScheduler::block(const void* tag) {
   Fiber* f = current_;
   SIMTOMP_CHECK(f != nullptr, "block() called off-fiber");
   SIMTOMP_CHECK(tag != nullptr, "block() requires a non-null tag");
+  SIMTOMP_CHECK(std::this_thread::get_id() == owner_thread_,
+                "block() off the scheduler's owning thread");
   f->state_ = FiberState::kBlocked;
   f->wait_tag_ = tag;
   switchToScheduler();
@@ -94,6 +135,8 @@ void FiberScheduler::block(const void* tag) {
 
 void FiberScheduler::unblockAll(const void* tag) {
   SIMTOMP_CHECK(tag != nullptr, "unblockAll() requires a non-null tag");
+  SIMTOMP_CHECK(std::this_thread::get_id() == owner_thread_,
+                "unblockAll() off the scheduler's owning thread");
   for (auto& f : fibers_) {
     if (f->state_ == FiberState::kBlocked && f->wait_tag_ == tag) {
       f->state_ = FiberState::kReady;
@@ -117,6 +160,10 @@ void FiberScheduler::switchToFiber(Fiber& f) {
     f.context_.uc_link = nullptr;  // fibers exit via switchToScheduler()
     makecontext(&f.context_, &Fiber::trampoline, 0);
   }
+  if (tsan_scheduler_fiber_ == nullptr) {
+    tsan_scheduler_fiber_ = tsanCurrentFiber();
+  }
+  tsanSwitchTo(f.tsan_fiber_);
   swapcontext(&scheduler_context_, &f.context_);
   current_ = prev_fiber;
   g_active_scheduler = prev_sched;
@@ -125,6 +172,9 @@ void FiberScheduler::switchToFiber(Fiber& f) {
 void FiberScheduler::switchToScheduler() {
   Fiber* f = current_;
   SIMTOMP_CHECK(f != nullptr, "switchToScheduler() called off-fiber");
+  tsanSwitchTo(g_active_scheduler != nullptr
+                   ? g_active_scheduler->tsan_scheduler_fiber_
+                   : nullptr);
   swapcontext(&f->context_, &scheduler_context_);
 }
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/status.h"
@@ -41,6 +42,7 @@ class Fiber {
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
+  ~Fiber();
 
   [[nodiscard]] FiberState state() const { return state_; }
   [[nodiscard]] size_t index() const { return index_; }
@@ -60,9 +62,16 @@ class Fiber {
   FiberState state_ = FiberState::kReady;
   const void* wait_tag_ = nullptr;
   bool started_ = false;
+  void* tsan_fiber_ = nullptr;  ///< ThreadSanitizer fiber handle (tsan builds)
 };
 
 /// Drives a set of fibers to completion on the calling OS thread.
+///
+/// Thread confinement: a scheduler and its fibers belong to the OS
+/// thread that constructed the scheduler (under host-parallel block
+/// execution, the worker that runs the block). spawn/run/yield/block/
+/// unblockAll assert they are called on that thread — ucontext stacks
+/// must never migrate between host threads.
 class FiberScheduler {
  public:
   explicit FiberScheduler(size_t stack_size = kDefaultStackSize);
@@ -110,8 +119,10 @@ class FiberScheduler {
   [[nodiscard]] std::string describeBlockedFibers() const;
 
   size_t stack_size_;
+  std::thread::id owner_thread_ = std::this_thread::get_id();
   std::vector<std::unique_ptr<Fiber>> fibers_;
   ucontext_t scheduler_context_{};
+  void* tsan_scheduler_fiber_ = nullptr;
   Fiber* current_ = nullptr;
   size_t finished_count_ = 0;
   bool running_ = false;

@@ -12,6 +12,7 @@ BlockEngine::BlockEngine(const ArchSpec& arch, const CostModel& cost,
     : arch_(&arch),
       cost_(&cost),
       global_(&global_memory),
+      block_id_(block_id),
       shared_(arch.sharedMemPerBlock) {
   SIMTOMP_CHECK(num_threads > 0, "block must have at least one thread");
   SIMTOMP_CHECK(num_threads <= arch.maxThreadsPerBlock,

@@ -91,6 +91,9 @@ class BlockEngine {
   [[nodiscard]] DeviceMemory& globalMemory() { return *global_; }
   [[nodiscard]] const ArchSpec& arch() const { return *arch_; }
   [[nodiscard]] fiber::FiberScheduler& scheduler() { return scheduler_; }
+  /// Grid position of this block; under host-parallel execution the
+  /// setup hook keys per-block state slots off this.
+  [[nodiscard]] uint32_t blockId() const { return block_id_; }
   [[nodiscard]] ThreadCtx& thread(uint32_t tid) { return *threads_[tid]; }
   [[nodiscard]] uint32_t numThreads() const {
     return static_cast<uint32_t>(threads_.size());
@@ -114,6 +117,7 @@ class BlockEngine {
   const ArchSpec* arch_;
   const CostModel* cost_;
   DeviceMemory* global_;
+  uint32_t block_id_;
   SharedMemory shared_;
   fiber::FiberScheduler scheduler_;
   std::vector<std::unique_ptr<ThreadCtx>> threads_;

@@ -1,11 +1,30 @@
 #include "gpusim/device.h"
 
 #include <algorithm>
+#include <exception>
 #include <vector>
 
+#include "gpusim/executor.h"
 #include "support/log.h"
 
 namespace simtomp::gpusim {
+
+namespace {
+
+/// Per-block result slot. Blocks deposit into their own slot (also
+/// under parallel execution); the launch merges slots in block order so
+/// aggregate stats never depend on host scheduling.
+struct BlockOutcome {
+  Status status = Status::ok();
+  std::exception_ptr exception;
+  uint64_t blockTime = 0;
+  uint64_t busySum = 0;
+  uint64_t maxThreadTime = 0;
+  uint64_t peakSharedBytes = 0;
+  CounterSet counters;
+};
+
+}  // namespace
 
 Device::Device(ArchSpec arch, CostModel cost, size_t global_mem_bytes)
     : arch_(std::move(arch)), cost_(cost), memory_(global_mem_bytes) {
@@ -25,35 +44,63 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
         "threadsPerBlock out of range for this architecture");
   }
 
+  std::vector<BlockOutcome> outcomes(config.numBlocks);
+  const auto runBlock = [&](uint32_t b) {
+    BlockOutcome& out = outcomes[b];
+    try {
+      BlockEngine engine(arch_, cost_, memory_, b, config.numBlocks,
+                         config.threadsPerBlock);
+      if (setup) setup(engine);
+      out.status = engine.run(kernel);
+      if (out.status.isOk()) {
+        out.blockTime = engine.blockTime();
+        out.busySum = engine.busySum();
+        out.maxThreadTime = engine.maxThreadTime();
+        out.peakSharedBytes = engine.sharedMemory().peakUsed();
+        out.counters = engine.counters();
+      }
+    } catch (...) {
+      out.exception = std::current_exception();
+    }
+  };
+
+  const uint32_t workers =
+      std::min(resolveHostWorkers(config.hostWorkers), config.numBlocks);
+  if (workers <= 1) {
+    for (uint32_t b = 0; b < config.numBlocks; ++b) {
+      runBlock(b);
+      if (outcomes[b].exception || !outcomes[b].status.isOk()) break;
+    }
+  } else {
+    BlockExecutor::global().parallelFor(config.numBlocks, workers, runBlock);
+  }
+
   KernelStats stats;
   stats.numBlocks = config.numBlocks;
   stats.threadsPerBlock = config.threadsPerBlock;
 
+  // Deterministic block-order merge: SM placement, trace spans and
+  // counter aggregation see blocks exactly as the serial path did.
   // Least-loaded SM placement; equal-load ties resolve round-robin.
   std::vector<uint64_t> sm_time(arch_.numSMs, 0);
-
   for (uint32_t b = 0; b < config.numBlocks; ++b) {
-    BlockEngine engine(arch_, cost_, memory_, b, config.numBlocks,
-                       config.threadsPerBlock);
-    if (setup) setup(engine);
-    Status status = engine.run(kernel);
-    if (!status.isOk()) {
-      return Status(status.code(), "block " + std::to_string(b) + ": " +
-                                       status.message());
+    BlockOutcome& out = outcomes[b];
+    if (out.exception) std::rethrow_exception(out.exception);
+    if (!out.status.isOk()) {
+      return Status(out.status.code(),
+                    "block " + std::to_string(b) + ": " + out.status.message());
     }
     auto least = std::min_element(sm_time.begin(), sm_time.end());
     if (trace_ != nullptr) {
-      trace_->recordBlock(b,
-                          static_cast<uint32_t>(least - sm_time.begin()),
-                          *least, engine.blockTime());
+      trace_->recordBlock(b, static_cast<uint32_t>(least - sm_time.begin()),
+                          *least, out.blockTime);
     }
-    *least += engine.blockTime();
-    stats.busyCycles += engine.busySum();
-    stats.maxThreadCycles =
-        std::max(stats.maxThreadCycles, engine.maxThreadTime());
-    stats.peakSharedBytes = std::max<uint64_t>(
-        stats.peakSharedBytes, engine.sharedMemory().peakUsed());
-    stats.counters.merge(engine.counters());
+    *least += out.blockTime;
+    stats.busyCycles += out.busySum;
+    stats.maxThreadCycles = std::max(stats.maxThreadCycles, out.maxThreadTime);
+    stats.peakSharedBytes =
+        std::max(stats.peakSharedBytes, out.peakSharedBytes);
+    stats.counters.merge(out.counters);
   }
 
   stats.cycles = *std::max_element(sm_time.begin(), sm_time.end()) +

@@ -25,12 +25,22 @@ namespace simtomp::gpusim {
 
 struct LaunchConfig {
   uint32_t numBlocks = 1;
+  /// Threads per block. Need not be a warp multiple: a partial final
+  /// warp is supported (its member mask has fewer lanes, and full-mask
+  /// warp collectives synchronize only the existing lanes).
   uint32_t threadsPerBlock = 32;
+  /// Host threads executing independent blocks (simulation wall-clock
+  /// only; modeled cycles are unaffected). 0 = auto: the
+  /// SIMTOMP_HOST_WORKERS environment variable if set, else
+  /// hardware_concurrency. 1 = today's serial path.
+  uint32_t hostWorkers = 0;
 };
 
 /// Optional per-block hook: runs on the host before a block starts, e.g.
 /// so the OpenMP runtime can install its TeamState (BlockEngine user
-/// state) for that block.
+/// state) for that block. With hostWorkers > 1 the hook is invoked
+/// concurrently from the worker threads, so it must only touch state
+/// local to the given block (index distinct slots by engine.blockId()).
 using BlockSetupHook = std::function<void(BlockEngine&)>;
 
 class Device {
@@ -59,8 +69,13 @@ class Device {
         reinterpret_cast<const std::byte*>(data) - memory_.raw(0)));
   }
 
-  /// Run a kernel over the grid. Blocks execute sequentially on the host
-  /// but are modeled as concurrent per the SM wave schedule.
+  /// Run a kernel over the grid. Blocks are modeled as concurrent per
+  /// the SM wave schedule; on the host they execute on
+  /// `config.hostWorkers` pool threads (serially when 1). Per-block
+  /// results are merged in block order after the join, so stats,
+  /// counters and the trace timeline are identical for any worker
+  /// count. Launches on one Device must not overlap; use a
+  /// DeviceManager for concurrent multi-device work.
   Result<KernelStats> launch(const LaunchConfig& config, const Kernel& kernel,
                              const BlockSetupHook& setup = nullptr);
 

@@ -25,12 +25,15 @@ Result<gpusim::KernelStats> DeviceManager::launchOn(
   if (n >= devices_.size()) {
     return Status::invalidArgument("device number out of range");
   }
-  return omprt::launchTarget(*devices_[n], config, region);
+  omprt::TargetConfig effective = config;
+  if (effective.hostWorkers == 0) effective.hostWorkers = default_host_workers_;
+  return omprt::launchTarget(*devices_[n], effective, region);
 }
 
 std::future<Result<gpusim::KernelStats>> DeviceManager::launchOnAsync(
     size_t n, omprt::TargetConfig config, omprt::TargetRegionFn region) {
   SIMTOMP_CHECK(n < devices_.size(), "device number out of range");
+  if (config.hostWorkers == 0) config.hostWorkers = default_host_workers_;
   return queues_[n]->enqueue(config, std::move(region));
 }
 

@@ -35,6 +35,18 @@ class DeviceManager {
   [[nodiscard]] DataEnvironment& dataEnv(size_t n) { return *envs_.at(n); }
   [[nodiscard]] TargetTaskQueue& taskQueue(size_t n) { return *queues_.at(n); }
 
+  /// Default hostWorkers applied to launches whose config leaves it 0
+  /// (auto). All devices share the process-wide BlockExecutor pool, so
+  /// concurrent `device(n)` launches (sync from different host threads,
+  /// or nowait tasks from the per-device helper threads) interleave
+  /// their blocks over the same workers instead of serializing.
+  void setDefaultHostWorkers(uint32_t workers) {
+    default_host_workers_ = workers;
+  }
+  [[nodiscard]] uint32_t defaultHostWorkers() const {
+    return default_host_workers_;
+  }
+
   /// `#pragma omp target device(n)` — synchronous launch.
   Result<gpusim::KernelStats> launchOn(size_t n,
                                        const omprt::TargetConfig& config,
@@ -51,6 +63,7 @@ class DeviceManager {
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
   std::vector<std::unique_ptr<DataEnvironment>> envs_;
   std::vector<std::unique_ptr<TargetTaskQueue>> queues_;
+  uint32_t default_host_workers_ = 0;  ///< 0 = auto (env / hardware)
 };
 
 }  // namespace simtomp::hostrt

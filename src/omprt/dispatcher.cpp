@@ -6,18 +6,29 @@ namespace simtomp::omprt {
 
 void Dispatcher::registerOutlined(const void* fn) {
   if (fn == nullptr) return;
-  if (isKnown(fn)) return;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (std::find(known_.begin(), known_.end(), fn) != known_.end()) return;
   if (known_.size() >= kMaxCascade) return;
   known_.push_back(fn);
 }
 
-void Dispatcher::clear() { known_.clear(); }
+void Dispatcher::clear() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  known_.clear();
+}
+
+size_t Dispatcher::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return known_.size();
+}
 
 bool Dispatcher::isKnown(const void* fn) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return std::find(known_.begin(), known_.end(), fn) != known_.end();
 }
 
 bool Dispatcher::chargeDispatch(gpusim::ThreadCtx& t, const void* fn) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = std::find(known_.begin(), known_.end(), fn);
   if (it != known_.end()) {
     // One compare per cascade entry traversed before the hit.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "gpusim/thread.h"
@@ -17,6 +18,13 @@
 
 namespace simtomp::omprt {
 
+/// Thread-safe: outlined regions register from device code, which under
+/// host-parallel block execution runs on many worker threads at once.
+/// Registration order stays deterministic as long as every block
+/// registers its functions in the same program order (a function is
+/// only ever inserted after everything registered before it in that
+/// order), so cascade-position dispatch costs do not depend on the
+/// host worker count.
 class Dispatcher {
  public:
   /// Maximum cascade length Clang would realistically emit; registering
@@ -27,7 +35,7 @@ class Dispatcher {
   void registerOutlined(const void* fn);
   void clear();
 
-  [[nodiscard]] size_t size() const { return known_.size(); }
+  [[nodiscard]] size_t size() const;
   [[nodiscard]] bool isKnown(const void* fn) const;
 
   /// Charge the dispatch cost for calling `fn`: a cascade of pointer
@@ -39,6 +47,7 @@ class Dispatcher {
   static Dispatcher& global();
 
  private:
+  mutable std::shared_mutex mutex_;
   std::vector<const void*> known_;
 };
 

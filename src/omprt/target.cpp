@@ -1,6 +1,7 @@
 #include "omprt/target.h"
 
 #include <memory>
+#include <vector>
 
 #include "omprt/runtime.h"
 #include "support/log.h"
@@ -37,14 +38,17 @@ Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
   launch.threadsPerBlock =
       config.threadsPerTeam +
       (config.teamsMode == ExecMode::kGeneric ? device.arch().warpSize : 0);
+  launch.hostWorkers = config.hostWorkers;
 
-  // One TeamState per block; blocks run one at a time, so a single slot
-  // that outlives engine.run() suffices.
-  std::unique_ptr<TeamState> state;
+  // One TeamState per block, in its own slot: under host-parallel
+  // execution several blocks are alive at once, each worker touching
+  // only its block's entry (keyed by blockId).
+  std::vector<std::unique_ptr<TeamState>> states(config.numTeams);
   const gpusim::BlockSetupHook setup = [&](gpusim::BlockEngine& engine) {
     auto sharing = std::make_unique<SharingSpace>(
         engine.sharedMemory(), engine.globalMemory(),
         config.sharingSpaceBytes, config.threadsPerTeam);
+    auto& state = states[engine.blockId()];
     state = std::make_unique<TeamState>(
         config.teamsMode, config.threadsPerTeam, device.arch().warpSize,
         device.arch().hasWarpLevelBarrier, std::move(sharing));

@@ -28,6 +28,11 @@ struct TargetConfig {
   /// Generic teams mode adds one extra warp for the team main thread.
   uint32_t threadsPerTeam = 128;
   uint32_t sharingSpaceBytes = kDefaultSharingSpaceBytes;
+  /// Host worker threads for independent teams (0 = auto: the
+  /// SIMTOMP_HOST_WORKERS env var, else hardware_concurrency; 1 =
+  /// serial). Affects simulation wall-clock only — modeled cycles and
+  /// all counters are identical for any value.
+  uint32_t hostWorkers = 0;
 
   [[nodiscard]] Status validate(const gpusim::ArchSpec& arch) const;
 };

@@ -112,11 +112,11 @@ TEST(DeviceTest, StatsAggregateBusyAndCounters) {
 
 TEST(DeviceTest, BlockSetupHookRunsPerBlock) {
   Device dev(ArchSpec::testTiny());
-  int hooks = 0;
+  std::atomic<int> hooks{0};  // hooks run concurrently under hostWorkers>1
   auto stats = dev.launch(
       {4, 32}, [](ThreadCtx&) {}, [&](BlockEngine&) { ++hooks; });
   ASSERT_TRUE(stats.isOk());
-  EXPECT_EQ(hooks, 4);
+  EXPECT_EQ(hooks.load(), 4);
 }
 
 TEST(DeviceTest, BlockErrorIsPropagatedWithBlockId) {
@@ -148,6 +148,25 @@ TEST(DeviceTest, ScaledCostModelScalesCycles) {
   EXPECT_EQ(3 * s1.value().cycles, s2.value().cycles);
 }
 
+TEST(DeviceTest, PartialFinalWarpRunsAllThreads) {
+  // threadsPerBlock need not be a warp multiple: 48 threads on a
+  // 32-wide warp leaves a 16-lane partial final warp whose collectives
+  // must still converge (LaunchConfig documents this as supported).
+  Device dev(ArchSpec::testTiny());
+  std::atomic<uint32_t> ran{0};
+  LaunchConfig config;
+  config.numBlocks = 2;
+  config.threadsPerBlock = 48;
+  auto stats = dev.launch(config, [&](ThreadCtx& t) {
+    t.syncWarp(fullMask(32));
+    t.syncBlock();
+    ran++;
+  });
+  ASSERT_TRUE(stats.isOk()) << stats.status().toString();
+  EXPECT_EQ(ran.load(), 2u * 48u);
+  EXPECT_EQ(stats.value().threadsPerBlock, 48u);
+}
+
 TEST(KernelStatsTest, SummaryMentionsNonZeroCounters) {
   KernelStats stats;
   stats.cycles = 123;
@@ -167,6 +186,36 @@ TEST(CounterSetTest, MergeAdds) {
   a.merge(b);
   EXPECT_EQ(a.get(Counter::kSimdLoop), 5u);
   EXPECT_EQ(a.get(Counter::kBlockSync), 1u);
+}
+
+TEST(CounterSetTest, MergeIsAssociativeAndCommutative) {
+  // The host-parallel determinism guarantee leans on per-block counter
+  // merges giving the same totals no matter how blocks are grouped —
+  // i.e. merge must be associative and commutative.
+  CounterSet a;
+  a.add(Counter::kAluWork, 11);
+  a.add(Counter::kAtomicRmw, 3);
+  CounterSet b;
+  b.add(Counter::kAluWork, 5);
+  b.add(Counter::kGlobalLoad, 7);
+  CounterSet c;
+  c.add(Counter::kAtomicRmw, 2);
+  c.add(Counter::kBlockSync, 1);
+
+  CounterSet ab_c = a;  // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  CounterSet bc = b;  // a + (b + c)
+  bc.merge(c);
+  CounterSet a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.values, a_bc.values);
+
+  CounterSet ba = b;  // b + a == a + b
+  ba.merge(a);
+  CounterSet ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab.values, ba.values);
 }
 
 }  // namespace

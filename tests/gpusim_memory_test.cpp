@@ -2,6 +2,8 @@
 // DeviceMemory, SharedMemory, and the typed span views.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "gpusim/arch.h"
@@ -244,6 +246,74 @@ TEST(DeviceTest, AllocateArrayReturnsTypedView) {
   EXPECT_EQ(arr.value().raw(99), 7u);
   EXPECT_TRUE(dev.freeArray(arr.value().data()).isOk());
   EXPECT_EQ(dev.memory().bytesInUse(), 0u);
+}
+
+TEST(DeviceMemoryTest, ConcurrentAllocFreeStress) {
+  // Host-parallel block execution allocates from the device allocator
+  // on multiple threads (SharingSpace overflow, user allocations).
+  // Hammer allocate/free from 8 threads; accounting must balance and
+  // the free list must survive intact.
+  DeviceMemory memory(1 << 22);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::vector<DevPtr> mine;
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t bytes = 64 + 32 * ((tid + round) % 13);
+        auto ptr = memory.allocate(bytes, 16);
+        if (!ptr.isOk()) {
+          failures++;
+          continue;
+        }
+        mine.push_back(ptr.value());
+        // Free in a staggered pattern so frees interleave with other
+        // threads' allocations (exercises coalescing under the lock).
+        if (mine.size() > 4) {
+          if (!memory.free(mine.front()).isOk()) failures++;
+          mine.erase(mine.begin());
+        }
+      }
+      for (DevPtr p : mine) {
+        if (!memory.free(p).isOk()) failures++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(memory.bytesInUse(), 0u);
+  EXPECT_EQ(memory.liveAllocations(), 0u);
+}
+
+TEST(DeviceMemoryTest, ConcurrentAtomicAddLosesNoUpdates) {
+  // GlobalSpan::atomicAdd is the only write path concurrent blocks
+  // share; contended fetch-adds from raw host threads must all land.
+  DeviceMemory memory(1 << 16);
+  auto ptr = memory.allocate(sizeof(uint64_t) * 4, 16);
+  ASSERT_TRUE(ptr.isOk());
+  auto* cells = reinterpret_cast<uint64_t*>(memory.raw(ptr.value()));
+  for (int i = 0; i < 4; ++i) cells[i] = 0;
+
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) {
+        std::atomic_ref<uint64_t>(cells[tid % 4]).fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cells[i], 2 * kAddsPerThread) << "cell " << i;
+  }
+  ASSERT_TRUE(memory.free(ptr.value()).isOk());
 }
 
 }  // namespace

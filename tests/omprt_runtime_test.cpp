@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -66,10 +67,12 @@ TEST(TargetInitTest, SpmdRunsRegionOnEveryThread) {
 TEST(TargetInitTest, GenericRunsRegionOnTeamMainOnly) {
   Device dev(ArchSpec::testTiny());
   std::atomic<int> region_threads{0};
+  std::mutex ids_mutex;  // teams run concurrently under hostWorkers>1
   std::set<uint32_t> main_ids;
   auto stats = launchTarget(dev, makeConfig(ExecMode::kGeneric, 3, 64),
                             [&](OmpContext& ctx) {
                               region_threads++;
+                              std::lock_guard<std::mutex> lock(ids_mutex);
                               main_ids.insert(ctx.gpu().threadId());
                             });
   ASSERT_TRUE(stats.isOk());

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the host-parallel block executor.
+#
+# Stage 1: regular build, full test suite.
+# Stage 2: ThreadSanitizer build; the concurrency-sensitive suites
+#          (gpusim_*, omprt_*) run with SIMTOMP_HOST_WORKERS=8 so every
+#          launch actually spreads blocks over 8 host workers — a data
+#          race in the simulator surfaces here as a test failure even
+#          on a single-core CI machine.
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== stage 1: regular build + full ctest ==="
+cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${prefix}" -j "${jobs}"
+ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
+
+echo "=== stage 2: TSan build, gpusim+omprt suites at 8 host workers ==="
+cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSIMTOMP_SANITIZE=thread -DSIMTOMP_BUILD_BENCH=OFF \
+  -DSIMTOMP_BUILD_EXAMPLES=OFF
+cmake --build "${prefix}-tsan" -j "${jobs}"
+SIMTOMP_HOST_WORKERS=8 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ctest --test-dir "${prefix}-tsan" --output-on-failure -j 1 \
+  -R '^(gpusim|omprt)_'
+
+echo "=== ci.sh: all stages passed ==="
