@@ -52,6 +52,8 @@ struct LaunchSpec {
   /// Host worker threads simulating independent teams (0 = auto,
   /// 1 = serial); see omprt::TargetConfig::hostWorkers.
   uint32_t hostWorkers = 0;
+  /// Correctness checking (simcheck); see gpusim::LaunchConfig::check.
+  simcheck::CheckConfig check{};
 
   [[nodiscard]] omprt::TargetConfig targetConfig() const {
     omprt::TargetConfig config;
@@ -60,6 +62,7 @@ struct LaunchSpec {
     config.threadsPerTeam = threadsPerTeam;
     config.sharingSpaceBytes = sharingSpaceBytes;
     config.hostWorkers = hostWorkers;
+    config.check = check;
     return config;
   }
   [[nodiscard]] omprt::ParallelConfig parallelConfig() const {

@@ -30,12 +30,26 @@ BlockEngine::BlockEngine(const ArchSpec& arch, const CostModel& cost,
   block_sync_.target = num_threads;
 }
 
+void BlockEngine::setChecker(simcheck::BlockChecker* checker) {
+  checker_ = checker;
+  if (checker_ != nullptr) {
+    checker_->setSharedRange(shared_.base(), shared_.capacity());
+    checker_->setGlobalRange(global_->raw(0), global_->capacity());
+  }
+  for (auto& t : threads_) t->setChecker(checker_);
+}
+
 Status BlockEngine::run(const Kernel& kernel) {
+  simcheck::BlockChecker* checker = checker_;
   for (uint32_t tid = 0; tid < threads_.size(); ++tid) {
     ThreadCtx* t = threads_[tid].get();
-    scheduler_.spawn([&kernel, t] { kernel(*t); });
+    scheduler_.spawn([&kernel, t, checker] {
+      kernel(*t);
+      if (checker != nullptr) checker->onThreadFinish(t->threadId());
+    });
   }
   Status status = scheduler_.run();
+  if (checker != nullptr) checker->onRunEnd(status.isOk());
   if (!status.isOk()) return status;
 
   // Aggregate timing. Lockstep warp issue cost = max over lanes' busy
@@ -99,11 +113,20 @@ void BlockEngine::warpBarrier(ThreadCtx& t, LaneMask mask, bool charged) {
   SyncPoint& sp = findOrCreateSync(warp, mask);
   SIMTOMP_CHECK(sp.target > 0, "warp barrier with no member lanes");
   t.charge(Counter::kWarpSync, charged ? cost_->warpSync : 0);
+  if (checker_ != nullptr) {
+    checker_->onSyncArrive(t.threadId(), &sp, t.warpId() * arch_->warpSize,
+                           mask & warp.memberMask, t.warpId(),
+                           /*is_block=*/false);
+  }
   arriveAtSync(t, sp);
 }
 
 void BlockEngine::blockBarrier(ThreadCtx& t) {
   t.charge(Counter::kBlockSync, cost_->blockSync);
+  if (checker_ != nullptr) {
+    checker_->onSyncArrive(t.threadId(), &block_sync_, 0, block_sync_.mask, 0,
+                           /*is_block=*/true);
+  }
   arriveAtSync(t, block_sync_);
 }
 

@@ -104,6 +104,11 @@ class BlockEngine {
   void setUserState(void* state) { user_state_ = state; }
   [[nodiscard]] void* userState() const { return user_state_; }
 
+  /// Attach a simcheck observer for this block's execution. Wires the
+  /// arena ranges and every thread context; call before run().
+  void setChecker(simcheck::BlockChecker* checker);
+  [[nodiscard]] simcheck::BlockChecker* checker() const { return checker_; }
+
   // ---- Results (valid after run()) ----
   [[nodiscard]] uint64_t blockTime() const { return block_time_; }
   [[nodiscard]] uint64_t busySum() const { return busy_sum_; }
@@ -124,6 +129,7 @@ class BlockEngine {
   std::vector<WarpState> warps_;
   SyncPoint block_sync_;
   void* user_state_ = nullptr;
+  simcheck::BlockChecker* checker_ = nullptr;
 
   uint64_t block_time_ = 0;
   uint64_t busy_sum_ = 0;

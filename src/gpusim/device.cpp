@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gpusim/executor.h"
+#include "simcheck/checker.h"
 #include "support/log.h"
 
 namespace simtomp::gpusim {
@@ -22,6 +23,10 @@ struct BlockOutcome {
   uint64_t maxThreadTime = 0;
   uint64_t peakSharedBytes = 0;
   CounterSet counters;
+  /// Owned here (not by the engine) so findings and the global-memory
+  /// footprint survive into the block-order merge — the engine itself
+  /// dies with runBlock.
+  std::unique_ptr<simcheck::BlockChecker> checker;
 };
 
 }  // namespace
@@ -44,12 +49,22 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
         "threadsPerBlock out of range for this architecture");
   }
 
+  const simcheck::CheckResolution check =
+      simcheck::resolveCheckMode(config.check.mode);
+  const bool checking = check.effective != simcheck::CheckMode::kOff;
+  last_check_mode_ = check.effective;
+
   std::vector<BlockOutcome> outcomes(config.numBlocks);
   const auto runBlock = [&](uint32_t b) {
     BlockOutcome& out = outcomes[b];
     try {
       BlockEngine engine(arch_, cost_, memory_, b, config.numBlocks,
                          config.threadsPerBlock);
+      if (checking) {
+        out.checker = std::make_unique<simcheck::BlockChecker>(
+            config.check, b, config.threadsPerBlock, arch_.warpSize);
+        engine.setChecker(out.checker.get());
+      }
       if (setup) setup(engine);
       out.status = engine.run(kernel);
       if (out.status.isOk()) {
@@ -73,6 +88,25 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
     }
   } else {
     BlockExecutor::global().parallelFor(config.numBlocks, workers, runBlock);
+  }
+
+  // Publish the check report before the status merge below can return:
+  // a deadlocked (divergent) launch must still deliver its diagnostics.
+  last_check_report_ = simcheck::CheckReport{};
+  last_check_report_.maxDiagnostics = config.check.maxDiagnostics;
+  if (checking) {
+    std::vector<std::pair<uint32_t, const simcheck::GlobalFootprint*>>
+        footprints;
+    footprints.reserve(config.numBlocks);
+    for (uint32_t b = 0; b < config.numBlocks; ++b) {
+      if (outcomes[b].checker == nullptr) continue;  // serial early exit
+      last_check_report_.merge(outcomes[b].checker->report());
+      footprints.emplace_back(b, &outcomes[b].checker->footprint());
+    }
+    simcheck::analyzeCrossBlockRaces(footprints, last_check_report_);
+    if (!last_check_report_.clean()) {
+      SIMTOMP_WARN("simcheck: %s", last_check_report_.summary().c_str());
+    }
   }
 
   KernelStats stats;
@@ -115,6 +149,13 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
                          stats.cycles);
   }
   SIMTOMP_DEBUG("kernel done: %s", stats.summary().c_str());
+  if (check.effective == simcheck::CheckMode::kFatal &&
+      !last_check_report_.clean()) {
+    return Status::failedPrecondition("simcheck found " +
+                                      std::to_string(last_check_report_.total()) +
+                                      " issue(s): " +
+                                      last_check_report_.summary());
+  }
   return stats;
 }
 

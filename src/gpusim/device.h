@@ -19,6 +19,7 @@
 #include "gpusim/stats.h"
 #include "gpusim/thread.h"
 #include "gpusim/trace.h"
+#include "simcheck/report.h"
 #include "support/status.h"
 
 namespace simtomp::gpusim {
@@ -34,6 +35,12 @@ struct LaunchConfig {
   /// SIMTOMP_HOST_WORKERS environment variable if set, else
   /// hardware_concurrency. 1 = today's serial path.
   uint32_t hostWorkers = 0;
+  /// Correctness checking (simcheck). Default kAuto resolves the
+  /// SIMTOMP_CHECK environment variable on every launch; findings land
+  /// in Device::lastCheckReport(), and kFatal additionally fails the
+  /// launch when the report is not clean. Checking charges no modeled
+  /// cycles — stats are bit-identical with checking on or off.
+  simcheck::CheckConfig check{};
 };
 
 /// Optional per-block hook: runs on the host before a block starts, e.g.
@@ -84,12 +91,26 @@ class Device {
   void setTraceRecorder(TraceRecorder* recorder) { trace_ = recorder; }
   [[nodiscard]] TraceRecorder* traceRecorder() const { return trace_; }
 
+  /// Findings of the most recent launch (empty when checking was off
+  /// or the launch was clean). Valid after launch() returns — also
+  /// when the launch itself failed, so divergence diagnostics survive
+  /// the deadlocked launch that produced them.
+  [[nodiscard]] const simcheck::CheckReport& lastCheckReport() const {
+    return last_check_report_;
+  }
+  /// Effective check mode of the most recent launch (never kAuto).
+  [[nodiscard]] simcheck::CheckMode lastCheckMode() const {
+    return last_check_mode_;
+  }
+
  private:
   ArchSpec arch_;
   CostModel cost_;
   DeviceMemory memory_;
   TraceRecorder* trace_ = nullptr;
   uint64_t launch_count_ = 0;
+  simcheck::CheckReport last_check_report_;
+  simcheck::CheckMode last_check_mode_ = simcheck::CheckMode::kOff;
 };
 
 }  // namespace simtomp::gpusim

@@ -20,6 +20,7 @@
 #include "gpusim/cost_model.h"
 #include "gpusim/memory.h"
 #include "gpusim/stats.h"
+#include "simcheck/checker.h"
 #include "support/lane_mask.h"
 
 namespace simtomp::gpusim {
@@ -114,6 +115,30 @@ class ThreadCtx {
 
   [[nodiscard]] BlockEngine& block() { return *block_; }
 
+  // ---- Correctness checking (no-ops when checking is off) ----
+  /// Installed by the BlockEngine when the launch enables simcheck.
+  void setChecker(simcheck::BlockChecker* checker) { checker_ = checker; }
+  [[nodiscard]] simcheck::BlockChecker* checker() const { return checker_; }
+  /// Report a span access to the checker. Charges nothing: modeled
+  /// cycles are bit-identical with checking on or off.
+  void noteAccess(const void* ptr, size_t bytes, simcheck::AccessKind kind) {
+    if (checker_ != nullptr) checker_->onAccess(thread_id_, ptr, bytes, kind);
+  }
+  /// Annotate an access to a runtime protocol slot (published function
+  /// pointers / termination flags that live outside the arenas).
+  void noteSyntheticAccess(uint64_t key, bool is_write) {
+    if (checker_ != nullptr) {
+      checker_->onSyntheticAccess(thread_id_, key, is_write);
+    }
+  }
+  /// Annotate lock-style synchronization (rt::critical).
+  void noteLockAcquire(uint64_t key) {
+    if (checker_ != nullptr) checker_->onLockAcquire(thread_id_, key);
+  }
+  void noteLockRelease(uint64_t key) {
+    if (checker_ != nullptr) checker_->onLockRelease(thread_id_, key);
+  }
+
  private:
   BlockEngine* block_;
   const CostModel* cost_;
@@ -125,6 +150,7 @@ class ThreadCtx {
   uint64_t time_ = 0;
   uint64_t busy_ = 0;
   CounterSet counters_;
+  simcheck::BlockChecker* checker_ = nullptr;
 };
 
 /// Kernel entry: runs once per simulated device thread.
@@ -135,18 +161,21 @@ using Kernel = std::function<void(ThreadCtx&)>;
 template <typename T>
 T GlobalSpan<T>::get(ThreadCtx& t, size_t i) const {
   t.chargeGlobalLoad();
+  t.noteAccess(&data_[i], sizeof(T), simcheck::AccessKind::kRead);
   return data_[i];
 }
 
 template <typename T>
 void GlobalSpan<T>::set(ThreadCtx& t, size_t i, T value) const {
   t.chargeGlobalStore();
+  t.noteAccess(&data_[i], sizeof(T), simcheck::AccessKind::kWrite);
   data_[i] = value;
 }
 
 template <typename T>
 T GlobalSpan<T>::atomicAdd(ThreadCtx& t, size_t i, T value) const {
   t.chargeAtomic();
+  t.noteAccess(&data_[i], sizeof(T), simcheck::AccessKind::kAtomic);
   // CAS loop so the same code works for floating point and integers and
   // stays correct if blocks ever execute on concurrent host threads.
   static_assert(std::is_arithmetic_v<T>);
@@ -161,12 +190,14 @@ T GlobalSpan<T>::atomicAdd(ThreadCtx& t, size_t i, T value) const {
 template <typename T>
 T SharedSpan<T>::get(ThreadCtx& t, size_t i) const {
   t.chargeSharedLoad();
+  t.noteAccess(&data_[i], sizeof(T), simcheck::AccessKind::kRead);
   return data_[i];
 }
 
 template <typename T>
 void SharedSpan<T>::set(ThreadCtx& t, size_t i, T value) const {
   t.chargeSharedStore();
+  t.noteAccess(&data_[i], sizeof(T), simcheck::AccessKind::kWrite);
   data_[i] = value;
 }
 

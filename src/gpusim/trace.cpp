@@ -1,8 +1,39 @@
 #include "gpusim/trace.h"
 
+#include <cstdio>
 #include <fstream>
 
 namespace simtomp::gpusim {
+
+namespace {
+
+/// JSON string escaping for event names: kernel labels are
+/// user-supplied and would otherwise break the Chrome trace output on
+/// a quote, backslash or control character.
+void writeJsonEscaped(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
 
 void TraceRecorder::recordBlock(uint32_t block_id, uint32_t sm_id,
                                 uint64_t start, uint64_t duration) {
@@ -22,7 +53,9 @@ void TraceRecorder::writeChromeJson(std::ostream& out) const {
     first = false;
     const uint64_t tid = e.track == kKernelTrack ? 0 : e.track + 1;
     const char* pid = e.track == kKernelTrack ? "0" : "1";
-    out << "  {\"name\": \"" << e.name << "\", \"ph\": \"X\", \"pid\": " << pid
+    out << "  {\"name\": \"";
+    writeJsonEscaped(out, e.name);
+    out << "\", \"ph\": \"X\", \"pid\": " << pid
         << ", \"tid\": " << tid << ", \"ts\": " << e.startCycle
         << ", \"dur\": " << e.durationCycles << "}";
   }

@@ -27,6 +27,9 @@ Result<gpusim::KernelStats> DeviceManager::launchOn(
   }
   omprt::TargetConfig effective = config;
   if (effective.hostWorkers == 0) effective.hostWorkers = default_host_workers_;
+  if (effective.check.mode == simcheck::CheckMode::kAuto) {
+    effective.check = default_check_;
+  }
   return omprt::launchTarget(*devices_[n], effective, region);
 }
 
@@ -34,6 +37,9 @@ std::future<Result<gpusim::KernelStats>> DeviceManager::launchOnAsync(
     size_t n, omprt::TargetConfig config, omprt::TargetRegionFn region) {
   SIMTOMP_CHECK(n < devices_.size(), "device number out of range");
   if (config.hostWorkers == 0) config.hostWorkers = default_host_workers_;
+  if (config.check.mode == simcheck::CheckMode::kAuto) {
+    config.check = default_check_;
+  }
   return queues_[n]->enqueue(config, std::move(region));
 }
 

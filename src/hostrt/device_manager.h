@@ -47,6 +47,13 @@ class DeviceManager {
     return default_host_workers_;
   }
 
+  /// Default simcheck config applied to launches whose config leaves
+  /// the mode kAuto (mirrors setDefaultHostWorkers).
+  void setDefaultCheck(simcheck::CheckConfig check) { default_check_ = check; }
+  [[nodiscard]] const simcheck::CheckConfig& defaultCheck() const {
+    return default_check_;
+  }
+
   /// `#pragma omp target device(n)` — synchronous launch.
   Result<gpusim::KernelStats> launchOn(size_t n,
                                        const omprt::TargetConfig& config,
@@ -64,6 +71,7 @@ class DeviceManager {
   std::vector<std::unique_ptr<DataEnvironment>> envs_;
   std::vector<std::unique_ptr<TargetTaskQueue>> queues_;
   uint32_t default_host_workers_ = 0;  ///< 0 = auto (env / hardware)
+  simcheck::CheckConfig default_check_{};  ///< kAuto = env / off
 };
 
 }  // namespace simtomp::hostrt

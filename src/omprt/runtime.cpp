@@ -11,6 +11,17 @@ using gpusim::Counter;
 
 namespace {
 
+// simcheck annotation keys for the runtime's own publication protocol:
+// the TeamState parallel-region fields (terminate flag, outlined fn,
+// team args pointer) act as one logical location, and each
+// SimdGroupState descriptor as another. The annotations let the
+// checker validate the state machines' synchronization exactly like
+// user data — a missing barrier between publish and poll is a race.
+constexpr uint64_t kTeamStateKey = 0;
+constexpr uint64_t simdGroupKey(uint32_t group) { return 1 + group; }
+// rt::critical models one team-wide lock.
+constexpr uint64_t kCriticalLockKey = 0;
+
 /// Per-lane accumulate phase of a reducing simd loop (shared by the
 /// leader/SPMD path and the worker state machine so barrier counts
 /// match exactly).
@@ -51,6 +62,7 @@ bool runPublishedSimdWork(OmpContext& ctx) {
 
   t.charge(Counter::kStatePoll, t.cost().statePoll);
   t.chargeSharedLoad();  // getSimdFn: function pointer
+  t.noteSyntheticAccess(simdGroupKey(ctx.simdGroup()), /*is_write=*/false);
   void* fn = gs.simdFn;
   if (fn == nullptr) return false;
   t.chargeSharedLoad();  // trip count
@@ -131,6 +143,7 @@ void targetDeinit(OmpContext& ctx) {
   // Generic mode: only the team main reaches this point.
   ts.terminate = true;
   t.chargeSharedStore();
+  t.noteSyntheticAccess(kTeamStateKey, /*is_write=*/true);
   t.syncBlock();  // release workers to observe the termination flag
 }
 
@@ -178,11 +191,13 @@ void parallel(OmpContext& ctx, OutlinedFn fn, void** args, uint32_t numArgs,
       ts.parallelArgs = area;
       t.chargeSharedStore();
     }
+    t.noteSyntheticAccess(kTeamStateKey, /*is_write=*/true);
     t.syncBlock();  // release the workers
     t.syncBlock();  // wait for region completion
     if (numArgs > 0) ts.sharing->endTeamSharing(t);
     ts.parallelFn = nullptr;
     ts.parallelNumArgs = 0;
+    t.noteSyntheticAccess(kTeamStateKey, /*is_write=*/true);
     return;
   }
 
@@ -438,9 +453,11 @@ void critical(OmpContext& ctx, OutlinedFn fn, void** args) {
     // Lock acquire: atomic RMW, then wait out the previous holder.
     t.chargeAtomic();
     t.alignTimeTo(ts.criticalReleaseTime);
+    t.noteLockAcquire(kCriticalLockKey);
     invokeMicrotask(ctx, fn, args);
     t.chargeAtomic();  // release
     ts.criticalReleaseTime = t.time();
+    t.noteLockRelease(kCriticalLockKey);
   }
   // In SPMD mode the group's other lanes reached this call too and must
   // converge with their leader. In generic mode only leaders execute
@@ -456,6 +473,7 @@ ThreadKind teamStateMachine(OmpContext& ctx) {
     t.syncBlock();  // wait for the main thread to publish work
     t.charge(Counter::kStatePoll, t.cost().statePoll);
     t.chargeSharedLoad();  // termination flag
+    t.noteSyntheticAccess(kTeamStateKey, /*is_write=*/false);
     if (ts.terminate) return ThreadKind::kTerminated;
     if (t.threadId() < ts.numWorkerThreads) {
       t.chargeSharedLoad();  // outlined function pointer
@@ -517,6 +535,7 @@ void setSimdFn(OmpContext& ctx, void* fn, SimdWorkKind kind,
   gs.tripCount = tripCount;
   gs.numArgs = numArgs;
   t.chargeSharedStore();
+  t.noteSyntheticAccess(simdGroupKey(ctx.simdGroup()), /*is_write=*/true);
 }
 
 double simdLoopReduceAdd(OmpContext& ctx, ReduceBodyF64 fn,

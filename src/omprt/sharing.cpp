@@ -1,9 +1,25 @@
 #include "omprt/sharing.h"
 
 #include "gpusim/stats.h"
+#include "simcheck/checker.h"
 #include "support/log.h"
 
 namespace simtomp::omprt {
+
+namespace {
+
+/// The checker keys sharing slots by group index, with a sentinel for
+/// the team slot. rt::parallel stages team args through storeArg with
+/// group=0, so the slot is identified by the area pointer instead.
+uint32_t slotKey(const void* const* area, const void* const* team_area,
+                 uint32_t group) {
+  if (team_area != nullptr && area == team_area) {
+    return simcheck::BlockChecker::kTeamSlot;
+  }
+  return group;
+}
+
+}  // namespace
 
 SharingSpace::SharingSpace(gpusim::SharedMemory& shared,
                            gpusim::DeviceMemory& global, uint32_t bytes,
@@ -82,7 +98,12 @@ void** SharingSpace::beginSharing(gpusim::ThreadCtx& t, uint32_t group,
         base_ + team_reserve_ +
         static_cast<size_t>(group) * capacity * sizeof(void*));
   }
-  return begin(t, groups_[group], slice, capacity, numArgs);
+  void** area = begin(t, groups_[group], slice, capacity, numArgs);
+  if (auto* checker = t.checker()) {
+    checker->onSharingBegin(t.threadId(), group, capacity, numArgs,
+                            overflowed(group));
+  }
+  return area;
 }
 
 void SharingSpace::storeArg(gpusim::ThreadCtx& t, uint32_t group, void** area,
@@ -93,6 +114,11 @@ void SharingSpace::storeArg(gpusim::ThreadCtx& t, uint32_t group, void** area,
     t.chargeSharedStore();
   }
   t.charge(gpusim::Counter::kPayloadArgCopy, t.cost().payloadArgCopy);
+  if (auto* checker = t.checker()) {
+    checker->onSharingStore(t.threadId(),
+                            slotKey(area, team_slot_.area, group), index);
+  }
+  t.noteAccess(&area[index], sizeof(void*), simcheck::AccessKind::kWrite);
   area[index] = value;
 }
 
@@ -105,12 +131,19 @@ void** SharingSpace::fetchArgs(gpusim::ThreadCtx& t, uint32_t group) {
   } else {
     t.chargeSharedLoad();
   }
+  if (auto* checker = t.checker()) {
+    checker->onSharingFetch(t.threadId(), group);
+  }
+  t.noteAccess(slot.area, sizeof(void*), simcheck::AccessKind::kRead);
   return slot.area;
 }
 
 void SharingSpace::endSharing(gpusim::ThreadCtx& t, uint32_t group) {
   SIMTOMP_CHECK(group < groups_.size(), "sharing group out of range");
   end(t, groups_[group]);
+  if (auto* checker = t.checker()) {
+    checker->onSharingEnd(t.threadId(), group);
+  }
 }
 
 bool SharingSpace::overflowed(uint32_t group) const {
@@ -123,7 +156,13 @@ void** SharingSpace::beginTeamSharing(gpusim::ThreadCtx& t,
       team_reserve_ / static_cast<uint32_t>(sizeof(void*));
   void** slice =
       team_reserve_ > 0 ? reinterpret_cast<void**>(base_) : nullptr;
-  return begin(t, team_slot_, slice, capacity, numArgs);
+  void** area = begin(t, team_slot_, slice, capacity, numArgs);
+  if (auto* checker = t.checker()) {
+    checker->onSharingBegin(t.threadId(), simcheck::BlockChecker::kTeamSlot,
+                            capacity, numArgs,
+                            team_slot_.overflow != gpusim::kNullDevPtr);
+  }
+  return area;
 }
 
 void** SharingSpace::fetchTeamArgs(gpusim::ThreadCtx& t) {
@@ -134,11 +173,18 @@ void** SharingSpace::fetchTeamArgs(gpusim::ThreadCtx& t) {
   } else {
     t.chargeSharedLoad();
   }
+  if (auto* checker = t.checker()) {
+    checker->onSharingFetch(t.threadId(), simcheck::BlockChecker::kTeamSlot);
+  }
+  t.noteAccess(team_slot_.area, sizeof(void*), simcheck::AccessKind::kRead);
   return team_slot_.area;
 }
 
 void SharingSpace::endTeamSharing(gpusim::ThreadCtx& t) {
   end(t, team_slot_);
+  if (auto* checker = t.checker()) {
+    checker->onSharingEnd(t.threadId(), simcheck::BlockChecker::kTeamSlot);
+  }
 }
 
 }  // namespace simtomp::omprt

@@ -39,6 +39,7 @@ Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
       config.threadsPerTeam +
       (config.teamsMode == ExecMode::kGeneric ? device.arch().warpSize : 0);
   launch.hostWorkers = config.hostWorkers;
+  launch.check = config.check;
 
   // One TeamState per block, in its own slot: under host-parallel
   // execution several blocks are alive at once, each worker touching

@@ -33,6 +33,8 @@ struct TargetConfig {
   /// serial). Affects simulation wall-clock only — modeled cycles and
   /// all counters are identical for any value.
   uint32_t hostWorkers = 0;
+  /// Correctness checking (simcheck); see gpusim::LaunchConfig::check.
+  simcheck::CheckConfig check{};
 
   [[nodiscard]] Status validate(const gpusim::ArchSpec& arch) const;
 };

@@ -120,6 +120,22 @@ TEST(TraceTest, ChromeJsonIsWellFormed) {
             static_cast<long>(2 * 5 + 1));
 }
 
+TEST(TraceTest, KernelNamesAreJsonEscaped) {
+  TraceRecorder trace;
+  // Kernel labels are user-supplied; quotes, backslashes and control
+  // characters must come out as valid JSON escapes.
+  trace.recordKernel("spmv \"tuned\" \\ pass\n\tstage\x01", 10);
+  std::ostringstream out;
+  trace.writeChromeJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("spmv \\\"tuned\\\" \\\\ pass\\n\\tstage\\u0001"),
+            std::string::npos)
+      << json;
+  // No raw quote survives inside the name: the name field closes right
+  // before ", \"ph\"".
+  EXPECT_NE(json.find("stage\\u0001\", \"ph\""), std::string::npos) << json;
+}
+
 TEST(TraceTest, WriteToFileAndClear) {
   TraceRecorder trace;
   trace.recordKernel("k", 10);

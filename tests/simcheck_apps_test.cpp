@@ -1,0 +1,234 @@
+// Negative simcheck corpus: every application kernel — including the
+// paper's Fig. 9 and Fig. 10 configurations at reduced problem sizes —
+// must run with zero findings under SIMTOMP_CHECK=fatal. Any false
+// positive in the sanitizer fails the launch (fatal mode), so these
+// tests pin down the precision of the happens-before model against the
+// runtime's real synchronization patterns.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "apps/batched_gemm.h"
+#include "apps/cg_solver.h"
+#include "apps/csr.h"
+#include "apps/ideal_kernel.h"
+#include "apps/laplace3d.h"
+#include "apps/muram.h"
+#include "apps/sparse_matvec.h"
+#include "apps/su3.h"
+#include "gpusim/device.h"
+#include "simcheck/report.h"
+
+namespace simtomp::apps {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Device;
+
+/// Forces SIMTOMP_CHECK=fatal for the test body (launch configs leave
+/// the mode kAuto, so every kernel resolves to fatal) and restores the
+/// previous environment afterwards.
+class SimcheckAppsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("SIMTOMP_CHECK");
+    had_env_ = prev != nullptr;
+    if (had_env_) saved_ = prev;
+    ::setenv("SIMTOMP_CHECK", "fatal", 1);
+  }
+  void TearDown() override {
+    if (had_env_) {
+      ::setenv("SIMTOMP_CHECK", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("SIMTOMP_CHECK");
+    }
+  }
+
+  /// Fatal mode already failed the launch on any finding; also assert
+  /// the report really is empty and fatal mode was in effect.
+  static void expectClean(Device& dev) {
+    EXPECT_EQ(dev.lastCheckMode(), simcheck::CheckMode::kFatal);
+    EXPECT_TRUE(dev.lastCheckReport().clean())
+        << dev.lastCheckReport().toString();
+  }
+
+ private:
+  bool had_env_ = false;
+  std::string saved_;
+};
+
+CsrMatrix smallMatrix() {
+  CsrGenConfig config;
+  config.numRows = 256;
+  config.numCols = 256;
+  config.meanRowLength = 8;
+  config.maxRowLength = 32;
+  return generateCsr(config);
+}
+
+TEST_F(SimcheckAppsTest, SpmvAllVariantsClean) {
+  const CsrMatrix A = smallMatrix();
+  for (const SpmvVariant variant :
+       {SpmvVariant::kTwoLevel, SpmvVariant::kThreeLevelAtomic,
+        SpmvVariant::kThreeLevelReduction}) {
+    Device dev(ArchSpec::testTiny());
+    SpmvOptions options;
+    options.variant = variant;
+    options.numTeams = 4;
+    options.threadsPerTeam = variant == SpmvVariant::kTwoLevel ? 32 : 64;
+    options.simdlen = 8;
+    auto result = runSpmv(dev, A, options);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_TRUE(result.value().verified);
+    expectClean(dev);
+  }
+}
+
+TEST_F(SimcheckAppsTest, Fig9SpmvConfigurationsClean) {
+  const CsrMatrix A = smallMatrix();
+  // Fig. 9 baseline: tuned 2-level, generic teams.
+  {
+    Device dev(ArchSpec::testTiny());
+    SpmvOptions options;
+    options.variant = SpmvVariant::kTwoLevel;
+    options.numTeams = 8;
+    options.threadsPerTeam = 128;
+    auto result = runSpmv(dev, A, options);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    expectClean(dev);
+  }
+  // Fig. 9 3-level: large teams, every SIMD group size.
+  for (const uint32_t group : {2u, 8u, 32u}) {
+    Device dev(ArchSpec::testTiny());
+    SpmvOptions options;
+    options.variant = SpmvVariant::kThreeLevelAtomic;
+    options.numTeams = 4;
+    options.threadsPerTeam = 256;
+    options.simdlen = group;
+    auto result = runSpmv(dev, A, options);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    expectClean(dev);
+  }
+}
+
+TEST_F(SimcheckAppsTest, IdealKernelClean) {
+  const IdealWorkload w = generateIdeal(64, 32, 3);
+  for (const uint32_t group : {1u, 16u, 32u}) {
+    Device dev(ArchSpec::testTiny());
+    IdealOptions options;
+    options.numTeams = 4;
+    options.threadsPerTeam = 64;
+    options.simdlen = group;
+    auto result = runIdeal(dev, w, options);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_TRUE(result.value().verified);
+    expectClean(dev);
+  }
+}
+
+TEST_F(SimcheckAppsTest, Su3Clean) {
+  const Su3Workload w = generateSu3(64, 13);
+  for (const uint32_t group : {1u, 4u}) {
+    Device dev(ArchSpec::testTiny());
+    Su3Options options;
+    options.numTeams = 2;
+    options.threadsPerTeam = 64;
+    options.simdlen = group;
+    auto result = runSu3(dev, w, options);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_TRUE(result.value().verified);
+    expectClean(dev);
+  }
+}
+
+TEST_F(SimcheckAppsTest, Fig10ModeSweepClean) {
+  // Fig. 10 compares the three SIMD execution modes at fixed
+  // teams/threads/group; reduced grids keep every mode exercised.
+  const Laplace3dWorkload laplace = generateLaplace3d(10, 10, 34, 9);
+  const MuramWorkload transpose = generateMuram(8, 8, 32, 11);
+  const MuramWorkload interpol = generateMuram(8, 8, 33, 11);
+  for (const SimdMode mode :
+       {SimdMode::kNoSimd, SimdMode::kSpmdSimd, SimdMode::kGenericSimd}) {
+    {
+      Device dev(ArchSpec::testTiny());
+      Laplace3dOptions options;
+      options.mode = mode;
+      options.numTeams = 4;
+      options.threadsPerTeam = 64;
+      options.simdlen = 32;
+      auto result = runLaplace3d(dev, laplace, options);
+      ASSERT_TRUE(result.isOk()) << result.status().toString();
+      EXPECT_TRUE(result.value().verified);
+      expectClean(dev);
+    }
+    {
+      Device dev(ArchSpec::testTiny());
+      MuramOptions options;
+      options.mode = mode;
+      options.numTeams = 4;
+      options.threadsPerTeam = 64;
+      options.simdlen = 32;
+      auto result = runMuramTranspose(dev, transpose, options);
+      ASSERT_TRUE(result.isOk()) << result.status().toString();
+      EXPECT_TRUE(result.value().verified);
+      expectClean(dev);
+
+      result = runMuramInterpol(dev, interpol, options);
+      ASSERT_TRUE(result.isOk()) << result.status().toString();
+      EXPECT_TRUE(result.value().verified);
+      expectClean(dev);
+    }
+  }
+}
+
+TEST_F(SimcheckAppsTest, BatchedGemmClean) {
+  const BatchedGemmWorkload w = generateBatchedGemm(64, 4, 7);
+  for (const omprt::ExecMode mode :
+       {omprt::ExecMode::kGeneric, omprt::ExecMode::kSPMD}) {
+    Device dev(ArchSpec::testTiny());
+    BatchedGemmOptions options;
+    options.numTeams = 2;
+    options.threadsPerTeam = 64;
+    options.simdlen = 4;
+    options.parallelMode = mode;
+    auto result = runBatchedGemm(dev, w, options);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_TRUE(result.value().verified);
+    expectClean(dev);
+  }
+}
+
+TEST_F(SimcheckAppsTest, CgSolverClean) {
+  const CgWorkload w = generateCgPoisson(6, 5);
+  Device dev(ArchSpec::testTiny());
+  CgOptions options;
+  options.numTeams = 2;
+  options.threadsPerTeam = 64;
+  options.simdlen = 4;
+  options.maxIterations = 40;
+  auto result = runCg(dev, w, options);
+  ASSERT_TRUE(result.isOk()) << result.status().toString();
+  EXPECT_TRUE(result.value().converged);
+  expectClean(dev);
+}
+
+TEST_F(SimcheckAppsTest, HostParallelBlocksStayClean) {
+  // simcheck shadow state is per block and merged in block order, so
+  // host-parallel execution must neither miss findings nor invent them.
+  const CsrMatrix A = smallMatrix();
+  Device dev(ArchSpec::testTiny());
+  SpmvOptions options;
+  options.variant = SpmvVariant::kThreeLevelAtomic;
+  options.numTeams = 8;
+  options.threadsPerTeam = 64;
+  options.simdlen = 8;
+  options.hostWorkers = 4;
+  auto result = runSpmv(dev, A, options);
+  ASSERT_TRUE(result.isOk()) << result.status().toString();
+  EXPECT_TRUE(result.value().verified);
+  expectClean(dev);
+}
+
+}  // namespace
+}  // namespace simtomp::apps

@@ -7,6 +7,13 @@
 #          launch actually spreads blocks over 8 host workers — a data
 #          race in the simulator surfaces here as a test failure even
 #          on a single-core CI machine.
+# Stage 3: simcheck gate; the simulator suites re-run with
+#          SIMTOMP_CHECK=1 (and again over 8 host workers), so a false
+#          positive in the sanitizer — or a real race introduced in the
+#          runtime — fails CI.
+# Stage 4: zero-perturbation guard; one bench binary runs with checking
+#          off and on, and the modeled sim_cycles counters must be
+#          bit-identical.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -28,5 +35,28 @@ cmake --build "${prefix}-tsan" -j "${jobs}"
 SIMTOMP_HOST_WORKERS=8 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j 1 \
   -R '^(gpusim|omprt)_'
+
+echo "=== stage 3: simcheck gate (SIMTOMP_CHECK=1 over simulator suites) ==="
+SIMTOMP_CHECK=1 \
+  ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" \
+  -R '^(gpusim|omprt|apps|simcheck|dsl|integration)_'
+SIMTOMP_CHECK=1 SIMTOMP_HOST_WORKERS=8 \
+  ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" \
+  -R '^(gpusim|omprt|apps|simcheck)_'
+
+echo "=== stage 4: simcheck zero-perturbation bench guard ==="
+off_json="${prefix}/simcheck-guard-off.json"
+on_json="${prefix}/simcheck-guard-on.json"
+SIMTOMP_CHECK=0 "${prefix}/bench/abl_dispatch" \
+  --benchmark_out="${off_json}" --benchmark_out_format=json >/dev/null
+SIMTOMP_CHECK=1 "${prefix}/bench/abl_dispatch" \
+  --benchmark_out="${on_json}" --benchmark_out_format=json >/dev/null
+if ! diff \
+    <(grep -o '"sim_cycles": [0-9.e+-]*' "${off_json}") \
+    <(grep -o '"sim_cycles": [0-9.e+-]*' "${on_json}"); then
+  echo "ci.sh: simcheck perturbed modeled cycles (see diff above)" >&2
+  exit 1
+fi
+echo "sim_cycles bit-identical with checking off vs on"
 
 echo "=== ci.sh: all stages passed ==="

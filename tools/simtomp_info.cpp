@@ -7,6 +7,9 @@
 //                                       2,048-byte sharing space)
 //   simtomp_info groups T             — legal SIMD group configurations
 //                                       for a team of T worker threads
+//   simtomp_info --check              — how simcheck (the correctness
+//                                       sanitizer) would resolve for a
+//                                       launch in this environment
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +17,7 @@
 #include "gpusim/arch.h"
 #include "gpusim/occupancy.h"
 #include "omprt/target.h"
+#include "simcheck/report.h"
 
 using namespace simtomp;
 
@@ -71,6 +75,32 @@ void groupTable(uint32_t threads) {
   }
 }
 
+void checkInfo() {
+  const char* env = std::getenv("SIMTOMP_CHECK");
+  std::printf("simcheck resolution for this environment:\n");
+  std::printf("  SIMTOMP_CHECK            = %s\n",
+              env != nullptr ? env : "(unset)");
+  // A launch that leaves CheckConfig at its default (auto) consults
+  // the environment; an explicit mode on the LaunchConfig always wins.
+  const simcheck::CheckResolution auto_mode =
+      simcheck::resolveCheckMode(simcheck::CheckMode::kAuto);
+  std::printf("  default  %-6s launches  -> %-6s  [from %s]\n", "(auto)",
+              std::string(simcheck::checkModeName(auto_mode.effective))
+                  .c_str(),
+              auto_mode.source);
+  for (const simcheck::CheckMode mode :
+       {simcheck::CheckMode::kOff, simcheck::CheckMode::kReport,
+        simcheck::CheckMode::kFatal}) {
+    const simcheck::CheckResolution r = simcheck::resolveCheckMode(mode);
+    std::printf("  explicit %-6s launches  -> %-6s  [from %s]\n",
+                std::string(simcheck::checkModeName(mode)).c_str(),
+                std::string(simcheck::checkModeName(r.effective)).c_str(),
+                r.source);
+  }
+  std::printf(
+      "accepted SIMTOMP_CHECK values: 0/off, 1/on/report, 2/fatal\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,8 +120,13 @@ int main(int argc, char** argv) {
     groupTable(static_cast<uint32_t>(std::atoi(argv[2])));
     return 0;
   }
+  if (std::strcmp(argv[1], "--check") == 0 ||
+      std::strcmp(argv[1], "check") == 0) {
+    checkInfo();
+    return 0;
+  }
   std::fprintf(stderr,
                "usage: simtomp_info [occupancy <threads> [sharedBytes] | "
-               "groups <threads>]\n");
+               "groups <threads> | --check]\n");
   return 2;
 }
