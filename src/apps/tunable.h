@@ -1,0 +1,54 @@
+// Tunable-app adapters: the bridge between the application kernels and
+// the simtune autotuner.
+//
+// Each TunableApp packages what the tuner needs to search one app's
+// launch space: a stable kernel key, a trip-count hint for the cache
+// bucket, per-app axes (constrained to the modes the app actually
+// implements), the app's stock hand-picked configuration (the paper's
+// per-benchmark choices — the bar a tuned config must meet), and a
+// TrialFn that maps a TuneCandidate onto the app's options and runs it
+// in a scratch device. Trials verify results against the host
+// reference, so a configuration that computes wrong answers can never
+// win a search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/arch.h"
+#include "simtune/tuner.h"
+
+namespace simtomp::apps {
+
+struct TunableApp {
+  std::string name;       ///< kernel key in the tuning cache
+  uint64_t tripCount = 0; ///< outer (distribute) trip count
+  simtune::TuneAxes axes;
+  /// The app's stock configuration, expressed as a candidate. Always a
+  /// member of `axes`, so an exhaustive search can only do better or
+  /// equal (modeled cycles) than the hand-picked default.
+  simtune::TuneCandidate handPicked;
+  simtune::TrialFn trial;
+};
+
+/// `small` shrinks both the workload and the axes so a full exhaustive
+/// sweep stays cheap (CI smoke, unit tests).
+TunableApp tunableSpmv(const gpusim::ArchSpec& arch, bool small);
+TunableApp tunableSu3(const gpusim::ArchSpec& arch, bool small);
+TunableApp tunableIdeal(const gpusim::ArchSpec& arch, bool small);
+TunableApp tunableLaplace3d(const gpusim::ArchSpec& arch, bool small);
+TunableApp tunableMuramTranspose(const gpusim::ArchSpec& arch, bool small);
+TunableApp tunableMuramInterpol(const gpusim::ArchSpec& arch, bool small);
+TunableApp tunableBatchedGemm(const gpusim::ArchSpec& arch, bool small);
+
+/// Every tunable app (the cg solver is excluded: its iteration count
+/// makes trial sweeps impractical).
+std::vector<TunableApp> tunableCorpus(const gpusim::ArchSpec& arch,
+                                      bool small);
+
+/// Corpus entry by name; throws via SIMTOMP_CHECK on unknown names —
+/// use tunableCorpus() to enumerate valid ones.
+TunableApp tunableByName(const std::string& name,
+                         const gpusim::ArchSpec& arch, bool small);
+
+}  // namespace simtomp::apps

@@ -38,13 +38,22 @@ using omprt::ExecMode;
 using omprt::OmpContext;
 
 struct LaunchSpec {
+  /// 0 = auto (tuner entry, else one team per SM).
   uint32_t numTeams = 1;
+  /// 0 = auto (tuner entry, else 128 clipped to the architecture).
   uint32_t threadsPerTeam = 128;
   ExecMode teamsMode = ExecMode::kSPMD;
+  /// True: teamsMode is a placeholder the launch path may replace.
+  bool teamsModeAuto = false;
   ExecMode parallelMode = ExecMode::kSPMD;
+  /// True: parallelMode is a placeholder the launch path may replace.
+  bool parallelModeAuto = false;
   /// SIMD group size for parallel regions (1 = no third level; exactly
-  /// today's LLVM/OpenMP behaviour).
+  /// today's LLVM/OpenMP behaviour; 0 = auto via the tuner).
   uint32_t simdlen = 1;
+  /// Launch-wide default chunk for dynamic worksharing loops whose
+  /// schedule clause leaves chunk 0 (0 = runtime default of 1).
+  uint64_t scheduleChunk = 0;
   uint32_t sharingSpaceBytes = omprt::kDefaultSharingSpaceBytes;
   /// Whether outlined regions enter the dispatch if-cascade (paper
   /// section 5.5); off models regions from foreign translation units.
@@ -54,19 +63,35 @@ struct LaunchSpec {
   uint32_t hostWorkers = 0;
   /// Correctness checking (simcheck); see gpusim::LaunchConfig::check.
   simcheck::CheckConfig check{};
+  /// Stable kernel identity for the simtune cache ("" = not tunable).
+  std::string tuneKey;
+  /// Trip-count hint for the tuning-cache bucket; the distribute
+  /// helpers below fill it with their trip count when left 0.
+  uint64_t tripCount = 0;
 
   [[nodiscard]] omprt::TargetConfig targetConfig() const {
     omprt::TargetConfig config;
     config.teamsMode = teamsMode;
+    config.teamsModeAuto = teamsModeAuto;
     config.numTeams = numTeams;
     config.threadsPerTeam = threadsPerTeam;
+    config.simdlen = simdlen;
+    config.parallelMode = parallelMode;
+    config.parallelModeAuto = parallelModeAuto;
+    config.scheduleChunk = scheduleChunk;
     config.sharingSpaceBytes = sharingSpaceBytes;
     config.hostWorkers = hostWorkers;
     config.check = check;
+    config.tuneKey = tuneKey;
+    config.tripCount = tripCount;
     return config;
   }
+  /// Region-level parallel configuration. Auto fields (simdlen 0,
+  /// parallelModeAuto) stay auto here and resolve against the launch's
+  /// TeamState defaults at region entry — i.e. against whatever the
+  /// tuner decided.
   [[nodiscard]] omprt::ParallelConfig parallelConfig() const {
-    return {parallelMode, simdlen};
+    return {parallelMode, simdlen, parallelModeAuto};
   }
 };
 
@@ -266,8 +291,10 @@ template <typename Body>
 Result<gpusim::KernelStats> targetTeamsDistribute(gpusim::Device& device,
                                                   const LaunchSpec& spec,
                                                   uint64_t trip, Body body) {
+  omprt::TargetConfig config = spec.targetConfig();
+  if (config.tripCount == 0) config.tripCount = trip;
   return omprt::launchTarget(
-      device, spec.targetConfig(), [&](OmpContext& ctx) {
+      device, config, [&](OmpContext& ctx) {
         const omprt::rt::Range r = omprt::rt::distributeStatic(ctx, trip);
         for (uint64_t iv = r.begin; iv < r.end; ++iv) {
           ctx.gpu().work(2);
@@ -284,8 +311,10 @@ template <typename Body>
 Result<gpusim::KernelStats> targetTeamsDistributeParallelFor(
     gpusim::Device& device, const LaunchSpec& spec, uint64_t trip,
     Body body) {
+  omprt::TargetConfig config = spec.targetConfig();
+  if (config.tripCount == 0) config.tripCount = trip;
   return omprt::launchTarget(
-      device, spec.targetConfig(), [&](OmpContext& ctx) {
+      device, config, [&](OmpContext& ctx) {
         const omprt::rt::Range r = omprt::rt::distributeStatic(ctx, trip);
         auto shifted = [&body, base = r.begin](OmpContext& inner,
                                                uint64_t logical) {

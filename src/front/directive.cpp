@@ -104,19 +104,66 @@ Result<uint64_t> parseUintArg(Lexer& lex, const char* clause) {
   return value;
 }
 
-Result<omprt::ExecMode> parseModeArg(Lexer& lex, const char* clause) {
+/// Integer clause argument that also accepts the `auto` keyword.
+struct UintOrAuto {
+  uint64_t value = 0;
+  bool isAuto = false;
+};
+
+Result<UintOrAuto> parseUintOrAutoArg(Lexer& lex, const char* clause) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  UintOrAuto out;
+  if (lex.peek().kind == Kind::kIdent && lex.peek().text == "auto") {
+    lex.take();
+    out.isAuto = true;
+  } else if (lex.peek().kind == Kind::kNumber) {
+    out.value = lex.take().number;
+  } else {
+    return Status::invalidArgument(std::string(clause) +
+                                   " expects an integer or 'auto'");
+  }
+  s = expect(lex, Kind::kRParen, "')'");
+  if (!s.isOk()) return s;
+  return out;
+}
+
+struct ModeOrAuto {
+  omprt::ExecMode mode = omprt::ExecMode::kSPMD;
+  bool isAuto = false;
+};
+
+Result<ModeOrAuto> parseModeArg(Lexer& lex, const char* clause) {
   Status s = expect(lex, Kind::kLParen, "'('");
   if (!s.isOk()) return s;
   if (lex.peek().kind != Kind::kIdent) {
     return Status::invalidArgument(std::string(clause) +
-                                   " expects spmd|generic");
+                                   " expects spmd|generic|auto");
   }
   const std::string word = lex.take().text;
   s = expect(lex, Kind::kRParen, "')'");
   if (!s.isOk()) return s;
-  if (word == "spmd") return omprt::ExecMode::kSPMD;
-  if (word == "generic") return omprt::ExecMode::kGeneric;
-  return Status::invalidArgument("unknown execution mode '" + word + "'");
+  ModeOrAuto out;
+  if (word == "spmd") {
+    out.mode = omprt::ExecMode::kSPMD;
+  } else if (word == "generic") {
+    out.mode = omprt::ExecMode::kGeneric;
+  } else if (word == "auto") {
+    out.isAuto = true;
+  } else {
+    return Status::invalidArgument("unknown execution mode '" + word + "'");
+  }
+  return out;
+}
+
+Status parseTune(Lexer& lex, DirectiveSpec& spec) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind != Kind::kIdent) {
+    return Status::invalidArgument("tune expects a kernel key");
+  }
+  spec.tuneKey = lex.take().text;
+  return expect(lex, Kind::kRParen, "')'");
 }
 
 Status parseSchedule(Lexer& lex, DirectiveSpec& spec) {
@@ -242,17 +289,20 @@ Result<DirectiveSpec> parseDirective(std::string_view text) {
 
     // Clauses.
     if (word == "num_teams") {
-      auto v = parseUintArg(lex, "num_teams");
+      auto v = parseUintOrAutoArg(lex, "num_teams");
       if (!v.isOk()) return v.status();
-      spec.numTeams = static_cast<uint32_t>(v.value());
+      spec.numTeams = static_cast<uint32_t>(v.value().value);
+      spec.numTeamsAuto = v.value().isAuto;
     } else if (word == "thread_limit" || word == "num_threads") {
-      auto v = parseUintArg(lex, word.c_str());
+      auto v = parseUintOrAutoArg(lex, word.c_str());
       if (!v.isOk()) return v.status();
-      spec.threadLimit = static_cast<uint32_t>(v.value());
+      spec.threadLimit = static_cast<uint32_t>(v.value().value);
+      spec.threadLimitAuto = v.value().isAuto;
     } else if (word == "simdlen") {
-      auto v = parseUintArg(lex, "simdlen");
+      auto v = parseUintOrAutoArg(lex, "simdlen");
       if (!v.isOk()) return v.status();
-      spec.simdlen = static_cast<uint32_t>(v.value());
+      spec.simdlen = static_cast<uint32_t>(v.value().value);
+      spec.simdlenAuto = v.value().isAuto;
     } else if (word == "device") {
       auto v = parseUintArg(lex, "device");
       if (!v.isOk()) return v.status();
@@ -276,13 +326,24 @@ Result<DirectiveSpec> parseDirective(std::string_view text) {
     } else if (word == "mode" || word == "teams_mode") {
       auto v = parseModeArg(lex, word.c_str());
       if (!v.isOk()) return v.status();
-      spec.teamsMode = v.value();
-      spec.teamsModeExplicit = true;
+      if (v.value().isAuto) {
+        spec.teamsModeAuto = true;
+      } else {
+        spec.teamsMode = v.value().mode;
+        spec.teamsModeExplicit = true;
+      }
     } else if (word == "parallel_mode") {
       auto v = parseModeArg(lex, "parallel_mode");
       if (!v.isOk()) return v.status();
-      spec.parallelMode = v.value();
-      spec.parallelModeExplicit = true;
+      if (v.value().isAuto) {
+        spec.parallelModeAuto = true;
+      } else {
+        spec.parallelMode = v.value().mode;
+        spec.parallelModeExplicit = true;
+      }
+    } else if (word == "tune") {
+      const Status s = parseTune(lex, spec);
+      if (!s.isOk()) return s;
     } else if (word == "nowait") {
       // Accepted; deferral is the caller's choice of launch API.
     } else {
@@ -300,25 +361,50 @@ Result<DirectiveSpec> parseDirective(std::string_view text) {
 dsl::LaunchSpec DirectiveSpec::toLaunchSpec(
     const gpusim::ArchSpec& arch) const {
   dsl::LaunchSpec spec;
-  spec.numTeams = numTeams != 0 ? numTeams : arch.numSMs;
-  spec.threadsPerTeam = threadLimit != 0 ? threadLimit : 128;
-  // Round to a warp multiple (the launch layer requires it).
+  // A tune key makes every launch-shape clause that was not given
+  // explicitly auto (0 / auto flag), deferring to the simtune cache at
+  // launch; without one, only clauses spelled `auto` defer.
+  const bool tuned = !tuneKey.empty();
+  spec.tuneKey = tuneKey;
   const uint32_t warp = arch.warpSize;
-  spec.threadsPerTeam = ((spec.threadsPerTeam + warp - 1) / warp) * warp;
-  spec.simdlen = simdlen != 0 ? simdlen : (hasSimd ? warp : 1);
+
+  if (numTeams != 0) {
+    spec.numTeams = numTeams;
+  } else {
+    spec.numTeams = tuned || numTeamsAuto ? 0 : arch.numSMs;
+  }
+  if (threadLimit != 0) {
+    // Round to a warp multiple (the launch layer requires it).
+    spec.threadsPerTeam = ((threadLimit + warp - 1) / warp) * warp;
+  } else {
+    spec.threadsPerTeam = tuned || threadLimitAuto ? 0 : 128;
+  }
+  if (simdlen != 0) {
+    spec.simdlen = simdlen;
+  } else if (tuned || simdlenAuto) {
+    spec.simdlen = 0;
+  } else {
+    spec.simdlen = hasSimd ? warp : 1;
+  }
 
   // The tightly-nested => SPMD rule (paper 3.2 / 6.5): a combined
   // "teams distribute parallel ..." directive is tightly nested, so
   // teams run SPMD; `parallel ... simd` combined likewise makes the
-  // parallel region SPMD. Split constructs default to generic.
+  // parallel region SPMD. Split constructs default to generic. Under
+  // auto the inferred mode stays in place as the placeholder/fallback
+  // the tuner may replace.
   const bool teams_tightly_nested = hasTeams && hasParallel;
   const bool parallel_tightly_nested = hasParallel && hasSimd;
   spec.teamsMode = teamsModeExplicit
                        ? teamsMode
                        : dsl::inferSpmd(teams_tightly_nested);
+  spec.teamsModeAuto = !teamsModeExplicit && (tuned || teamsModeAuto);
   spec.parallelMode = parallelModeExplicit
                           ? parallelMode
                           : dsl::inferSpmd(parallel_tightly_nested);
+  spec.parallelModeAuto =
+      !parallelModeExplicit && (tuned || parallelModeAuto);
+  if (hasSchedule) spec.scheduleChunk = schedule.chunk;
   return spec;
 }
 

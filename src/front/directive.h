@@ -66,6 +66,17 @@ struct DirectiveSpec {
   bool parallelModeExplicit = false;
   omprt::ExecMode parallelMode = omprt::ExecMode::kSPMD;
 
+  // Autotuning (extension clauses; see src/simtune). `tune(key)` names
+  // the kernel in the tuning cache and makes every launch-shape clause
+  // that was not given explicitly auto; individual clauses can also opt
+  // in with an `auto` argument, e.g. simdlen(auto) or num_teams(auto).
+  std::string tuneKey;
+  bool numTeamsAuto = false;      ///< num_teams(auto)
+  bool threadLimitAuto = false;   ///< thread_limit(auto)
+  bool simdlenAuto = false;       ///< simdlen(auto)
+  bool teamsModeAuto = false;     ///< mode(auto)
+  bool parallelModeAuto = false;  ///< parallel_mode(auto)
+
   /// Lower to a LaunchSpec: defaults + the tightly-nested => SPMD rule.
   [[nodiscard]] dsl::LaunchSpec toLaunchSpec(
       const gpusim::ArchSpec& arch) const;

@@ -29,6 +29,14 @@
 
 namespace simtomp::gpusim {
 
+/// Version of the cost-model *shape* (the set of constants below and
+/// their meaning). Recorded in the simtune cache key alongside a hash
+/// of the actual constant values, so recalibrating the model (changing
+/// defaults, or bumping this when semantics change) invalidates every
+/// cached tuning decision instead of silently ranking with stale
+/// cycles (docs/COST_MODEL.md).
+inline constexpr uint32_t kCostModelVersion = 1;
+
 struct CostModel {
   // Compute.
   uint64_t aluOp = 1;          ///< one arithmetic instruction

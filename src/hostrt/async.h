@@ -35,6 +35,13 @@ class TargetTaskQueue {
   /// Block until every enqueued task has completed (`taskwait`).
   void drain();
 
+  /// Tasks not yet retired: the queued tasks *plus* the one the helper
+  /// thread is currently executing. The in-flight task counts until the
+  /// helper retires it, so pendingTasks() == 0 holds exactly when
+  /// drain() would not block — but a task whose future is already
+  /// ready may still be counted for the instant between set_value and
+  /// retirement. Use completedTasks() to observe task completion, and
+  /// the returned future to observe a specific task's result.
   [[nodiscard]] size_t pendingTasks() const;
   [[nodiscard]] uint64_t completedTasks() const { return completed_; }
 

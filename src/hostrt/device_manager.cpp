@@ -19,6 +19,58 @@ DeviceManager::DeviceManager(std::vector<gpusim::ArchSpec> specs,
   }
 }
 
+void DeviceManager::applyDefaults(omprt::TargetConfig& config) const {
+  if (config.hostWorkers == 0) config.hostWorkers = default_host_workers_;
+  if (config.check.mode == simcheck::CheckMode::kAuto) {
+    config.check = default_check_;
+  }
+}
+
+Status DeviceManager::resolveTuning(size_t n, omprt::TargetConfig& config,
+                                    gpusim::Device* device,
+                                    const omprt::TargetRegionFn* region) {
+  if (config.tuneKey.empty() || !omprt::hasAutoLaunchFields(config)) {
+    return Status::ok();
+  }
+  const simtune::TuneResolution resolution =
+      simtune::resolveTuneMode(default_tune_mode_);
+  if (resolution.effective == simtune::TuneMode::kOff) return Status::ok();
+  if (default_tuner_ == nullptr) {
+    default_tuner_ = std::make_shared<simtune::Tuner>();
+  }
+  gpusim::Device& dev = *devices_[n];
+  if (default_tuner_->resolveConfig(dev.arch(), dev.costModel(), config)) {
+    return Status::ok();
+  }
+  // Cache miss. kCache falls back to the heuristics in launchTarget;
+  // kTune runs a trial search when the caller can run trials (the
+  // synchronous launch path — deferred launches never tune, since the
+  // trial launches would reorder against queued work).
+  if (resolution.effective == simtune::TuneMode::kTune && device != nullptr &&
+      region != nullptr) {
+    simtune::TuneRequest request;
+    request.strategy = simtune::TuneStrategy::kHillClimb;
+    request.maxTrials = 64;
+    request.check = config.check;
+    const Result<simtune::TuneOutcome> tuned =
+        default_tuner_->tuneTarget(*device, config, *region, request);
+    if (!tuned.isOk()) return tuned.status();
+  }
+  return Status::ok();
+}
+
+omprt::TargetConfig DeviceManager::effectiveConfig(
+    size_t n, omprt::TargetConfig config) {
+  SIMTOMP_CHECK(n < devices_.size(), "device number out of range");
+  applyDefaults(config);
+  (void)resolveTuning(n, config, /*device=*/nullptr, /*region=*/nullptr);
+  omprt::resolveAutoConfig(devices_[n]->arch(), config);
+  config.check = simcheck::CheckConfig{
+      simcheck::resolveCheckMode(config.check.mode).effective,
+      config.check.maxDiagnostics};
+  return config;
+}
+
 Result<gpusim::KernelStats> DeviceManager::launchOn(
     size_t n, const omprt::TargetConfig& config,
     const omprt::TargetRegionFn& region) {
@@ -26,20 +78,19 @@ Result<gpusim::KernelStats> DeviceManager::launchOn(
     return Status::invalidArgument("device number out of range");
   }
   omprt::TargetConfig effective = config;
-  if (effective.hostWorkers == 0) effective.hostWorkers = default_host_workers_;
-  if (effective.check.mode == simcheck::CheckMode::kAuto) {
-    effective.check = default_check_;
-  }
+  applyDefaults(effective);
+  const Status tuned = resolveTuning(n, effective, devices_[n].get(), &region);
+  if (!tuned.isOk()) return tuned;
   return omprt::launchTarget(*devices_[n], effective, region);
 }
 
 std::future<Result<gpusim::KernelStats>> DeviceManager::launchOnAsync(
     size_t n, omprt::TargetConfig config, omprt::TargetRegionFn region) {
   SIMTOMP_CHECK(n < devices_.size(), "device number out of range");
-  if (config.hostWorkers == 0) config.hostWorkers = default_host_workers_;
-  if (config.check.mode == simcheck::CheckMode::kAuto) {
-    config.check = default_check_;
-  }
+  applyDefaults(config);
+  // Deferred launches resolve from the tuning cache only (see
+  // resolveTuning); a miss falls back to launchTarget's heuristics.
+  (void)resolveTuning(n, config, /*device=*/nullptr, /*region=*/nullptr);
   return queues_[n]->enqueue(config, std::move(region));
 }
 

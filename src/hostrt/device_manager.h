@@ -14,6 +14,7 @@
 #include "hostrt/async.h"
 #include "hostrt/data_env.h"
 #include "omprt/target.h"
+#include "simtune/tuner.h"
 #include "support/status.h"
 
 namespace simtomp::hostrt {
@@ -54,6 +55,33 @@ class DeviceManager {
     return default_check_;
   }
 
+  /// Default autotuner consulted by launches that carry a tune key and
+  /// auto launch-shape fields (mirrors setDefaultHostWorkers /
+  /// setDefaultCheck). `mode` kAuto defers to the SIMTOMP_TUNE env var
+  /// on every launch; an explicit mode pins tuning on or off. When no
+  /// tuner was set but the resolved mode enables tuning, a default
+  /// tuner (cache path from SIMTOMP_TUNE_CACHE) is created lazily on
+  /// first use, so `SIMTOMP_TUNE=1` works with zero code changes.
+  void setDefaultTuner(std::shared_ptr<simtune::Tuner> tuner,
+                       simtune::TuneMode mode = simtune::TuneMode::kAuto) {
+    default_tuner_ = std::move(tuner);
+    default_tune_mode_ = mode;
+  }
+  [[nodiscard]] const std::shared_ptr<simtune::Tuner>& defaultTuner() const {
+    return default_tuner_;
+  }
+  [[nodiscard]] simtune::TuneMode defaultTuneMode() const {
+    return default_tune_mode_;
+  }
+
+  /// The configuration launchOn(n, config, ...) would actually launch
+  /// with: manager defaults (hostWorkers, check) applied, tuner cache
+  /// consulted (never trials) and the remaining auto fields resolved
+  /// heuristically. Exposed so tests and `simtomp_info --tune` can
+  /// observe default-plumbing precedence without launching anything.
+  [[nodiscard]] omprt::TargetConfig effectiveConfig(size_t n,
+                                                    omprt::TargetConfig config);
+
   /// `#pragma omp target device(n)` — synchronous launch.
   Result<gpusim::KernelStats> launchOn(size_t n,
                                        const omprt::TargetConfig& config,
@@ -67,11 +95,24 @@ class DeviceManager {
   void drainAll();
 
  private:
+  /// Apply manager defaults to a launch config (hostWorkers, check).
+  void applyDefaults(omprt::TargetConfig& config) const;
+  /// Tuner-aware resolution of auto launch-shape fields. Cache-only
+  /// unless `device` is non-null and the effective mode is kTune, in
+  /// which case a cache miss runs a trial search on that device (so
+  /// only the synchronous launch path passes a device). Returns a
+  /// non-ok status only when a trial search itself failed.
+  Status resolveTuning(size_t n, omprt::TargetConfig& config,
+                       gpusim::Device* device,
+                       const omprt::TargetRegionFn* region);
+
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
   std::vector<std::unique_ptr<DataEnvironment>> envs_;
   std::vector<std::unique_ptr<TargetTaskQueue>> queues_;
   uint32_t default_host_workers_ = 0;  ///< 0 = auto (env / hardware)
   simcheck::CheckConfig default_check_{};  ///< kAuto = env / off
+  std::shared_ptr<simtune::Tuner> default_tuner_;  ///< may be lazily created
+  simtune::TuneMode default_tune_mode_ = simtune::TuneMode::kAuto;
 };
 
 }  // namespace simtomp::hostrt

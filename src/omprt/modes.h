@@ -28,13 +28,23 @@ enum class ThreadKind : uint8_t {
   kTerminated,  ///< worker finished its state machine; exit the kernel
 };
 
+/// Sentinel simdGroupSize: resolve to the launch-wide default SIMD
+/// group size (TargetConfig::simdlen, possibly filled in by the
+/// simtune autotuner) when the region is entered.
+inline constexpr uint32_t kSimdlenAuto = 0;
+
 /// Per-parallel-region configuration (paper section 5.3.1: the SIMD
 /// group size may differ between parallel regions).
 struct ParallelConfig {
   ExecMode mode = ExecMode::kSPMD;
   /// SIMD group size (simdlen). 1 disables the third level entirely and
   /// reproduces today's LLVM/OpenMP behaviour (paper section 5.4).
+  /// kSimdlenAuto (0) resolves to the launch-wide default at region
+  /// entry (rt::normalizeParallelConfig).
   uint32_t simdGroupSize = 1;
+  /// When true, `mode` is a placeholder and the launch-wide default
+  /// parallel mode (TargetConfig::parallelMode) is used instead.
+  bool modeAuto = false;
 };
 
 /// Outlined region signatures. Raw function pointers by design: the

@@ -149,7 +149,14 @@ void targetDeinit(OmpContext& ctx) {
 
 ParallelConfig normalizeParallelConfig(const TeamState& ts,
                                        ParallelConfig config) {
+  // Auto fields resolve against the launch-wide defaults (which the
+  // tuner may have filled in via TargetConfig).
+  if (config.modeAuto) {
+    config.mode = ts.defaultParallel.mode;
+    config.modeAuto = false;
+  }
   uint32_t g = config.simdGroupSize;
+  if (g == kSimdlenAuto) g = ts.defaultParallel.simdGroupSize;
   if (g == 0) g = 1;
   if (g > ts.warpSize) g = ts.warpSize;
   g = std::bit_floor(g);  // group sizes are powers of two (divide a warp)
@@ -317,7 +324,12 @@ void workshareForScheduled(OmpContext& ctx, uint64_t tripCount,
       return;
     }
     case ForSchedule::kDynamic: {
-      const uint64_t chunk = schedule.chunk == 0 ? 1 : schedule.chunk;
+      // Clause chunk wins; 0 falls back to the launch-wide default
+      // (tunable via TargetConfig::scheduleChunk), then to 1.
+      const uint64_t default_chunk =
+          ts.defaultScheduleChunk == 0 ? 1 : ts.defaultScheduleChunk;
+      const uint64_t chunk =
+          schedule.chunk == 0 ? default_chunk : schedule.chunk;
       // Dispatch init: one thread resets the team counter between uses.
       teamBarrier(ctx);
       if (t.threadId() == 0) {

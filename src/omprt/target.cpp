@@ -1,5 +1,6 @@
 #include "omprt/target.h"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -7,6 +8,29 @@
 #include "support/log.h"
 
 namespace simtomp::omprt {
+
+bool hasAutoLaunchFields(const TargetConfig& config) {
+  return config.numTeams == 0 || config.threadsPerTeam == 0 ||
+         config.simdlen == 0 || config.teamsModeAuto ||
+         config.parallelModeAuto;
+}
+
+void resolveAutoConfig(const gpusim::ArchSpec& arch, TargetConfig& config) {
+  // Mode placeholders become the modes: the value riding the auto flag
+  // is itself the heuristic fallback (e.g. the front-end's
+  // tightly-nested => SPMD inference).
+  config.teamsModeAuto = false;
+  config.parallelModeAuto = false;
+  if (config.numTeams == 0) config.numTeams = arch.numSMs;
+  if (config.threadsPerTeam == 0) {
+    const uint32_t reserve =
+        config.teamsMode == ExecMode::kGeneric ? arch.warpSize : 0;
+    uint32_t threads = std::min(128u, arch.maxThreadsPerBlock - reserve);
+    threads -= threads % arch.warpSize;  // launch layer needs a multiple
+    config.threadsPerTeam = std::max(threads, arch.warpSize);
+  }
+  if (config.simdlen == 0) config.simdlen = 1;
+}
 
 Status TargetConfig::validate(const gpusim::ArchSpec& arch) const {
   if (numTeams == 0) {
@@ -28,8 +52,14 @@ Status TargetConfig::validate(const gpusim::ArchSpec& arch) const {
 }
 
 Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
-                                         const TargetConfig& config,
+                                         const TargetConfig& requested,
                                          const TargetRegionFn& region) {
+  // Fill any remaining auto fields heuristically. Tuner-aware
+  // resolution (hostrt::DeviceManager) happens before this call; a
+  // direct launchTarget with auto fields still gets sane defaults.
+  TargetConfig config = requested;
+  resolveAutoConfig(device.arch(), config);
+
   const Status valid = config.validate(device.arch());
   if (!valid.isOk()) return valid;
 
@@ -40,6 +70,11 @@ Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
       (config.teamsMode == ExecMode::kGeneric ? device.arch().warpSize : 0);
   launch.hostWorkers = config.hostWorkers;
   launch.check = config.check;
+
+  // Launch-wide defaults for region-level auto fields; never auto
+  // themselves (resolveAutoConfig ran above).
+  const ParallelConfig default_parallel{config.parallelMode, config.simdlen,
+                                        /*modeAuto=*/false};
 
   // One TeamState per block, in its own slot: under host-parallel
   // execution several blocks are alive at once, each worker touching
@@ -52,7 +87,8 @@ Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
     auto& state = states[engine.blockId()];
     state = std::make_unique<TeamState>(
         config.teamsMode, config.threadsPerTeam, device.arch().warpSize,
-        device.arch().hasWarpLevelBarrier, std::move(sharing));
+        device.arch().hasWarpLevelBarrier, std::move(sharing),
+        default_parallel, config.scheduleChunk);
     engine.setUserState(state.get());
   };
 

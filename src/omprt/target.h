@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "gpusim/device.h"
 #include "omprt/context.h"
@@ -23,10 +24,27 @@ inline constexpr uint32_t kDefaultSharingSpaceBytes = 2048;
 
 struct TargetConfig {
   ExecMode teamsMode = ExecMode::kSPMD;
+  /// When true, teamsMode is a placeholder the launch path may replace
+  /// (tuner entry, else the SPMD heuristic). Explicit modes always win.
+  bool teamsModeAuto = false;
+  /// Number of teams; 0 = auto (tuner entry, else one per SM).
   uint32_t numTeams = 1;
   /// Worker threads per team; must be a positive multiple of warpSize.
   /// Generic teams mode adds one extra warp for the team main thread.
+  /// 0 = auto (tuner entry, else 128 clipped to the architecture).
   uint32_t threadsPerTeam = 128;
+  /// Launch-wide default SIMD group size: what a region-level
+  /// ParallelConfig with simdGroupSize == kSimdlenAuto resolves to.
+  /// 0 = auto (tuner entry, else 1 — today's LLVM/OpenMP behaviour).
+  uint32_t simdlen = 1;
+  /// Launch-wide default parallel-region mode (used by regions whose
+  /// ParallelConfig sets modeAuto).
+  ExecMode parallelMode = ExecMode::kSPMD;
+  /// When true, parallelMode may be replaced by the launch path.
+  bool parallelModeAuto = false;
+  /// Launch-wide default chunk for scheduled worksharing loops whose
+  /// schedule clause leaves chunk 0 (0 = runtime default).
+  uint64_t scheduleChunk = 0;
   uint32_t sharingSpaceBytes = kDefaultSharingSpaceBytes;
   /// Host worker threads for independent teams (0 = auto: the
   /// SIMTOMP_HOST_WORKERS env var, else hardware_concurrency; 1 =
@@ -35,9 +53,28 @@ struct TargetConfig {
   uint32_t hostWorkers = 0;
   /// Correctness checking (simcheck); see gpusim::LaunchConfig::check.
   simcheck::CheckConfig check{};
+  /// Stable kernel identity for the simtune cache ("" = not tunable;
+  /// auto fields then resolve heuristically). Mirrors the hostWorkers /
+  /// check plumbing: DeviceManager consults its default tuner and the
+  /// SIMTOMP_TUNE env var for launches that carry a key + auto fields.
+  std::string tuneKey;
+  /// Trip-count hint for the tuning-cache bucket (0 = unknown). The
+  /// dsl target helpers fill this with the distribute trip count.
+  uint64_t tripCount = 0;
 
   [[nodiscard]] Status validate(const gpusim::ArchSpec& arch) const;
 };
+
+/// True when any launch-shape field is still auto (needs resolution).
+[[nodiscard]] bool hasAutoLaunchFields(const TargetConfig& config);
+
+/// Fill every auto launch-shape field with the static heuristic
+/// defaults (numTeams: one per SM; threadsPerTeam: 128 clipped to the
+/// architecture; simdlen: 1; modes: the placeholder value riding the
+/// auto flag) and clear the auto flags. The tuner-aware resolution in
+/// hostrt::DeviceManager runs *before* this, so heuristics only apply
+/// where no cache entry decided.
+void resolveAutoConfig(const gpusim::ArchSpec& arch, TargetConfig& config);
 
 /// The target-region user code. Executed by the team main thread only
 /// (generic teams mode) or by every thread (SPMD teams mode).

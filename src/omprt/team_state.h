@@ -35,12 +35,16 @@ struct SimdGroupState {
 struct TeamState {
   TeamState(ExecMode teams_mode, uint32_t num_worker_threads,
             uint32_t warp_size, bool arch_has_warp_barrier,
-            std::unique_ptr<SharingSpace> sharing_space)
+            std::unique_ptr<SharingSpace> sharing_space,
+            ParallelConfig default_parallel = {},
+            uint64_t default_schedule_chunk = 0)
       : teamsMode(teams_mode),
         numWorkerThreads(num_worker_threads),
         mainThreadId(num_worker_threads),  // lane 0 of the extra warp
         warpSize(warp_size),
         archHasWarpBarrier(arch_has_warp_barrier),
+        defaultParallel(default_parallel),
+        defaultScheduleChunk(default_schedule_chunk),
         sharing(std::move(sharing_space)) {
     groups.resize(numWorkerThreads);  // enough for group size 1
     reduceScratch.resize(numWorkerThreads, 0.0);
@@ -55,6 +59,14 @@ struct TeamState {
   const uint32_t mainThreadId;
   const uint32_t warpSize;
   const bool archHasWarpBarrier;
+  /// Launch-wide defaults a region-level ParallelConfig with auto
+  /// fields (simdGroupSize == kSimdlenAuto, modeAuto) resolves against.
+  /// Filled from TargetConfig::{parallelMode, simdlen} — i.e. from the
+  /// tuner when the launch used auto fields. Never itself auto.
+  const ParallelConfig defaultParallel;
+  /// Launch-wide default chunk for scheduled worksharing loops whose
+  /// clause leaves chunk 0 (0 = the runtime's own default of 1).
+  const uint64_t defaultScheduleChunk;
 
   // ---- Parallel-region publication (teams generic mode) ----
   OutlinedFn parallelFn = nullptr;

@@ -1,0 +1,213 @@
+// simtune: cost-model-driven autotuner for the launch space.
+//
+// The paper leaves simdlen (and the rest of the launch shape) to the
+// programmer; its evaluation hand-picks per-benchmark configurations.
+// simtune automates that choice for the simulator: given a kernel it
+// can re-run, it searches the launch space — SIMD group size, teams
+// mode, parallel mode, team count and width, dynamic-schedule chunk —
+// by running trial launches and ranking candidates on *modeled cycles*
+// (gpusim::KernelStats), the same metric the paper's figures report.
+//
+// Determinism contract (DESIGN.md §3.3): trial launches land in
+// per-candidate slots and the winner is the minimum-cycle candidate
+// with ties broken by enumeration order, so the chosen configuration —
+// and the serialized cache — is bit-identical for any host worker
+// count. Trials fan out over gpusim::BlockExecutor::global(), each in
+// its own scratch Device, so independent candidates evaluate on
+// separate host workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "omprt/target.h"
+#include "simcheck/report.h"
+#include "simtune/cache.h"
+#include "support/status.h"
+
+namespace simtomp::simtune {
+
+/// How a launch wants tuning, mirroring simcheck::CheckMode.
+enum class TuneMode : uint8_t {
+  kAuto = 0,  ///< resolve from the SIMTOMP_TUNE env var (default: off)
+  kOff,       ///< auto fields resolve heuristically; no cache, no trials
+  kCache,     ///< resolve from the tuning cache; miss → heuristics
+  kTune,      ///< resolve from the cache; miss → run a trial search
+};
+
+[[nodiscard]] std::string_view tuneModeName(TuneMode mode);
+
+/// How a TuneMode request resolved — kept so `simtomp_info --tune` and
+/// CI logs can show where the mode came from.
+struct TuneResolution {
+  TuneMode effective = TuneMode::kOff;  ///< never kAuto
+  const char* source = "default";  ///< "explicit" | "SIMTOMP_TUNE" | "default"
+  std::string envValue;            ///< raw env text when consulted
+};
+
+/// Resolve `requested` against the SIMTOMP_TUNE environment variable.
+/// An explicit (non-auto) request always wins; kAuto consults the env
+/// var afresh on every call: "0"/"off" → off, "1"/"on"/"cache" → cache,
+/// "2"/"tune"/"trial" → tune; unset or unrecognized → off.
+[[nodiscard]] TuneResolution resolveTuneMode(TuneMode requested);
+
+/// One point of the launch space.
+struct TuneCandidate {
+  omprt::ExecMode teamsMode = omprt::ExecMode::kSPMD;
+  omprt::ExecMode parallelMode = omprt::ExecMode::kSPMD;
+  uint32_t numTeams = 1;
+  uint32_t threadsPerTeam = 128;
+  uint32_t simdlen = 1;
+  uint64_t scheduleChunk = 0;
+
+  [[nodiscard]] bool operator==(const TuneCandidate&) const = default;
+  [[nodiscard]] std::string toString() const;
+};
+
+/// The search space, one vector per axis. enumerate() takes the cross
+/// product and drops combinations the runtime would reject or silently
+/// degrade (threadsPerTeam not a warp multiple or over the block limit,
+/// simdlen not a power of two / over warpSize / over threadsPerTeam,
+/// generic-SIMD on an architecture without warp-level barriers).
+struct TuneAxes {
+  std::vector<omprt::ExecMode> teamsModes;
+  std::vector<omprt::ExecMode> parallelModes;
+  std::vector<uint32_t> numTeams;
+  std::vector<uint32_t> threadsPerTeam;
+  std::vector<uint32_t> simdlens;
+  std::vector<uint64_t> scheduleChunks;
+
+  /// The default launch space for an architecture: both teams and
+  /// parallel modes, team counts around the SM count, warp-multiple
+  /// team widths, every power-of-two simdlen in [1, warpSize], and
+  /// chunk 0 (runtime default).
+  static TuneAxes defaults(const gpusim::ArchSpec& arch);
+
+  /// Cross product in deterministic axis order (teamsMode outermost,
+  /// scheduleChunk innermost), invalid combinations dropped.
+  [[nodiscard]] std::vector<TuneCandidate> enumerate(
+      const gpusim::ArchSpec& arch) const;
+};
+
+/// Evaluate one candidate: run the kernel under `candidate` on the
+/// provided scratch device and return its stats. Called concurrently
+/// from pool workers — it must create any workload state inside the
+/// scratch device and must not touch shared mutable state. `check`
+/// forwards the launch's checking request so trials can run checked.
+using TrialFn = std::function<Result<gpusim::KernelStats>(
+    gpusim::Device& scratch, const TuneCandidate& candidate,
+    const simcheck::CheckConfig& check)>;
+
+enum class TuneStrategy : uint8_t {
+  kExhaustive,  ///< rank every enumerated candidate
+  kHillClimb,   ///< budgeted multi-start coordinate descent (one start
+                ///< per mode pair), memoized
+};
+
+[[nodiscard]] std::string_view tuneStrategyName(TuneStrategy strategy);
+
+struct TuneRequest {
+  TuneStrategy strategy = TuneStrategy::kExhaustive;
+  /// Cap on trial launches (0 = unbounded). Exhaustive truncates the
+  /// candidate list; hill-climb stops descending when the budget is
+  /// spent and returns the best candidate seen.
+  uint32_t maxTrials = 0;
+  /// Host workers for trial fan-out (0 = auto via SIMTOMP_HOST_WORKERS;
+  /// see gpusim::resolveHostWorkers). Affects wall-clock only.
+  uint32_t hostWorkers = 0;
+  /// Forwarded to every trial, so tuning can double as a check sweep.
+  simcheck::CheckConfig check{};
+  /// Trip count of the workload being tuned (cache bucket).
+  uint64_t tripCount = 0;
+  /// Re-tune even when the cache already has an entry.
+  bool skipCache = false;
+  /// Global-memory arena of each scratch Device. Much smaller than
+  /// Device::kDefaultGlobalMem because the arena is eagerly allocated
+  /// and several trial devices are alive at once.
+  size_t scratchMemBytes = 64ull * 1024 * 1024;
+};
+
+struct TuneOutcome {
+  TuneKey key;
+  TunedShape shape;
+  bool fromCache = false;
+  uint32_t trialsRun = 0;
+  /// Every evaluated (candidate, modeled cycles) in enumeration order;
+  /// failed trials are omitted. Empty on a cache hit.
+  std::vector<std::pair<TuneCandidate, uint64_t>> evaluated;
+};
+
+/// Copy a tuned shape into the auto fields of a TargetConfig. Explicit
+/// (non-auto) fields are left alone, so a user who pins simdlen keeps
+/// it even when the cached shape disagrees.
+void applyShape(const TunedShape& shape, omprt::TargetConfig& config);
+
+/// The autotuner. Thread-safe: the cache is internally locked and the
+/// per-tune search state is local, so concurrent tune() calls (e.g.
+/// from DeviceManager device threads) are fine.
+class Tuner {
+ public:
+  /// A tuner over an explicit cache (shared so DeviceManager, CLI and
+  /// tests can inspect the same instance).
+  explicit Tuner(std::shared_ptr<TuneCache> cache);
+  /// Convenience: a tuner whose cache path comes from resolveCachePath
+  /// (SIMTOMP_TUNE_CACHE when set, else in-memory). Loads the file.
+  Tuner();
+
+  [[nodiscard]] TuneCache& cache() { return *cache_; }
+  [[nodiscard]] const TuneCache& cache() const { return *cache_; }
+
+  /// Search the launch space for `kernel`. Cache hit (unless
+  /// request.skipCache) short-circuits with zero trial launches;
+  /// otherwise trials fan out over BlockExecutor::global(), the winner
+  /// is inserted into the cache and the cache file is rewritten.
+  Result<TuneOutcome> tune(const std::string& kernel,
+                           const gpusim::ArchSpec& arch,
+                           const gpusim::CostModel& cost,
+                           const TuneAxes& axes, const TrialFn& trial,
+                           const TuneRequest& request);
+
+  /// Tune a target region in place: candidates are applied to the auto
+  /// fields of `config` and launched on `device` itself, *serially*
+  /// (launches on one Device must not overlap). The region must
+  /// tolerate re-execution — trial launches really run it, so outputs
+  /// are overwritten and non-idempotent updates (atomic accumulation)
+  /// repeat. On success `config`'s auto fields hold the winner.
+  Result<TuneOutcome> tuneTarget(gpusim::Device& device,
+                                 omprt::TargetConfig& config,
+                                 const omprt::TargetRegionFn& region,
+                                 const TuneRequest& request);
+
+  /// Cache-only resolution for the launch path: when `config` has a
+  /// tune key, auto fields and a cache entry, apply the entry and
+  /// return true. Never runs trials.
+  bool resolveConfig(const gpusim::ArchSpec& arch,
+                     const gpusim::CostModel& cost,
+                     omprt::TargetConfig& config);
+
+  // Counters for simtomp_info --tune and the warm-cache tests.
+  [[nodiscard]] uint64_t trialLaunches() const { return trial_launches_; }
+  [[nodiscard]] uint64_t cacheHits() const { return cache_hits_; }
+  [[nodiscard]] uint64_t cacheMisses() const { return cache_misses_; }
+
+ private:
+  Result<TuneOutcome> search(const TuneKey& key,
+                             const gpusim::ArchSpec& arch,
+                             const gpusim::CostModel& cost,
+                             const TuneAxes& axes, const TrialFn& trial,
+                             const TuneRequest& request);
+
+  std::shared_ptr<TuneCache> cache_;
+  std::atomic<uint64_t> trial_launches_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+};
+
+}  // namespace simtomp::simtune

@@ -88,6 +88,34 @@ TEST(DirectiveParseTest, ModeOverrideClauses) {
   EXPECT_EQ(spec.value().parallelMode, ExecMode::kSPMD);
 }
 
+TEST(DirectiveParseTest, TuneClauseNamesTheKernel) {
+  auto spec = parseDirective(
+      "target teams distribute parallel for simd tune(spmv_main)");
+  ASSERT_TRUE(spec.isOk()) << spec.status().toString();
+  EXPECT_EQ(spec.value().tuneKey, "spmv_main");
+  // tune() records the key only; auto-ness is decided at lowering.
+  EXPECT_FALSE(spec.value().numTeamsAuto);
+  EXPECT_FALSE(spec.value().simdlenAuto);
+}
+
+TEST(DirectiveParseTest, AutoClauseArguments) {
+  auto spec = parseDirective(
+      "target teams distribute parallel for simd "
+      "num_teams(auto) thread_limit(auto) simdlen(auto) "
+      "mode(auto) parallel_mode(auto)");
+  ASSERT_TRUE(spec.isOk()) << spec.status().toString();
+  EXPECT_TRUE(spec.value().numTeamsAuto);
+  EXPECT_TRUE(spec.value().threadLimitAuto);
+  EXPECT_TRUE(spec.value().simdlenAuto);
+  EXPECT_TRUE(spec.value().teamsModeAuto);
+  EXPECT_TRUE(spec.value().parallelModeAuto);
+  // auto is not an explicit mode override.
+  EXPECT_FALSE(spec.value().teamsModeExplicit);
+  EXPECT_FALSE(spec.value().parallelModeExplicit);
+  EXPECT_EQ(spec.value().numTeams, 0u);
+  EXPECT_EQ(spec.value().simdlen, 0u);
+}
+
 TEST(DirectiveParseTest, Errors) {
   EXPECT_FALSE(parseDirective("").isOk());
   EXPECT_FALSE(parseDirective("num_teams(4)").isOk());  // no construct
@@ -100,6 +128,9 @@ TEST(DirectiveParseTest, Errors) {
   EXPECT_FALSE(parseDirective("parallel reduction(*: x)").isOk());
   // Constructs after clauses are malformed.
   EXPECT_FALSE(parseDirective("target num_teams(4) teams").isOk());
+  EXPECT_FALSE(parseDirective("target teams tune()").isOk());
+  EXPECT_FALSE(parseDirective("target teams tune(42)").isOk());
+  EXPECT_FALSE(parseDirective("target teams mode(sideways)").isOk());
 }
 
 TEST(DirectiveLowerTest, TightlyNestedInfersSpmd) {
@@ -156,6 +187,53 @@ TEST(DirectiveLowerTest, ThreadLimitRoundedToWarpMultiple) {
   ASSERT_TRUE(spec.isOk());
   EXPECT_EQ(spec.value().toLaunchSpec(ArchSpec::nvidiaA100()).threadsPerTeam,
             128u);
+}
+
+TEST(DirectiveLowerTest, AutoClausesLowerToAutoFields) {
+  const ArchSpec arch = ArchSpec::nvidiaA100();
+  auto spec = parseDirective(
+      "target teams distribute parallel for simd "
+      "num_teams(auto) thread_limit(auto) simdlen(auto) "
+      "mode(auto) parallel_mode(auto)");
+  ASSERT_TRUE(spec.isOk());
+  const dsl::LaunchSpec launch = spec.value().toLaunchSpec(arch);
+  // Auto numeric fields lower to 0 instead of the arch defaults.
+  EXPECT_EQ(launch.numTeams, 0u);
+  EXPECT_EQ(launch.threadsPerTeam, 0u);
+  EXPECT_EQ(launch.simdlen, 0u);
+  // Auto modes keep the inferred mode as a fallback but mark the field
+  // as tunable.
+  EXPECT_TRUE(launch.teamsModeAuto);
+  EXPECT_TRUE(launch.parallelModeAuto);
+  EXPECT_EQ(launch.teamsMode, ExecMode::kSPMD);  // tightly nested fallback
+}
+
+TEST(DirectiveLowerTest, TuneKeyMakesUnspecifiedClausesAuto) {
+  const ArchSpec arch = ArchSpec::nvidiaA100();
+  auto spec = parseDirective(
+      "target teams distribute parallel for simd tune(kern) num_teams(4)");
+  ASSERT_TRUE(spec.isOk());
+  const dsl::LaunchSpec launch = spec.value().toLaunchSpec(arch);
+  EXPECT_EQ(launch.tuneKey, "kern");
+  // Explicit clauses survive; everything else defers to the tuner.
+  EXPECT_EQ(launch.numTeams, 4u);
+  EXPECT_EQ(launch.threadsPerTeam, 0u);
+  EXPECT_EQ(launch.simdlen, 0u);
+  EXPECT_TRUE(launch.teamsModeAuto);
+  EXPECT_TRUE(launch.parallelModeAuto);
+}
+
+TEST(DirectiveLowerTest, TuneKeyRespectsExplicitModes) {
+  const ArchSpec arch = ArchSpec::nvidiaA100();
+  auto spec = parseDirective(
+      "target teams distribute parallel for simd tune(kern) "
+      "mode(generic) simdlen(16)");
+  ASSERT_TRUE(spec.isOk());
+  const dsl::LaunchSpec launch = spec.value().toLaunchSpec(arch);
+  EXPECT_EQ(launch.teamsMode, ExecMode::kGeneric);
+  EXPECT_FALSE(launch.teamsModeAuto);   // pinned by the explicit clause
+  EXPECT_TRUE(launch.parallelModeAuto); // still free for the tuner
+  EXPECT_EQ(launch.simdlen, 16u);
 }
 
 TEST(DirectiveEndToEndTest, ParsedSpecDrivesARealLaunch) {

@@ -1,0 +1,221 @@
+// DeviceManager default-plumbing precedence, parameterized over every
+// channel that has the three-level layering:
+//
+//   explicit launch config  >  setDefault* on the manager  >  env var
+//
+// The channels (hostWorkers / check / tuner) share one test body; each
+// parameter supplies how to set a value at each level and how to
+// observe which level won, via DeviceManager::effectiveConfig — no
+// kernel is launched.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/executor.h"
+#include "hostrt/device_manager.h"
+#include "simtune/cache.h"
+#include "simtune/tuner.h"
+
+namespace simtomp::hostrt {
+namespace {
+
+using gpusim::ArchSpec;
+
+constexpr const char* kEnvVars[] = {"SIMTOMP_HOST_WORKERS", "SIMTOMP_CHECK",
+                                    "SIMTOMP_TUNE", "SIMTOMP_TUNE_CACHE"};
+
+struct Channel {
+  const char* name;
+  /// Prepare the base launch config (e.g. mark a field auto).
+  std::function<void(omprt::TargetConfig&)> prepBase;
+  /// Set the channel's env-var level.
+  std::function<void()> setEnv;
+  /// Set the channel's manager-default level.
+  std::function<void(DeviceManager&)> setManager;
+  /// Set the channel's explicit-config level.
+  std::function<void(omprt::TargetConfig&)> setExplicit;
+  /// Observe which level won (a small distinct integer per level).
+  std::function<int(DeviceManager&, const omprt::TargetConfig&)> observe;
+  /// Expected observation with nothing set (evaluated under clean env).
+  std::function<int()> expectDefault;
+  int expectEnv;
+  int expectManager;
+  int expectExplicit;
+};
+
+// The seeded tuning-cache entries: the env-level cache file answers
+// simdlen 16, the manager-level tuner answers 8, the explicit config
+// pins 4, and the heuristic fallback is 1 — four distinguishable
+// outcomes for one observed field.
+simtune::TuneKey precKey() {
+  return simtune::makeTuneKey("prec", ArchSpec::testTiny(),
+                              gpusim::CostModel{}, /*tripCount=*/0);
+}
+
+simtune::TunedShape shapeWithSimdlen(uint32_t simdlen) {
+  simtune::TunedShape shape;
+  shape.simdlen = simdlen;
+  return shape;
+}
+
+std::string envCachePath() {
+  return ::testing::TempDir() + "hostrt_defaults_tune_cache.json";
+}
+
+Channel hostWorkersChannel() {
+  Channel ch;
+  ch.name = "hostWorkers";
+  ch.prepBase = [](omprt::TargetConfig&) {};
+  ch.setEnv = [] { ::setenv("SIMTOMP_HOST_WORKERS", "3", 1); };
+  ch.setManager = [](DeviceManager& mgr) { mgr.setDefaultHostWorkers(2); };
+  ch.setExplicit = [](omprt::TargetConfig& c) { c.hostWorkers = 5; };
+  ch.observe = [](DeviceManager& mgr, const omprt::TargetConfig& c) {
+    // effectiveConfig leaves 0 (auto) when neither explicit nor manager
+    // level decided; the env level resolves at Device::launch via
+    // resolveHostWorkers, so chain it here the way the launch would.
+    return static_cast<int>(gpusim::resolveHostWorkers(
+        mgr.effectiveConfig(0, c).hostWorkers));
+  };
+  // With a clean env the auto fallback is hardware concurrency;
+  // evaluate it at stage time rather than hard-coding a machine value.
+  ch.expectDefault = [] {
+    return static_cast<int>(gpusim::resolveHostWorkers(0));
+  };
+  ch.expectEnv = 3;
+  ch.expectManager = 2;
+  ch.expectExplicit = 5;
+  return ch;
+}
+
+Channel checkChannel() {
+  Channel ch;
+  ch.name = "check";
+  ch.prepBase = [](omprt::TargetConfig&) {};
+  ch.setEnv = [] { ::setenv("SIMTOMP_CHECK", "2", 1); };  // fatal
+  ch.setManager = [](DeviceManager& mgr) {
+    simcheck::CheckConfig check;
+    check.mode = simcheck::CheckMode::kReport;
+    mgr.setDefaultCheck(check);
+  };
+  ch.setExplicit = [](omprt::TargetConfig& c) {
+    c.check.mode = simcheck::CheckMode::kOff;
+  };
+  ch.observe = [](DeviceManager& mgr, const omprt::TargetConfig& c) {
+    return static_cast<int>(mgr.effectiveConfig(0, c).check.mode);
+  };
+  ch.expectDefault = [] {
+    return static_cast<int>(simcheck::CheckMode::kOff);
+  };
+  ch.expectEnv = static_cast<int>(simcheck::CheckMode::kFatal);
+  ch.expectManager = static_cast<int>(simcheck::CheckMode::kReport);
+  ch.expectExplicit = static_cast<int>(simcheck::CheckMode::kOff);
+  return ch;
+}
+
+Channel tunerChannel() {
+  Channel ch;
+  ch.name = "tuner";
+  ch.prepBase = [](omprt::TargetConfig& c) {
+    c.tuneKey = "prec";
+    c.simdlen = 0;  // the one auto field the cache entries decide
+  };
+  ch.setEnv = [] {
+    // Cache-mode tuning via env, answering from a cache file: this is
+    // the zero-code-changes SIMTOMP_TUNE=1 path (lazy default tuner).
+    simtune::TuneCache file(envCachePath());
+    file.insert(precKey(), shapeWithSimdlen(16));
+    ASSERT_TRUE(file.save().isOk());
+    ::setenv("SIMTOMP_TUNE", "1", 1);
+    ::setenv("SIMTOMP_TUNE_CACHE", envCachePath().c_str(), 1);
+  };
+  ch.setManager = [](DeviceManager& mgr) {
+    auto cache = std::make_shared<simtune::TuneCache>();
+    cache->insert(precKey(), shapeWithSimdlen(8));
+    mgr.setDefaultTuner(std::make_shared<simtune::Tuner>(std::move(cache)),
+                        simtune::TuneMode::kCache);
+  };
+  ch.setExplicit = [](omprt::TargetConfig& c) { c.simdlen = 4; };
+  ch.observe = [](DeviceManager& mgr, const omprt::TargetConfig& c) {
+    return static_cast<int>(mgr.effectiveConfig(0, c).simdlen);
+  };
+  ch.expectDefault = [] { return 1; };  // heuristic: tuning is off
+  ch.expectEnv = 16;
+  ch.expectManager = 8;
+  ch.expectExplicit = 4;
+  return ch;
+}
+
+class DefaultsPrecedenceTest : public ::testing::TestWithParam<Channel> {
+ protected:
+  void SetUp() override {
+    for (const char* var : kEnvVars) {
+      const char* old = std::getenv(var);
+      saved_.emplace_back(var, old != nullptr ? std::optional<std::string>(old)
+                                              : std::nullopt);
+      ::unsetenv(var);
+    }
+  }
+  void TearDown() override {
+    for (const auto& [var, old] : saved_) {
+      if (old.has_value()) {
+        ::setenv(var, old->c_str(), 1);
+      } else {
+        ::unsetenv(var);
+      }
+    }
+    std::remove(envCachePath().c_str());
+  }
+
+ private:
+  std::vector<std::pair<const char*, std::optional<std::string>>> saved_;
+};
+
+TEST_P(DefaultsPrecedenceTest, ExplicitBeatsManagerBeatsEnv) {
+  const Channel& ch = GetParam();
+  omprt::TargetConfig base;
+  ch.prepBase(base);
+
+  // Stage 1: nothing set — the channel's built-in default.
+  {
+    DeviceManager mgr({ArchSpec::testTiny()});
+    EXPECT_EQ(ch.observe(mgr, base), ch.expectDefault()) << "stage: default";
+  }
+  // Stage 2: only the env var — env wins.
+  ch.setEnv();
+  {
+    DeviceManager mgr({ArchSpec::testTiny()});
+    EXPECT_EQ(ch.observe(mgr, base), ch.expectEnv) << "stage: env";
+  }
+  // Stage 3: env + manager default — the manager default wins.
+  {
+    DeviceManager mgr({ArchSpec::testTiny()});
+    ch.setManager(mgr);
+    EXPECT_EQ(ch.observe(mgr, base), ch.expectManager) << "stage: manager";
+  }
+  // Stage 4: env + manager + explicit config — explicit wins.
+  {
+    DeviceManager mgr({ArchSpec::testTiny()});
+    ch.setManager(mgr);
+    omprt::TargetConfig config = base;
+    ch.setExplicit(config);
+    EXPECT_EQ(ch.observe(mgr, config), ch.expectExplicit)
+        << "stage: explicit";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChannels, DefaultsPrecedenceTest,
+    ::testing::Values(hostWorkersChannel(), checkChannel(), tunerChannel()),
+    [](const ::testing::TestParamInfo<Channel>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+}  // namespace
+}  // namespace simtomp::hostrt

@@ -2,7 +2,9 @@
 // (present table, refcounts, copy direction) and async target tasks.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "hostrt/async.h"
@@ -185,6 +187,35 @@ TEST(AsyncTest, DrainWaitsForCompletion) {
   EXPECT_EQ(runs.load(), 3 * 32);
   EXPECT_EQ(queue.pendingTasks(), 0u);
   EXPECT_EQ(queue.completedTasks(), 3u);
+}
+
+TEST(AsyncTest, RunningTaskCountsAsPending) {
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  std::atomic<bool> release{false};
+  std::atomic<bool> started{false};
+  // Gate the first task open: once `started` is set the helper thread
+  // has popped it from the queue (busy_), so the queue is empty while
+  // the task is still very much pending.
+  auto gated = queue.enqueue(tinyConfig(), [&](omprt::OmpContext& ctx) {
+    if (ctx.gpu().threadId() == 0) {
+      started = true;
+      while (!release.load()) std::this_thread::yield();
+    }
+  });
+  while (!started.load()) std::this_thread::yield();
+  EXPECT_EQ(queue.pendingTasks(), 1u);  // in-flight task counts
+  auto queued = queue.enqueue(tinyConfig(), [](omprt::OmpContext&) {});
+  EXPECT_EQ(queue.pendingTasks(), 2u);  // one queued + one in flight
+  EXPECT_EQ(queue.completedTasks(), 0u);
+  release = true;
+  ASSERT_TRUE(gated.get().isOk());
+  ASSERT_TRUE(queued.get().isOk());
+  queue.drain();
+  // After drain the in-flight slot is retired too: the counter and
+  // drain() share one condition (empty queue, idle helper).
+  EXPECT_EQ(queue.pendingTasks(), 0u);
+  EXPECT_EQ(queue.completedTasks(), 2u);
 }
 
 TEST(AsyncTest, InvalidConfigSurfacesThroughFuture) {

@@ -14,6 +14,12 @@
 # Stage 4: zero-perturbation guard; one bench binary runs with checking
 #          off and on, and the modeled sim_cycles counters must be
 #          bit-identical.
+# Stage 5: tune smoke + cache-determinism guard; a small-budget
+#          hill-climb tune over two corpus apps runs three times into
+#          fresh cache files — twice at 1 host worker and once at 8 —
+#          and all three saved caches must be byte-identical, so a
+#          nondeterministic trial order or worker-count-dependent
+#          winner fails CI.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -58,5 +64,26 @@ if ! diff \
   exit 1
 fi
 echo "sim_cycles bit-identical with checking off vs on"
+
+echo "=== stage 5: tune smoke + cache-determinism guard ==="
+tune_apps="su3,ideal"
+tune_cmd=("${prefix}/tools/simtomp_tune" tune --apps "${tune_apps}" --small \
+          --strategy hill --budget 12)
+cache_a="${prefix}/tune-guard-a.json"
+cache_b="${prefix}/tune-guard-b.json"
+cache_c="${prefix}/tune-guard-c.json"
+rm -f "${cache_a}" "${cache_b}" "${cache_c}"
+"${tune_cmd[@]}" --workers 1 --cache "${cache_a}"
+"${tune_cmd[@]}" --workers 1 --cache "${cache_b}"
+"${tune_cmd[@]}" --workers 8 --cache "${cache_c}"
+if ! cmp "${cache_a}" "${cache_b}"; then
+  echo "ci.sh: tuning the same corpus twice produced different caches" >&2
+  exit 1
+fi
+if ! cmp "${cache_a}" "${cache_c}"; then
+  echo "ci.sh: tuning at 1 vs 8 host workers produced different caches" >&2
+  exit 1
+fi
+echo "tune caches byte-identical across reruns and worker counts"
 
 echo "=== ci.sh: all stages passed ==="

@@ -10,14 +10,22 @@
 //   simtomp_info --check              — how simcheck (the correctness
 //                                       sanitizer) would resolve for a
 //                                       launch in this environment
+//   simtomp_info --tune               — how simtune (the autotuner)
+//                                       would resolve: tune mode, cache
+//                                       path, entry count, and hit/miss
+//                                       per demo kernel
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "apps/tunable.h"
 #include "gpusim/arch.h"
+#include "gpusim/cost_model.h"
 #include "gpusim/occupancy.h"
 #include "omprt/target.h"
 #include "simcheck/report.h"
+#include "simtune/cache.h"
+#include "simtune/tuner.h"
 
 using namespace simtomp;
 
@@ -101,6 +109,61 @@ void checkInfo() {
       "accepted SIMTOMP_CHECK values: 0/off, 1/on/report, 2/fatal\n");
 }
 
+void tuneInfo() {
+  const char* env = std::getenv("SIMTOMP_TUNE");
+  const char* cache_env = std::getenv("SIMTOMP_TUNE_CACHE");
+  std::printf("simtune resolution for this environment:\n");
+  std::printf("  SIMTOMP_TUNE             = %s\n",
+              env != nullptr ? env : "(unset)");
+  std::printf("  SIMTOMP_TUNE_CACHE       = %s\n",
+              cache_env != nullptr ? cache_env : "(unset)");
+  const simtune::TuneResolution auto_mode =
+      simtune::resolveTuneMode(simtune::TuneMode::kAuto);
+  std::printf("  default  %-6s launches  -> %-6s  [from %s]\n", "(auto)",
+              std::string(simtune::tuneModeName(auto_mode.effective)).c_str(),
+              auto_mode.source);
+  for (const simtune::TuneMode mode :
+       {simtune::TuneMode::kOff, simtune::TuneMode::kCache,
+        simtune::TuneMode::kTune}) {
+    const simtune::TuneResolution r = simtune::resolveTuneMode(mode);
+    std::printf("  explicit %-6s launches  -> %-6s  [from %s]\n",
+                std::string(simtune::tuneModeName(mode)).c_str(),
+                std::string(simtune::tuneModeName(r.effective)).c_str(),
+                r.source);
+  }
+  std::printf(
+      "accepted SIMTOMP_TUNE values: 0/off, 1/on/cache, 2/tune/trial\n");
+
+  simtune::TuneCache cache(simtune::resolveCachePath(""));
+  if (cache.persistent()) {
+    const Status loaded = cache.load();
+    std::printf("cache: %s (%zu entries)%s\n", cache.path().c_str(),
+                cache.size(),
+                loaded.isOk() ? "" : "  [load failed: malformed file]");
+  } else {
+    std::printf("cache: (in-memory; set SIMTOMP_TUNE_CACHE to persist)\n");
+  }
+
+  // Demo-kernel resolution: would a launch of each tunable app, on the
+  // default A100 device with the stock cost model, hit the cache?
+  const gpusim::ArchSpec arch = gpusim::ArchSpec::nvidiaA100();
+  const gpusim::CostModel cost{};
+  std::printf("demo kernels (%s, cost %s):\n", arch.name.c_str(),
+              simtune::costFingerprint(cost).c_str());
+  for (const auto& app : apps::tunableCorpus(arch, /*small=*/false)) {
+    const simtune::TuneKey key =
+        simtune::makeTuneKey(app.name, arch, cost, app.tripCount);
+    const auto hit = cache.lookup(key);
+    if (hit.has_value()) {
+      std::printf("  %-16s hit   %s\n", app.name.c_str(),
+                  hit->toString().c_str());
+    } else {
+      std::printf("  %-16s miss  (b%u; run simtomp_tune to fill)\n",
+                  app.name.c_str(), key.bucket);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,8 +188,13 @@ int main(int argc, char** argv) {
     checkInfo();
     return 0;
   }
+  if (std::strcmp(argv[1], "--tune") == 0 ||
+      std::strcmp(argv[1], "tune") == 0) {
+    tuneInfo();
+    return 0;
+  }
   std::fprintf(stderr,
                "usage: simtomp_info [occupancy <threads> [sharedBytes] | "
-               "groups <threads> | --check]\n");
+               "groups <threads> | --check | --tune]\n");
   return 2;
 }

@@ -16,6 +16,12 @@
 // num_teams/thread_limit/simdlen shape the launch. The tool runs the
 // kernel on the A100-like device, verifies against the host reference,
 // and prints cycles plus the interesting counters (or a CSV row).
+//
+// Autotuning: a `tune(key)` clause (or per-clause `auto` arguments)
+// defers the unpinned launch-shape fields to simtune, honouring
+// SIMTOMP_TUNE / SIMTOMP_TUNE_CACHE:
+//   SIMTOMP_TUNE=2 simtomp_run spmv
+//     "target teams distribute parallel for simd tune(spmv_main)"
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,7 +32,9 @@
 #include "apps/muram.h"
 #include "apps/sparse_matvec.h"
 #include "apps/su3.h"
+#include "apps/tunable.h"
 #include "front/directive.h"
+#include "simtune/tuner.h"
 
 using namespace simtomp;
 
@@ -112,6 +120,70 @@ Result<apps::AppRunResult> runKernel(const std::string& kernel,
   return Status::invalidArgument("unknown kernel '" + kernel + "'");
 }
 
+/// The corpus adapter matching a CLI kernel name (the muram kernels
+/// share one workload but tune separately).
+const char* corpusNameFor(const std::string& kernel) {
+  if (kernel == "transpose") return "muram_transpose";
+  if (kernel == "interpol") return "muram_interpol";
+  if (kernel == "gemm") return "batched_gemm";
+  return kernel.c_str();
+}
+
+/// Resolve the launch's auto fields through simtune when the directive
+/// asked for it (tune(key) or auto clause arguments) and SIMTOMP_TUNE
+/// enables it. Cache-only under SIMTOMP_TUNE=1; SIMTOMP_TUNE=2 runs a
+/// budgeted hill-climb over the app's own trial adapter on a miss and
+/// persists the winner (SIMTOMP_TUNE_CACHE).
+Status resolveLaunchTuning(const std::string& kernel, gpusim::Device& device,
+                           dsl::LaunchSpec& launch) {
+  const bool wants_tuning = !launch.tuneKey.empty() || launch.numTeams == 0 ||
+                            launch.threadsPerTeam == 0 || launch.simdlen == 0 ||
+                            launch.teamsModeAuto || launch.parallelModeAuto;
+  if (!wants_tuning) return Status::ok();
+  const simtune::TuneResolution mode =
+      simtune::resolveTuneMode(simtune::TuneMode::kAuto);
+  if (mode.effective == simtune::TuneMode::kOff) return Status::ok();
+
+  apps::TunableApp app =
+      apps::tunableByName(corpusNameFor(kernel), device.arch(), false);
+  omprt::TargetConfig config = launch.targetConfig();
+  if (config.tuneKey.empty()) config.tuneKey = app.name;
+  config.tripCount = app.tripCount;
+
+  simtune::Tuner tuner;
+  if (tuner.resolveConfig(device.arch(), device.costModel(), config)) {
+    std::printf("  tuning     : key %s resolved from cache (%s=%s)\n",
+                config.tuneKey.c_str(), mode.source, mode.envValue.c_str());
+  } else if (mode.effective == simtune::TuneMode::kTune) {
+    simtune::TuneRequest request;
+    request.strategy = simtune::TuneStrategy::kHillClimb;
+    request.maxTrials = 64;
+    request.tripCount = app.tripCount;
+    const Result<simtune::TuneOutcome> tuned =
+        tuner.tune(config.tuneKey, device.arch(), device.costModel(), app.axes,
+                   app.trial, request);
+    if (!tuned.isOk()) return tuned.status();
+    simtune::applyShape(tuned.value().shape, config);
+    std::printf("  tuning     : key %s searched (%u trials, winner %llu "
+                "cycles)\n",
+                config.tuneKey.c_str(), tuned.value().trialsRun,
+                static_cast<unsigned long long>(tuned.value().shape.cycles));
+  } else {
+    std::printf("  tuning     : key %s missed the cache; heuristics apply\n",
+                config.tuneKey.c_str());
+    return Status::ok();
+  }
+  launch.numTeams = config.numTeams;
+  launch.threadsPerTeam = config.threadsPerTeam;
+  launch.simdlen = config.simdlen;
+  launch.teamsMode = config.teamsMode;
+  launch.teamsModeAuto = config.teamsModeAuto;
+  launch.parallelMode = config.parallelMode;
+  launch.parallelModeAuto = config.parallelModeAuto;
+  launch.scheduleChunk = config.scheduleChunk;
+  return Status::ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -127,7 +199,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   gpusim::Device device;
-  const dsl::LaunchSpec launch = parsed.value().toLaunchSpec(device.arch());
+  dsl::LaunchSpec launch = parsed.value().toLaunchSpec(device.arch());
+  const Status tuned = resolveLaunchTuning(kernel, device, launch);
+  if (!tuned.isOk()) {
+    std::fprintf(stderr, "tuning error: %s\n", tuned.toString().c_str());
+    return 1;
+  }
 
   auto result = runKernel(kernel, device, launch);
   if (!result.isOk()) {

@@ -1,0 +1,281 @@
+// simtomp_tune: pre-tune the app corpus and manage the tuning cache.
+//
+//   simtomp_tune tune  [options]        — search the launch space for
+//                                         each selected app and record
+//                                         the winners in the cache
+//   simtomp_tune list  [--cache PATH]   — print every cache entry
+//   simtomp_tune evict <prefix> [...]   — drop entries whose kernel key
+//                                         starts with <prefix>
+//   simtomp_tune clear [--cache PATH]   — drop every entry
+//
+// tune options:
+//   --apps a,b,c     apps to tune (default: the whole corpus)
+//   --arch NAME      a100 | mi100 | tiny           (default a100)
+//   --strategy S     exhaustive | hill             (default exhaustive)
+//   --budget N       max trial launches, 0 = unbounded  (default 0)
+//   --workers N      host workers for trial fan-out, 0 = auto
+//   --cache PATH     cache file (default: SIMTOMP_TUNE_CACHE, else
+//                    in-memory — winners are printed but not persisted)
+//   --check          run every trial under simcheck (report mode)
+//   --small          small workloads and trimmed axes (CI smoke)
+//   --retune         search even when the cache already has an entry
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/tunable.h"
+#include "gpusim/arch.h"
+#include "gpusim/cost_model.h"
+#include "simcheck/report.h"
+#include "simtune/cache.h"
+#include "simtune/tuner.h"
+
+using namespace simtomp;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: simtomp_tune <tune|list|evict <prefix>|clear>\n"
+      "  tune options: [--apps a,b,c] [--arch a100|mi100|tiny]\n"
+      "    [--strategy exhaustive|hill] [--budget N] [--workers N]\n"
+      "    [--cache PATH] [--check] [--small] [--retune]\n"
+      "  list/evict/clear options: [--cache PATH]\n");
+  return 2;
+}
+
+std::vector<std::string> splitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct Options {
+  std::string command;
+  std::string evictPrefix;
+  std::vector<std::string> appNames;
+  std::string archName = "a100";
+  std::string cachePath;  // "" -> resolveCachePath (env var)
+  simtune::TuneRequest request;
+  bool small = false;
+};
+
+bool parseArgs(int argc, char** argv, Options& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  int i = 2;
+  if (opts.command == "evict") {
+    if (argc < 3) return false;
+    opts.evictPrefix = argv[2];
+    i = 3;
+  }
+  auto value = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "simtomp_tune: %s needs a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--apps") {
+      const char* v = value("--apps");
+      if (v == nullptr) return false;
+      opts.appNames = splitCsv(v);
+    } else if (arg == "--arch") {
+      const char* v = value("--arch");
+      if (v == nullptr) return false;
+      opts.archName = v;
+    } else if (arg == "--strategy") {
+      const char* v = value("--strategy");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "exhaustive") == 0) {
+        opts.request.strategy = simtune::TuneStrategy::kExhaustive;
+      } else if (std::strcmp(v, "hill") == 0 ||
+                 std::strcmp(v, "hillclimb") == 0 ||
+                 std::strcmp(v, "hill-climb") == 0) {
+        opts.request.strategy = simtune::TuneStrategy::kHillClimb;
+      } else {
+        std::fprintf(stderr, "simtomp_tune: unknown strategy '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--budget") {
+      const char* v = value("--budget");
+      if (v == nullptr) return false;
+      opts.request.maxTrials = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = value("--workers");
+      if (v == nullptr) return false;
+      opts.request.hostWorkers = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--cache") {
+      const char* v = value("--cache");
+      if (v == nullptr) return false;
+      opts.cachePath = v;
+    } else if (arg == "--check") {
+      opts.request.check.mode = simcheck::CheckMode::kReport;
+    } else if (arg == "--small") {
+      opts.small = true;
+    } else if (arg == "--retune") {
+      opts.request.skipCache = true;
+    } else {
+      std::fprintf(stderr, "simtomp_tune: unknown argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool pickArch(const std::string& name, gpusim::ArchSpec& arch) {
+  if (name == "a100") {
+    arch = gpusim::ArchSpec::nvidiaA100();
+  } else if (name == "mi100") {
+    arch = gpusim::ArchSpec::amdMI100();
+  } else if (name == "tiny") {
+    arch = gpusim::ArchSpec::testTiny();
+  } else {
+    std::fprintf(stderr, "simtomp_tune: unknown arch '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+int runTune(const Options& opts) {
+  gpusim::ArchSpec arch;
+  if (!pickArch(opts.archName, arch)) return 2;
+  const gpusim::CostModel cost{};
+
+  std::vector<apps::TunableApp> corpus;
+  if (opts.appNames.empty()) {
+    corpus = apps::tunableCorpus(arch, opts.small);
+  } else {
+    const auto all = apps::tunableCorpus(arch, opts.small);
+    for (const std::string& name : opts.appNames) {
+      bool found = false;
+      for (const auto& app : all) {
+        if (app.name == name) {
+          corpus.push_back(app);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "simtomp_tune: unknown app '%s' (have:",
+                     name.c_str());
+        for (const auto& app : all) {
+          std::fprintf(stderr, " %s", app.name.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    }
+  }
+
+  auto cache = std::make_shared<simtune::TuneCache>(
+      simtune::resolveCachePath(opts.cachePath));
+  if (cache->persistent()) {
+    const Status loaded = cache->load();
+    if (!loaded.isOk()) {
+      std::fprintf(stderr, "simtomp_tune: cannot load %s: %s\n",
+                   cache->path().c_str(), loaded.message().c_str());
+      return 1;
+    }
+  }
+  simtune::Tuner tuner(cache);
+
+  std::printf("tuning %zu app(s) on %s [%s%s, strategy %s, budget %u]\n",
+              corpus.size(), arch.name.c_str(),
+              cache->persistent() ? cache->path().c_str() : "in-memory cache",
+              opts.small ? ", small" : "",
+              std::string(simtune::tuneStrategyName(opts.request.strategy))
+                  .c_str(),
+              opts.request.maxTrials);
+  for (const auto& app : corpus) {
+    simtune::TuneRequest request = opts.request;
+    request.tripCount = app.tripCount;
+    const Result<simtune::TuneOutcome> result =
+        tuner.tune(app.name, arch, cost, app.axes, app.trial, request);
+    if (!result.isOk()) {
+      std::fprintf(stderr, "simtomp_tune: %s failed: %s\n", app.name.c_str(),
+                   result.status().message().c_str());
+      return 1;
+    }
+    const simtune::TuneOutcome& outcome = result.value();
+    std::printf("  %-16s %s  [%s, %u trial(s)]\n", app.name.c_str(),
+                outcome.shape.toString().c_str(),
+                outcome.fromCache ? "cached" : "searched", outcome.trialsRun);
+  }
+  std::printf("done: %llu trial launches, %llu cache hit(s)\n",
+              static_cast<unsigned long long>(tuner.trialLaunches()),
+              static_cast<unsigned long long>(tuner.cacheHits()));
+  return 0;
+}
+
+int openCache(simtune::TuneCache& cache) {
+  if (!cache.persistent()) {
+    std::fprintf(stderr,
+                 "simtomp_tune: no cache file (pass --cache or set "
+                 "SIMTOMP_TUNE_CACHE)\n");
+    return 2;
+  }
+  const Status loaded = cache.load();
+  if (!loaded.isOk()) {
+    std::fprintf(stderr, "simtomp_tune: cannot load %s: %s\n",
+                 cache.path().c_str(), loaded.message().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int runList(const Options& opts) {
+  simtune::TuneCache cache(simtune::resolveCachePath(opts.cachePath));
+  if (const int rc = openCache(cache); rc != 0) return rc;
+  std::printf("%s: %zu entries\n", cache.path().c_str(), cache.size());
+  for (const auto& [key, shape] : cache.entries()) {
+    std::printf("  %s\n    -> %s\n", key.c_str(), shape.toString().c_str());
+  }
+  return 0;
+}
+
+int runEvict(const Options& opts) {
+  simtune::TuneCache cache(simtune::resolveCachePath(opts.cachePath));
+  if (const int rc = openCache(cache); rc != 0) return rc;
+  const size_t removed = cache.evict(opts.evictPrefix);
+  const Status saved = cache.save();
+  if (!saved.isOk()) {
+    std::fprintf(stderr, "simtomp_tune: cannot save %s: %s\n",
+                 cache.path().c_str(), saved.message().c_str());
+    return 1;
+  }
+  std::printf("evicted %zu entr%s %s '%s'\n", removed,
+              removed == 1 ? "y" : "ies",
+              opts.evictPrefix.empty() ? "(everything)" : "matching",
+              opts.evictPrefix.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parseArgs(argc, argv, opts)) return usage();
+  if (opts.command == "tune") return runTune(opts);
+  if (opts.command == "list") return runList(opts);
+  if (opts.command == "evict") return runEvict(opts);
+  if (opts.command == "clear") {
+    opts.evictPrefix.clear();
+    return runEvict(opts);
+  }
+  return usage();
+}
