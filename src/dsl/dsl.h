@@ -68,6 +68,12 @@ struct LaunchSpec {
   /// Trip-count hint for the tuning-cache bucket; the distribute
   /// helpers below fill it with their trip count when left 0.
   uint64_t tripCount = 0;
+  /// Fault-injection plan (simfault); "" consults SIMTOMP_FAULT,
+  /// "off" pins injection off. See omprt::TargetConfig::fault.
+  std::string faultSpec;
+  /// Per-block watchdog step budget (0 = auto, simfault::kWatchdogOff
+  /// disables); see gpusim::LaunchConfig::watchdogSteps.
+  uint64_t watchdogSteps = 0;
 
   [[nodiscard]] omprt::TargetConfig targetConfig() const {
     omprt::TargetConfig config;
@@ -84,6 +90,8 @@ struct LaunchSpec {
     config.check = check;
     config.tuneKey = tuneKey;
     config.tripCount = tripCount;
+    config.fault.spec = faultSpec;
+    config.watchdogSteps = watchdogSteps;
     return config;
   }
   /// Region-level parallel configuration. Auto fields (simdlen 0,

@@ -104,6 +104,20 @@ Status FiberScheduler::run() {
         pending_exception_ = nullptr;
         std::rethrow_exception(e);
       }
+      if (trap_step_ != 0 && step_count_ >= trap_step_) {
+        // Injected kernel trap: abandon the run like the exception path
+        // (remaining fiber stacks discarded without unwinding).
+        running_ = false;
+        return Status::internal("[simfault] injected kernel trap at step " +
+                                std::to_string(step_count_) + "; " +
+                                describeFiberStates());
+      }
+      if (step_budget_ != 0 && step_count_ >= step_budget_) {
+        running_ = false;
+        return Status::deadlineExceeded(
+            "[simfault] watchdog: block exceeded its step budget of " +
+            std::to_string(step_budget_) + "; " + describeFiberStates());
+      }
     }
     if (!progressed) {
       running_ = false;
@@ -147,6 +161,7 @@ void FiberScheduler::unblockAll(const void* tag) {
 
 void FiberScheduler::switchToFiber(Fiber& f) {
   SIMTOMP_CHECK(f.state_ == FiberState::kReady, "switch to non-ready fiber");
+  ++step_count_;
   FiberScheduler* prev_sched = g_active_scheduler;
   Fiber* prev_fiber = current_;
   g_active_scheduler = this;
@@ -178,21 +193,72 @@ void FiberScheduler::switchToScheduler() {
   swapcontext(&f->context_, &scheduler_context_);
 }
 
+namespace {
+// Wait tags are opaque pointers; printing them raw would leak ASLR
+// into diagnostics that must be byte-identical across runs and host
+// worker counts. Number them by first appearance in fiber-index order
+// instead.
+size_t tagOrdinal(std::vector<const void*>& tags, const void* tag) {
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] == tag) return i;
+  }
+  tags.push_back(tag);
+  return tags.size() - 1;
+}
+}  // namespace
+
 std::string FiberScheduler::describeBlockedFibers() const {
   std::string out;
+  std::vector<const void*> tags;
   size_t blocked = 0;
   for (const auto& f : fibers_) {
     if (f->state_ != FiberState::kBlocked) continue;
     ++blocked;
+    const size_t ordinal = tagOrdinal(tags, f->wait_tag_);
     if (blocked <= 8) {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "fiber %zu waits on %p; ", f->index_,
-                    f->wait_tag_);
-      out += buf;
+      out += "fiber " + std::to_string(f->index_) + " waits on tag#" +
+             std::to_string(ordinal) + "; ";
     }
   }
   out += std::to_string(blocked) + " blocked of " +
          std::to_string(fibers_.size()) + " total";
+  return out;
+}
+
+std::string FiberScheduler::describeFiberStates() const {
+  std::string out;
+  std::vector<const void*> tags;
+  size_t ready = 0;
+  size_t blocked = 0;
+  size_t finished = 0;
+  size_t listed = 0;
+  for (const auto& f : fibers_) {
+    switch (f->state_) {
+      case FiberState::kFinished:
+        ++finished;
+        continue;
+      case FiberState::kReady:
+      case FiberState::kRunning:  // not reachable from the scheduler loop
+        ++ready;
+        break;
+      case FiberState::kBlocked:
+        ++blocked;
+        break;
+    }
+    if (++listed <= 8) {
+      out += "fiber " + std::to_string(f->index_);
+      if (f->state_ == FiberState::kBlocked) {
+        out += " blocked on tag#" +
+               std::to_string(tagOrdinal(tags, f->wait_tag_));
+      } else {
+        out += " runnable";
+      }
+      out += "; ";
+    }
+  }
+  out += std::to_string(ready) + " runnable, " + std::to_string(blocked) +
+         " blocked, " + std::to_string(finished) + " finished of " +
+         std::to_string(fibers_.size());
   return out;
 }
 

@@ -88,9 +88,24 @@ class FiberScheduler {
 
   /// Run every fiber to completion in round-robin order.
   /// Returns a FAILED_PRECONDITION status on deadlock (with a dump of
-  /// which fibers are blocked on what). Rethrows the first exception a
-  /// fiber escaped with.
+  /// which fibers are blocked on what), DEADLINE_EXCEEDED when a step
+  /// budget is set and exhausted, or INTERNAL at an injected trap step.
+  /// Rethrows the first exception a fiber escaped with.
   Status run();
+
+  /// Watchdog: bound run() to `budget` scheduler steps (fiber
+  /// switches); 0 = unlimited. Exceeding the budget stops the run with
+  /// DEADLINE_EXCEEDED and a fiber-state dump — the only way out of a
+  /// livelock, where every fiber stays runnable and the deadlock
+  /// detector never fires.
+  void setStepBudget(uint64_t budget) { step_budget_ = budget; }
+
+  /// Fault injection: make run() fail with INTERNAL ("kernel trap")
+  /// once the step counter reaches `step` (1-based; 0 disarms).
+  void setTrapStep(uint64_t step) { trap_step_ = step; }
+
+  /// Scheduler steps taken so far (deterministic for a given program).
+  [[nodiscard]] uint64_t stepCount() const { return step_count_; }
 
   // ---- Calls below are only legal from inside a running fiber. ----
 
@@ -117,6 +132,7 @@ class FiberScheduler {
   void switchToFiber(Fiber& f);
   void switchToScheduler();
   [[nodiscard]] std::string describeBlockedFibers() const;
+  [[nodiscard]] std::string describeFiberStates() const;
 
   size_t stack_size_;
   std::thread::id owner_thread_ = std::this_thread::get_id();
@@ -127,6 +143,9 @@ class FiberScheduler {
   size_t finished_count_ = 0;
   bool running_ = false;
   std::exception_ptr pending_exception_;
+  uint64_t step_budget_ = 0;  ///< 0 = no watchdog
+  uint64_t trap_step_ = 0;    ///< 0 = no injected trap
+  uint64_t step_count_ = 0;
 };
 
 }  // namespace simtomp::fiber

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "simfault/fault.h"
+
 namespace simtomp::front {
 
 namespace {
@@ -163,6 +165,47 @@ Status parseTune(Lexer& lex, DirectiveSpec& spec) {
     return Status::invalidArgument("tune expects a kernel key");
   }
   spec.tuneKey = lex.take().text;
+  return expect(lex, Kind::kRParen, "')'");
+}
+
+Status parseFault(Lexer& lex, DirectiveSpec& spec) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  // The plan grammar (kind:key=value;...) is simfault's, not ours:
+  // concatenate raw token text up to the matching ')' and let
+  // FaultPlan::parse validate it, so the two grammars cannot drift.
+  std::string plan;
+  int depth = 1;
+  for (;;) {
+    if (lex.atEnd()) {
+      return Status::invalidArgument("fault(...) is missing ')'");
+    }
+    const Lexer::Token token = lex.take();
+    if (token.kind == Kind::kLParen) ++depth;
+    if (token.kind == Kind::kRParen && --depth == 0) break;
+    plan += token.text;
+  }
+  if (plan.empty()) {
+    return Status::invalidArgument("fault expects a plan (or 'off')");
+  }
+  const Result<simfault::FaultPlan> parsed = simfault::FaultPlan::parse(plan);
+  if (!parsed.isOk()) return parsed.status();
+  spec.faultSpec = plan;
+  return Status::ok();
+}
+
+Status parseWatchdog(Lexer& lex, DirectiveSpec& spec) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind == Kind::kIdent && lex.peek().text == "off") {
+    lex.take();
+    spec.watchdogSteps = simfault::kWatchdogOff;
+  } else if (lex.peek().kind == Kind::kNumber) {
+    const uint64_t steps = lex.take().number;
+    spec.watchdogSteps = steps == 0 ? simfault::kWatchdogOff : steps;
+  } else {
+    return Status::invalidArgument("watchdog expects a step budget or 'off'");
+  }
   return expect(lex, Kind::kRParen, "')'");
 }
 
@@ -344,6 +387,12 @@ Result<DirectiveSpec> parseDirective(std::string_view text) {
     } else if (word == "tune") {
       const Status s = parseTune(lex, spec);
       if (!s.isOk()) return s;
+    } else if (word == "fault") {
+      const Status s = parseFault(lex, spec);
+      if (!s.isOk()) return s;
+    } else if (word == "watchdog") {
+      const Status s = parseWatchdog(lex, spec);
+      if (!s.isOk()) return s;
     } else if (word == "nowait") {
       // Accepted; deferral is the caller's choice of launch API.
     } else {
@@ -405,6 +454,8 @@ dsl::LaunchSpec DirectiveSpec::toLaunchSpec(
   spec.parallelModeAuto =
       !parallelModeExplicit && (tuned || parallelModeAuto);
   if (hasSchedule) spec.scheduleChunk = schedule.chunk;
+  spec.faultSpec = faultSpec;
+  spec.watchdogSteps = watchdogSteps;
   return spec;
 }
 

@@ -71,6 +71,11 @@ struct DirectiveSpec {
   // that was not given explicitly auto; individual clauses can also opt
   // in with an `auto` argument, e.g. simdlen(auto) or num_teams(auto).
   std::string tuneKey;
+  // Fault injection / watchdog (extension clauses; see src/simfault).
+  // `fault(plan)` carries a SIMTOMP_FAULT-style plan ("off" pins
+  // injection off); `watchdog(n|off)` sets the per-block step budget.
+  std::string faultSpec;
+  uint64_t watchdogSteps = 0;     ///< 0 = auto; simfault::kWatchdogOff = off
   bool numTeamsAuto = false;      ///< num_teams(auto)
   bool threadLimitAuto = false;   ///< thread_limit(auto)
   bool simdlenAuto = false;       ///< simdlen(auto)

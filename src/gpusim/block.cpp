@@ -39,6 +39,30 @@ void BlockEngine::setChecker(simcheck::BlockChecker* checker) {
   for (auto& t : threads_) t->setChecker(checker_);
 }
 
+void BlockEngine::setFault(const simfault::BlockFaultArm* arm) {
+  fault_ = arm;
+  if (fault_ != nullptr && fault_->trap) {
+    scheduler_.setTrapStep(fault_->trapStep);
+  }
+}
+
+bool BlockEngine::faultFires(simfault::FaultKind kind) {
+  if (fault_ == nullptr) return false;
+  switch (kind) {
+    case simfault::FaultKind::kLivelock:
+      return fault_->livelock &&
+             ++fault_livelock_seen_ == fault_->livelockArrival;
+    case simfault::FaultKind::kBarrierCorrupt:
+      return fault_->barrierCorrupt &&
+             ++fault_corrupt_seen_ == fault_->corruptArrival;
+    case simfault::FaultKind::kSharingExhausted:
+      return fault_->sharingExhausted &&
+             ++fault_sharing_seen_ == fault_->sharingBegin;
+    default:
+      return false;
+  }
+}
+
 Status BlockEngine::run(const Kernel& kernel) {
   simcheck::BlockChecker* checker = checker_;
   for (uint32_t tid = 0; tid < threads_.size(); ++tid) {
@@ -89,6 +113,21 @@ SyncPoint& BlockEngine::findOrCreateSync(WarpState& warp, LaneMask mask) {
 }
 
 void BlockEngine::arriveAtSync(ThreadCtx& t, SyncPoint& sp) {
+  if (fault_ != nullptr) {
+    if (faultFires(simfault::FaultKind::kLivelock)) {
+      // Injected livelock: spin forever while staying runnable. The
+      // deadlock detector needs *no* runnable fiber to fire, so it is
+      // blind to this — only the watchdog's step budget can kill it.
+      for (;;) scheduler_.yield();
+    }
+    if (faultFires(simfault::FaultKind::kBarrierCorrupt)) {
+      // Injected corrupted arrival: wait at the sync point without
+      // counting toward its target. The barrier can never release, so
+      // every participant ends up blocked and the deadlock detector
+      // reports the stuck fibers.
+      for (;;) scheduler_.block(&sp);
+    }
+  }
   sp.arrived += 1;
   sp.pendingMax = std::max(sp.pendingMax, t.time());
   if (sp.arrived == sp.target) {

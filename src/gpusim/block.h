@@ -23,6 +23,7 @@
 #include "gpusim/cost_model.h"
 #include "gpusim/memory.h"
 #include "gpusim/thread.h"
+#include "simfault/fault.h"
 #include "support/lane_mask.h"
 #include "support/status.h"
 
@@ -109,6 +110,23 @@ class BlockEngine {
   void setChecker(simcheck::BlockChecker* checker);
   [[nodiscard]] simcheck::BlockChecker* checker() const { return checker_; }
 
+  /// Watchdog: bound this block's fiber-scheduler steps (0 = off).
+  /// Off the hot path — the budget check lives in the scheduler loop,
+  /// not in any device-side primitive.
+  void setWatchdog(uint64_t step_budget) {
+    scheduler_.setStepBudget(step_budget);
+  }
+
+  /// Arm injected faults for this block (nullptr = none; call before
+  /// run()). kTrap arms the fiber scheduler directly; the sync and
+  /// sharing kinds fire from faultFires() at the Nth site event.
+  void setFault(const simfault::BlockFaultArm* arm);
+
+  /// Site-event hook: returns true when the armed fault of `kind`
+  /// fires at this occurrence. Each kind counts its own occurrences,
+  /// in the block's deterministic fiber order.
+  [[nodiscard]] bool faultFires(simfault::FaultKind kind);
+
   // ---- Results (valid after run()) ----
   [[nodiscard]] uint64_t blockTime() const { return block_time_; }
   [[nodiscard]] uint64_t busySum() const { return busy_sum_; }
@@ -130,6 +148,10 @@ class BlockEngine {
   SyncPoint block_sync_;
   void* user_state_ = nullptr;
   simcheck::BlockChecker* checker_ = nullptr;
+  const simfault::BlockFaultArm* fault_ = nullptr;
+  uint64_t fault_livelock_seen_ = 0;
+  uint64_t fault_corrupt_seen_ = 0;
+  uint64_t fault_sharing_seen_ = 0;
 
   uint64_t block_time_ = 0;
   uint64_t busy_sum_ = 0;

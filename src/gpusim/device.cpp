@@ -49,6 +49,21 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
         "threadsPerBlock out of range for this architecture");
   }
 
+  // Arm injected faults before anything else observable happens. A
+  // pre-launch device loss must leave the previous launch's check
+  // report published (nothing ran), so it returns before the check
+  // state below is touched.
+  const simfault::WatchdogResolution watchdog =
+      simfault::resolveWatchdogSteps(config.watchdogSteps);
+  Result<simfault::LaunchArm> armed =
+      injector_.arm(config.fault, config.numBlocks);
+  if (!armed.isOk()) return armed.status();
+  const simfault::LaunchArm arm = std::move(armed).value();
+  if (arm.lostPre) {
+    return Status::unavailable(
+        "[simfault] injected device loss before launch; nothing ran");
+  }
+
   const simcheck::CheckResolution check =
       simcheck::resolveCheckMode(config.check.mode);
   const bool checking = check.effective != simcheck::CheckMode::kOff;
@@ -65,6 +80,8 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
             config.check, b, config.threadsPerBlock, arch_.warpSize);
         engine.setChecker(out.checker.get());
       }
+      engine.setWatchdog(watchdog.steps);
+      engine.setFault(arm.forBlock(b));
       if (setup) setup(engine);
       out.status = engine.run(kernel);
       if (out.status.isOk()) {
@@ -74,6 +91,11 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
         out.peakSharedBytes = engine.sharedMemory().peakUsed();
         out.counters = engine.counters();
       }
+    } catch (const StatusException& e) {
+      // Recoverable device-side condition (e.g. injected sharing-space
+      // exhaustion) thrown across the fiber boundary: land it in the
+      // outcome slot as a plain Status, like an engine failure.
+      out.status = e.status();
     } catch (...) {
       out.exception = std::current_exception();
     }
@@ -107,6 +129,15 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
     if (!last_check_report_.clean()) {
       SIMTOMP_WARN("simcheck: %s", last_check_report_.summary().c_str());
     }
+  }
+
+  if (arm.lostPost) {
+    // Lost after the blocks executed: results are discarded, but the
+    // check report above stays published, mirroring a real runtime
+    // where diagnostics outlive the connection that produced them.
+    return Status::unavailable(
+        "[simfault] injected device loss after kernel execution; "
+        "results discarded");
   }
 
   KernelStats stats;

@@ -20,6 +20,7 @@
 #include "gpusim/thread.h"
 #include "gpusim/trace.h"
 #include "simcheck/report.h"
+#include "simfault/fault.h"
 #include "support/status.h"
 
 namespace simtomp::gpusim {
@@ -41,6 +42,17 @@ struct LaunchConfig {
   /// launch when the report is not clean. Checking charges no modeled
   /// cycles — stats are bit-identical with checking on or off.
   simcheck::CheckConfig check{};
+  /// Fault injection (simfault). An empty `fault.spec` consults the
+  /// SIMTOMP_FAULT environment variable on every launch;
+  /// `fault.simdActive` is filled by the omprt launch layer so
+  /// when=simd plans can be evaluated at arm time.
+  simfault::FaultConfig fault{};
+  /// Per-block watchdog step budget. 0 = auto (SIMTOMP_WATCHDOG env or
+  /// the built-in default); simfault::kWatchdogOff disables the
+  /// watchdog. Injected faults charge no modeled cycles, and the budget
+  /// check lives in the fiber scheduler loop, off the device-side hot
+  /// path — stats are bit-identical with the watchdog on or off.
+  uint64_t watchdogSteps = 0;
 };
 
 /// Optional per-block hook: runs on the host before a block starts, e.g.
@@ -103,14 +115,29 @@ class Device {
     return last_check_mode_;
   }
 
+  /// Simulate a device reset (the recovery path runs this between a
+  /// faulted launch and its retry). Deliberately keeps
+  /// lastCheckReport() — diagnostics must survive recovery — and the
+  /// fault injector's consumed counts, so a count-bounded transient
+  /// fault stays consumed and the retry heals.
+  void reset() { ++reset_count_; }
+  [[nodiscard]] uint64_t resetCount() const { return reset_count_; }
+
+  /// The per-device fault injector (arming state and launch ordinal).
+  [[nodiscard]] const simfault::Injector& faultInjector() const {
+    return injector_;
+  }
+
  private:
   ArchSpec arch_;
   CostModel cost_;
   DeviceMemory memory_;
   TraceRecorder* trace_ = nullptr;
   uint64_t launch_count_ = 0;
+  uint64_t reset_count_ = 0;
   simcheck::CheckReport last_check_report_;
   simcheck::CheckMode last_check_mode_ = simcheck::CheckMode::kOff;
+  simfault::Injector injector_;
 };
 
 }  // namespace simtomp::gpusim

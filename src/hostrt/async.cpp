@@ -51,8 +51,21 @@ void TargetTaskQueue::helperLoop() {
       queue_.pop_front();
       busy_ = true;
     }
-    task.promise.set_value(
-        omprt::launchTarget(*device_, task.config, task.region));
+    // The helper thread must survive anything the target region does:
+    // an escaped exception would std::terminate the process, wedge
+    // drain() and leak the in-flight pendingTasks() count. Convert
+    // every failure to a Status on the task's future instead.
+    Result<gpusim::KernelStats> result = Status::internal("task did not run");
+    try {
+      result = omprt::launchTarget(*device_, task.config, task.region);
+    } catch (const StatusException& e) {
+      result = e.status();
+    } catch (const std::exception& e) {
+      result = Status::internal(std::string("target task threw: ") + e.what());
+    } catch (...) {
+      result = Status::internal("target task threw a non-standard exception");
+    }
+    task.promise.set_value(std::move(result));
     {
       std::lock_guard<std::mutex> lock(mutex_);
       busy_ = false;

@@ -1,6 +1,30 @@
 #include "hostrt/device_manager.h"
 
+#include <algorithm>
+
 namespace simtomp::hostrt {
+
+namespace {
+
+/// Deterministic launch-shape text for AttemptRecords. Deliberately
+/// excludes hostWorkers (and anything wall-clock): the same fault plan
+/// must produce byte-identical reports for any SIMTOMP_HOST_WORKERS.
+std::string shapeString(const omprt::TargetConfig& config) {
+  std::string out = std::to_string(config.numTeams) + "x" +
+                    std::to_string(config.threadsPerTeam);
+  out += " teams=";
+  out += omprt::execModeName(config.teamsMode);
+  out += " parallel=";
+  out += omprt::execModeName(config.parallelMode);
+  out += " simdlen=" + std::to_string(config.simdlen);
+  return out;
+}
+
+/// Only UNAVAILABLE (a lost device) is worth retrying with the same
+/// shape: a trap, deadline or exhaustion reproduces deterministically.
+bool isTransient(StatusCode code) { return code == StatusCode::kUnavailable; }
+
+}  // namespace
 
 DeviceManager::DeviceManager(std::vector<gpusim::ArchSpec> specs,
                              gpusim::CostModel cost,
@@ -17,6 +41,8 @@ DeviceManager::DeviceManager(std::vector<gpusim::ArchSpec> specs,
     envs_.push_back(std::make_unique<DataEnvironment>(*dev, transfer_model));
     queues_.push_back(std::make_unique<TargetTaskQueue>(*dev));
   }
+  health_.assign(devices_.size(), simfault::DeviceHealth::kHealthy);
+  last_resilience_.resize(devices_.size());
 }
 
 void DeviceManager::applyDefaults(omprt::TargetConfig& config) const {
@@ -81,7 +107,112 @@ Result<gpusim::KernelStats> DeviceManager::launchOn(
   applyDefaults(effective);
   const Status tuned = resolveTuning(n, effective, devices_[n].get(), &region);
   if (!tuned.isOk()) return tuned;
-  return omprt::launchTarget(*devices_[n], effective, region);
+  const simfault::ResilienceResolution resilience =
+      simfault::resolveResilienceMode(resilience_mode_);
+  if (resilience.effective == simfault::ResilienceMode::kOff) {
+    return omprt::launchTarget(*devices_[n], effective, region);
+  }
+  return launchResilient(n, std::move(effective), region);
+}
+
+Result<gpusim::KernelStats> DeviceManager::launchResilient(
+    size_t n, omprt::TargetConfig config,
+    const omprt::TargetRegionFn& region) {
+  gpusim::Device& dev = *devices_[n];
+  // Pin the auto fields now so every AttemptRecord names the concrete
+  // shape that ran (launchTarget would resolve them identically).
+  omprt::resolveAutoConfig(dev.arch(), config);
+
+  simfault::ResilienceReport report;
+  std::string trail(simfault::deviceHealthName(health_[n]));
+  const auto noteHealth = [&](simfault::DeviceHealth next) {
+    if (next == health_[n]) return;
+    health_[n] = next;
+    trail += '>';
+    trail += simfault::deviceHealthName(next);
+  };
+  const auto resetForRecovery = [&] {
+    dev.reset();
+    ++report.resets;
+    noteHealth(simfault::DeviceHealth::kReset);
+  };
+
+  Result<gpusim::KernelStats> result = Status::internal("no attempt ran");
+  const auto attempt = [&](simfault::RecoveryStage stage,
+                           const omprt::TargetConfig& shape,
+                           uint32_t backoff_ms) {
+    simfault::AttemptRecord record;
+    record.stage = stage;
+    record.shape = shapeString(shape);
+    record.backoffMs = backoff_ms;
+    try {
+      result = omprt::launchTarget(dev, shape, region);
+    } catch (const StatusException& e) {
+      result = e.status();
+    } catch (const std::exception& e) {
+      result = Status::internal(std::string("target region threw: ") +
+                                e.what());
+    } catch (...) {
+      result = Status::internal("target region threw a non-standard exception");
+    }
+    record.code = result.isOk() ? StatusCode::kOk : result.status().code();
+    if (!result.isOk()) record.message = result.status().message();
+    report.attempts.push_back(std::move(record));
+    noteHealth(result.isOk() ? simfault::DeviceHealth::kHealthy
+                             : simfault::DeviceHealth::kFaulted);
+    return result.isOk();
+  };
+
+  const simfault::ResiliencePolicy& policy = default_resilience_;
+  bool ok = attempt(simfault::RecoveryStage::kInitial, config, 0);
+
+  // Rung 1: same shape again, after a reset and capped exponential
+  // backoff — transient (UNAVAILABLE) faults only; everything else
+  // reproduces deterministically and retrying it is wasted work.
+  for (uint32_t retry = 1;
+       !ok && retry <= policy.maxRetries && isTransient(result.status().code());
+       ++retry) {
+    resetForRecovery();
+    const uint32_t backoff = std::min(
+        policy.backoffBaseMs << (retry - 1), policy.backoffCapMs);
+    ok = attempt(simfault::RecoveryStage::kRetry, config, backoff);
+  }
+
+  // Rung 2: give up SIMD and run the parallel regions in generic mode,
+  // the paper's always-correct execution scheme. Only meaningful when
+  // it changes the shape.
+  if (!ok && policy.modeFallback && config.simdlen > 1) {
+    omprt::TargetConfig fallback = config;
+    fallback.simdlen = 1;
+    fallback.parallelMode = omprt::ExecMode::kGeneric;
+    resetForRecovery();
+    ok = attempt(simfault::RecoveryStage::kModeFallback, fallback, 0);
+  }
+
+  // Rung 3: host-serial reference execution — one team, one warp, one
+  // host worker, faults and checking stripped. The shape every kernel
+  // in this repo is verified against, so it succeeds unless the region
+  // itself is broken.
+  if (!ok && policy.hostSerial) {
+    omprt::TargetConfig serial = config;
+    serial.numTeams = 1;
+    serial.threadsPerTeam = dev.arch().warpSize;
+    serial.teamsMode = omprt::ExecMode::kSPMD;
+    serial.parallelMode = omprt::ExecMode::kSPMD;
+    serial.simdlen = 1;
+    serial.hostWorkers = 1;
+    serial.fault.spec = "off";  // empty would re-consult SIMTOMP_FAULT
+    serial.check.mode = simcheck::CheckMode::kOff;
+    resetForRecovery();
+    ok = attempt(simfault::RecoveryStage::kHostSerial, serial, 0);
+  }
+
+  report.recovered = ok && report.attempts.size() > 1;
+  report.finalCode = ok ? StatusCode::kOk : result.status().code();
+  if (!ok) report.finalMessage = result.status().message();
+  report.healthTrail = std::move(trail);
+  last_resilience_[n] = std::move(report);
+  return result;
 }
 
 std::future<Result<gpusim::KernelStats>> DeviceManager::launchOnAsync(

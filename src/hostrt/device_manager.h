@@ -14,6 +14,7 @@
 #include "hostrt/async.h"
 #include "hostrt/data_env.h"
 #include "omprt/target.h"
+#include "simfault/resilience.h"
 #include "simtune/tuner.h"
 #include "support/status.h"
 
@@ -74,6 +75,50 @@ class DeviceManager {
     return default_tune_mode_;
   }
 
+  /// Resilience policy driving the synchronous launch path (mirrors
+  /// setDefaultCheck / setDefaultTuner). `mode` kAuto defers to the
+  /// SIMTOMP_RESILIENCE env var on every launch (default: on). When the
+  /// resolved mode is on, launchOn runs the graceful-degradation chain
+  /// — retry with capped (modeled) backoff for transient UNAVAILABLE
+  /// faults, SIMD -> generic mode fallback, host-serial reference — and
+  /// publishes a ResilienceReport. Deferred launches (launchOnAsync)
+  /// never run the chain: a retry would reorder against queued work.
+  void setDefaultResilience(
+      simfault::ResiliencePolicy policy,
+      simfault::ResilienceMode mode = simfault::ResilienceMode::kAuto) {
+    default_resilience_ = policy;
+    resilience_mode_ = mode;
+  }
+  [[nodiscard]] const simfault::ResiliencePolicy& defaultResiliencePolicy()
+      const {
+    return default_resilience_;
+  }
+  [[nodiscard]] simfault::ResilienceMode defaultResilienceMode() const {
+    return resilience_mode_;
+  }
+
+  /// Health of device n per the recovery state machine: healthy until a
+  /// launch attempt fails (faulted), reset by resetDevice or the chain,
+  /// healthy again after the next successful launch.
+  [[nodiscard]] simfault::DeviceHealth deviceHealth(size_t n) const {
+    return health_.at(n);
+  }
+
+  /// What the last resilient launch on device n did, published like
+  /// Device::lastCheckReport(): also (especially) when the launch
+  /// failed, and surviving any device resets the chain performed.
+  [[nodiscard]] const simfault::ResilienceReport& lastResilienceReport(
+      size_t n) const {
+    return last_resilience_.at(n);
+  }
+
+  /// Reset device n (health: kReset). Keeps the device's
+  /// lastCheckReport and the manager's lastResilienceReport.
+  void resetDevice(size_t n) {
+    devices_.at(n)->reset();
+    health_.at(n) = simfault::DeviceHealth::kReset;
+  }
+
   /// The configuration launchOn(n, config, ...) would actually launch
   /// with: manager defaults (hostWorkers, check) applied, tuner cache
   /// consulted (never trials) and the remaining auto fields resolved
@@ -105,6 +150,13 @@ class DeviceManager {
   Status resolveTuning(size_t n, omprt::TargetConfig& config,
                        gpusim::Device* device,
                        const omprt::TargetRegionFn* region);
+  /// The graceful-degradation chain behind launchOn. Every step is
+  /// deterministic: backoff delays are modeled (recorded, never slept),
+  /// shape strings exclude hostWorkers, and attempts are recorded in
+  /// order — so reports are byte-identical for any worker count.
+  Result<gpusim::KernelStats> launchResilient(
+      size_t n, omprt::TargetConfig config,
+      const omprt::TargetRegionFn& region);
 
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
   std::vector<std::unique_ptr<DataEnvironment>> envs_;
@@ -113,6 +165,10 @@ class DeviceManager {
   simcheck::CheckConfig default_check_{};  ///< kAuto = env / off
   std::shared_ptr<simtune::Tuner> default_tuner_;  ///< may be lazily created
   simtune::TuneMode default_tune_mode_ = simtune::TuneMode::kAuto;
+  simfault::ResiliencePolicy default_resilience_{};
+  simfault::ResilienceMode resilience_mode_ = simfault::ResilienceMode::kAuto;
+  std::vector<simfault::DeviceHealth> health_;
+  std::vector<simfault::ResilienceReport> last_resilience_;
 };
 
 }  // namespace simtomp::hostrt

@@ -1,5 +1,6 @@
 #include "omprt/sharing.h"
 
+#include "gpusim/block.h"
 #include "gpusim/stats.h"
 #include "simcheck/checker.h"
 #include "support/log.h"
@@ -67,7 +68,14 @@ void** SharingSpace::begin(gpusim::ThreadCtx& t, Slot& slot, void** slice,
   // (paper section 5.3.1), released at endSharing.
   auto ptr = global_->allocate(
       (numArgs == 0 ? 1 : numArgs) * sizeof(void*), alignof(void*));
-  SIMTOMP_CHECK(ptr.isOk(), "global memory exhausted for sharing overflow");
+  if (!ptr.isOk()) {
+    // Recoverable per the paper's sharing-space protocol: surface the
+    // exhaustion as a launch failure (the recovery chain can fall back
+    // to a shape that stages fewer arguments) instead of aborting.
+    throw StatusException(Status::resourceExhausted(
+        "sharing-space overflow allocation failed in block " +
+        std::to_string(t.blockId()) + ": " + ptr.status().message()));
+  }
   slot.overflow = ptr.value();
   slot.area = reinterpret_cast<void**>(global_->raw(slot.overflow));
   ++overflow_count_;
@@ -91,6 +99,11 @@ void** SharingSpace::beginSharing(gpusim::ThreadCtx& t, uint32_t group,
                                   uint32_t numGroups, uint32_t numArgs) {
   SIMTOMP_CHECK(group < groups_.size() && group < numGroups,
                 "sharing group out of range");
+  if (t.block().faultFires(simfault::FaultKind::kSharingExhausted)) {
+    throw StatusException(Status::resourceExhausted(
+        "[simfault] injected sharing-space exhaustion in block " +
+        std::to_string(t.blockId()) + ", group " + std::to_string(group)));
+  }
   const uint32_t capacity = slotsPerGroup(numGroups);
   void** slice = nullptr;
   if (capacity > 0) {

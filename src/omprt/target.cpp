@@ -70,6 +70,11 @@ Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
       (config.teamsMode == ExecMode::kGeneric ? device.arch().warpSize : 0);
   launch.hostWorkers = config.hostWorkers;
   launch.check = config.check;
+  launch.fault = config.fault;
+  // when=simd fault plans key off the *effective* launch shape, so the
+  // generic-mode fallback (simdlen 1) genuinely escapes them.
+  launch.fault.simdActive = config.simdlen > 1;
+  launch.watchdogSteps = config.watchdogSteps;
 
   // Launch-wide defaults for region-level auto fields; never auto
   // themselves (resolveAutoConfig ran above).

@@ -61,6 +61,12 @@ struct TargetConfig {
   /// Trip-count hint for the tuning-cache bucket (0 = unknown). The
   /// dsl target helpers fill this with the distribute trip count.
   uint64_t tripCount = 0;
+  /// Fault-injection plan (simfault); empty spec consults SIMTOMP_FAULT.
+  /// launchTarget fills fault.simdActive from the effective simdlen so
+  /// when=simd plans stop firing after the generic-mode fallback.
+  simfault::FaultConfig fault{};
+  /// Per-block watchdog step budget; see gpusim::LaunchConfig.
+  uint64_t watchdogSteps = 0;
 
   [[nodiscard]] Status validate(const gpusim::ArchSpec& arch) const;
 };

@@ -1,0 +1,276 @@
+#include "simfault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace simtomp::simfault {
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  std::string_view name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kDeviceLostPre, "device_lost_pre"},
+    {FaultKind::kDeviceLostPost, "device_lost_post"},
+    {FaultKind::kTrap, "trap"},
+    {FaultKind::kLivelock, "livelock"},
+    {FaultKind::kBarrierCorrupt, "barrier_corrupt"},
+    {FaultKind::kSharingExhausted, "sharing_exhausted"},
+};
+
+bool parseUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+Status planError(std::string detail) {
+  return Status::invalidArgument("fault plan: " + std::move(detail));
+}
+
+/// Parse one ';'-separated entry: kind[:key=value]...
+Result<FaultSpec> parseEntry(std::string_view entry) {
+  FaultSpec spec;
+  size_t pos = entry.find(':');
+  const std::string_view kind_text = entry.substr(0, pos);
+  bool found = false;
+  for (const KindName& kn : kKindNames) {
+    if (kind_text == kn.name) {
+      spec.kind = kn.kind;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return planError("unknown fault kind '" + std::string(kind_text) + "'");
+  }
+  while (pos != std::string_view::npos) {
+    const size_t start = pos + 1;
+    pos = entry.find(':', start);
+    const std::string_view option =
+        entry.substr(start, pos == std::string_view::npos ? pos : pos - start);
+    const size_t eq = option.find('=');
+    if (eq == std::string_view::npos) {
+      return planError("option '" + std::string(option) +
+                       "' is not key=value");
+    }
+    const std::string_view key = option.substr(0, eq);
+    const std::string_view value = option.substr(eq + 1);
+    uint64_t number = 0;
+    if (key == "when") {
+      if (value == "any") {
+        spec.when = FaultWhen::kAny;
+      } else if (value == "simd") {
+        spec.when = FaultWhen::kSimd;
+      } else {
+        return planError("when= expects any|simd, got '" + std::string(value) +
+                         "'");
+      }
+      continue;
+    }
+    if (!parseUint64(value, &number)) {
+      return planError("option '" + std::string(key) + "=" +
+                       std::string(value) + "' expects a number");
+    }
+    if (key == "block") {
+      spec.block = static_cast<uint32_t>(number);
+    } else if (key == "step") {
+      spec.step = number;
+    } else if (key == "count") {
+      spec.count = static_cast<uint32_t>(number);
+    } else if (key == "after") {
+      spec.afterLaunch = static_cast<uint32_t>(number);
+    } else {
+      return planError("unknown option '" + std::string(key) + "'");
+    }
+  }
+  return spec;
+}
+
+void appendOption(std::string* out, const char* key, uint64_t value) {
+  *out += ':';
+  *out += key;
+  *out += '=';
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string_view faultKindName(FaultKind kind) {
+  for (const KindName& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  return "unknown";
+}
+
+std::string_view faultWhenName(FaultWhen when) {
+  return when == FaultWhen::kSimd ? "simd" : "any";
+}
+
+std::string FaultSpec::canonical() const {
+  std::string out(faultKindName(kind));
+  if (block != 0) appendOption(&out, "block", block);
+  if (step != 1) appendOption(&out, "step", step);
+  if (when != FaultWhen::kAny) {
+    out += ":when=";
+    out += faultWhenName(when);
+  }
+  if (count != 1) appendOption(&out, "count", count);
+  if (afterLaunch != 0) appendOption(&out, "after", afterLaunch);
+  return out;
+}
+
+std::string FaultPlan::canonical() const {
+  if (faults.empty()) return explicitOff ? "off" : "";
+  std::string out;
+  for (const FaultSpec& spec : faults) {
+    if (!out.empty()) out += ';';
+    out += spec.canonical();
+  }
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+  if (text == "off" || text == "none" || text == "0") {
+    plan.explicitOff = true;
+    return plan;
+  }
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(';', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view entry = text.substr(start, end - start);
+    if (!entry.empty()) {
+      Result<FaultSpec> spec = parseEntry(entry);
+      if (!spec.isOk()) return spec.status();
+      plan.faults.push_back(spec.value());
+    }
+    start = end + 1;
+  }
+  if (plan.faults.empty()) return planError("no entries in non-empty plan");
+  return plan;
+}
+
+FaultResolution resolveFaultSpec(const std::string& requested) {
+  FaultResolution resolution;
+  if (!requested.empty()) {
+    resolution.source = "explicit";
+    resolution.spec =
+        (requested == "off" || requested == "none") ? "" : requested;
+    return resolution;
+  }
+  if (const char* env = std::getenv("SIMTOMP_FAULT")) {
+    resolution.envValue = env;
+    resolution.source = "SIMTOMP_FAULT";
+    if (resolution.envValue != "off" && resolution.envValue != "none" &&
+        resolution.envValue != "0") {
+      resolution.spec = resolution.envValue;
+    }
+    return resolution;
+  }
+  return resolution;
+}
+
+WatchdogResolution resolveWatchdogSteps(uint64_t requested) {
+  WatchdogResolution resolution;
+  if (requested == kWatchdogOff) {
+    resolution.source = "explicit";
+    resolution.steps = 0;
+    return resolution;
+  }
+  if (requested != 0) {
+    resolution.source = "explicit";
+    resolution.steps = requested;
+    return resolution;
+  }
+  if (const char* env = std::getenv("SIMTOMP_WATCHDOG")) {
+    resolution.envValue = env;
+    resolution.source = "SIMTOMP_WATCHDOG";
+    uint64_t steps = 0;
+    if (resolution.envValue == "off" ||
+        (parseUint64(resolution.envValue, &steps) && steps == 0)) {
+      resolution.steps = 0;
+    } else if (parseUint64(resolution.envValue, &steps)) {
+      resolution.steps = steps;
+    } else {
+      resolution.steps = kDefaultWatchdogSteps;  // unrecognized: default on
+    }
+    return resolution;
+  }
+  resolution.steps = kDefaultWatchdogSteps;
+  return resolution;
+}
+
+const BlockFaultArm* LaunchArm::forBlock(uint32_t block) const {
+  const auto it = std::lower_bound(
+      blockFaults.begin(), blockFaults.end(), block,
+      [](const auto& entry, uint32_t b) { return entry.first < b; });
+  if (it == blockFaults.end() || it->first != block) return nullptr;
+  return &it->second;
+}
+
+Result<LaunchArm> Injector::arm(const FaultConfig& config,
+                                uint32_t numBlocks) {
+  const FaultResolution resolved = resolveFaultSpec(config.spec);
+  Result<FaultPlan> parsed = FaultPlan::parse(resolved.spec);
+  if (!parsed.isOk()) return parsed.status();
+  const FaultPlan& plan = parsed.value();
+
+  const uint64_t attempt = launch_ordinal_++;
+  LaunchArm arm;
+  for (const FaultSpec& spec : plan.faults) {
+    if (spec.when == FaultWhen::kSimd && !config.simdActive) continue;
+    if (attempt < spec.afterLaunch) continue;
+    uint64_t& fired = fired_[spec.canonical()];
+    if (spec.count != 0 && fired >= spec.count) continue;
+    ++fired;
+    switch (spec.kind) {
+      case FaultKind::kDeviceLostPre:
+        arm.lostPre = true;
+        break;
+      case FaultKind::kDeviceLostPost:
+        arm.lostPost = true;
+        break;
+      case FaultKind::kTrap:
+      case FaultKind::kLivelock:
+      case FaultKind::kBarrierCorrupt:
+      case FaultKind::kSharingExhausted: {
+        if (spec.block >= numBlocks) continue;  // armed but out of range
+        auto it = std::lower_bound(
+            arm.blockFaults.begin(), arm.blockFaults.end(), spec.block,
+            [](const auto& entry, uint32_t b) { return entry.first < b; });
+        if (it == arm.blockFaults.end() || it->first != spec.block) {
+          it = arm.blockFaults.insert(it, {spec.block, BlockFaultArm{}});
+        }
+        BlockFaultArm& block_arm = it->second;
+        const uint64_t step = spec.step == 0 ? 1 : spec.step;
+        if (spec.kind == FaultKind::kTrap) {
+          block_arm.trap = true;
+          block_arm.trapStep = step;
+        } else if (spec.kind == FaultKind::kLivelock) {
+          block_arm.livelock = true;
+          block_arm.livelockArrival = step;
+        } else if (spec.kind == FaultKind::kBarrierCorrupt) {
+          block_arm.barrierCorrupt = true;
+          block_arm.corruptArrival = step;
+        } else {
+          block_arm.sharingExhausted = true;
+          block_arm.sharingBegin = step;
+        }
+        break;
+      }
+    }
+  }
+  return arm;
+}
+
+}  // namespace simtomp::simfault

@@ -1,0 +1,176 @@
+// simfault: deterministic fault injection for the simulator.
+//
+// Production GPU runtimes fail in ways a clean simulator never does:
+// kernels trap mid-flight, devices drop off the bus, warp-level
+// synchronization corrupts, and the sharing space runs dry under load.
+// This subsystem makes those failures *reproducible*: a FaultPlan
+// (parsed from the SIMTOMP_FAULT env var, a fault(...) directive
+// clause, or explicit LaunchSpec plumbing — mirroring how check/tune
+// are wired) names the site, block and step at which each fault fires,
+// and the per-device Injector arms the plan at launch entry, in launch
+// order, so the same plan produces the same failures for any
+// SIMTOMP_HOST_WORKERS value.
+//
+// Like simcheck, the subsystem sits *below* gpusim in the build: it
+// depends only on simtomp_support, and its arming API speaks plain
+// integers, so gpusim/omprt/hostrt can all link it without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace simtomp::simfault {
+
+/// Named fault sites, in canonical plan order.
+enum class FaultKind : uint8_t {
+  kDeviceLostPre = 0,  ///< transient "device lost" before the launch starts
+  kDeviceLostPost,     ///< transient "device lost" after blocks finished
+  kTrap,               ///< kernel trap at scheduler step N inside a block
+  kLivelock,           ///< barrier arrival spins forever (stays runnable)
+  kBarrierCorrupt,     ///< barrier arrival dropped; the sync never releases
+  kSharingExhausted,   ///< next sharing-space begin reports exhaustion
+};
+inline constexpr size_t kNumFaultKinds = 6;
+
+/// Predicate restricting when a fault fires.
+enum class FaultWhen : uint8_t {
+  kAny = 0,  ///< fire regardless of launch shape
+  kSimd,     ///< fire only when the launch runs with simdlen > 1
+};
+
+[[nodiscard]] std::string_view faultKindName(FaultKind kind);
+[[nodiscard]] std::string_view faultWhenName(FaultWhen when);
+
+/// One entry of a fault plan. `step` is the 1-based occurrence of the
+/// site event at which the fault fires (scheduler step for kTrap,
+/// barrier arrival for kLivelock/kBarrierCorrupt, sharing begin for
+/// kSharingExhausted; ignored for the device-lost kinds). `count`
+/// bounds how many *launch attempts* arm the fault (0 = every attempt),
+/// which is what makes a count=1 device-lost transient: the retry arms
+/// nothing and succeeds. `afterLaunch` skips the first N attempts.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kTrap;
+  FaultWhen when = FaultWhen::kAny;
+  uint32_t block = 0;
+  uint64_t step = 1;
+  uint32_t count = 1;
+  uint32_t afterLaunch = 0;
+
+  /// Canonical "kind:key=value:..." text (stable key order; defaults
+  /// omitted). Also the Injector's fired-count key.
+  [[nodiscard]] std::string canonical() const;
+};
+
+/// A parsed plan: zero or more specs, plus whether the text was the
+/// explicit "off"/"none" sentinel (which suppresses the env fallback —
+/// the host-serial recovery stage uses it to strip faults).
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  bool explicitOff = false;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+  [[nodiscard]] std::string canonical() const;
+
+  /// Parse "kind[:key=value]...[;kind...]" (see docs/FAULTS.md).
+  /// Empty, "off" and "none" parse to an empty plan.
+  static Result<FaultPlan> parse(std::string_view text);
+};
+
+/// Per-launch fault request; rides gpusim::LaunchConfig the same way
+/// CheckConfig does. `spec` empty means "consult SIMTOMP_FAULT".
+/// `simdActive` is filled by the launch layer (omprt) so when=simd
+/// predicates can be evaluated at arm time.
+struct FaultConfig {
+  std::string spec;
+  bool simdActive = false;
+};
+
+/// Where a fault spec came from, for logs and simtomp_info.
+struct FaultResolution {
+  std::string spec;                ///< effective plan text (may be empty)
+  const char* source = "default";  ///< "explicit" | "SIMTOMP_FAULT" | "default"
+  std::string envValue;            ///< raw env text when consulted
+};
+
+/// Resolve `requested` against SIMTOMP_FAULT. A non-empty request
+/// always wins ("off"/"none" resolve to the empty plan without
+/// consulting the env); an empty request reads the env var afresh.
+[[nodiscard]] FaultResolution resolveFaultSpec(const std::string& requested);
+
+/// Sentinel: watchdog explicitly disabled on the launch config.
+inline constexpr uint64_t kWatchdogOff = UINT64_MAX;
+/// Default per-block step budget when the watchdog resolves to auto:
+/// far above any legitimate kernel in this repo (the largest bench
+/// block runs ~2e5 scheduler steps) yet cheap to hit in a livelock.
+inline constexpr uint64_t kDefaultWatchdogSteps = uint64_t{1} << 26;
+
+/// Where the watchdog budget came from.
+struct WatchdogResolution {
+  uint64_t steps = 0;              ///< 0 = watchdog disabled
+  const char* source = "default";  ///< "explicit"|"SIMTOMP_WATCHDOG"|"default"
+  std::string envValue;
+};
+
+/// Resolve a per-launch step budget. `requested` 0 means auto:
+/// consult SIMTOMP_WATCHDOG ("off"/"0" disables, a number is the
+/// budget), else use kDefaultWatchdogSteps. kWatchdogOff disables
+/// explicitly. Any other value is the explicit budget.
+[[nodiscard]] WatchdogResolution resolveWatchdogSteps(uint64_t requested);
+
+/// Faults armed for one specific block of one launch attempt. The
+/// BlockEngine holds a pointer to this for the duration of the block,
+/// so LaunchArm keeps the storage stable.
+struct BlockFaultArm {
+  bool trap = false;
+  uint64_t trapStep = 1;
+  bool livelock = false;
+  uint64_t livelockArrival = 1;
+  bool barrierCorrupt = false;
+  uint64_t corruptArrival = 1;
+  bool sharingExhausted = false;
+  uint64_t sharingBegin = 1;
+
+  [[nodiscard]] bool any() const {
+    return trap || livelock || barrierCorrupt || sharingExhausted;
+  }
+};
+
+/// Everything armed for one launch attempt, produced by Injector::arm.
+struct LaunchArm {
+  bool lostPre = false;
+  bool lostPost = false;
+  /// Sorted by block id; storage is stable for the launch's lifetime.
+  std::vector<std::pair<uint32_t, BlockFaultArm>> blockFaults;
+
+  [[nodiscard]] const BlockFaultArm* forBlock(uint32_t block) const;
+  [[nodiscard]] bool anything() const {
+    return lostPre || lostPost || !blockFaults.empty();
+  }
+};
+
+/// Per-device fault injector. All plan state is consumed at arm time,
+/// on the launching thread, in launch-attempt order — never from block
+/// workers — so the (fault × policy) matrix is deterministic for any
+/// host worker count. Device::reset() intentionally does NOT clear the
+/// fired counts: a transient fault stays consumed across the reset, so
+/// the retry heals.
+class Injector {
+ public:
+  /// Arm `config` for the next launch attempt (the attempt ordinal
+  /// advances even when nothing fires). Returns the armed faults, or
+  /// kInvalidArgument for an unparsable plan.
+  Result<LaunchArm> arm(const FaultConfig& config, uint32_t numBlocks);
+
+  [[nodiscard]] uint64_t launchCount() const { return launch_ordinal_; }
+
+ private:
+  uint64_t launch_ordinal_ = 0;          ///< attempts armed so far
+  std::map<std::string, uint64_t> fired_;  ///< canonical spec -> times armed
+};
+
+}  // namespace simtomp::simfault

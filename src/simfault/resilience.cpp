@@ -1,0 +1,101 @@
+#include "simfault/resilience.h"
+
+#include <cstdlib>
+
+namespace simtomp::simfault {
+
+std::string_view deviceHealthName(DeviceHealth health) {
+  switch (health) {
+    case DeviceHealth::kHealthy: return "healthy";
+    case DeviceHealth::kFaulted: return "faulted";
+    case DeviceHealth::kReset: return "reset";
+  }
+  return "unknown";
+}
+
+std::string_view recoveryStageName(RecoveryStage stage) {
+  switch (stage) {
+    case RecoveryStage::kInitial: return "initial";
+    case RecoveryStage::kRetry: return "retry";
+    case RecoveryStage::kModeFallback: return "mode_fallback";
+    case RecoveryStage::kHostSerial: return "host_serial";
+  }
+  return "unknown";
+}
+
+std::string_view resilienceModeName(ResilienceMode mode) {
+  switch (mode) {
+    case ResilienceMode::kAuto: return "auto";
+    case ResilienceMode::kOff: return "off";
+    case ResilienceMode::kOn: return "on";
+  }
+  return "unknown";
+}
+
+ResilienceResolution resolveResilienceMode(ResilienceMode requested) {
+  ResilienceResolution resolution;
+  if (requested != ResilienceMode::kAuto) {
+    resolution.effective = requested;
+    resolution.source = "explicit";
+    return resolution;
+  }
+  if (const char* env = std::getenv("SIMTOMP_RESILIENCE")) {
+    resolution.envValue = env;
+    resolution.source = "SIMTOMP_RESILIENCE";
+    if (resolution.envValue == "0" || resolution.envValue == "off") {
+      resolution.effective = ResilienceMode::kOff;
+    } else {
+      resolution.effective = ResilienceMode::kOn;
+    }
+    return resolution;
+  }
+  resolution.effective = ResilienceMode::kOn;
+  return resolution;
+}
+
+std::string AttemptRecord::toString() const {
+  std::string out(recoveryStageName(stage));
+  out += " [";
+  out += shape;
+  out += "]";
+  if (backoffMs != 0) {
+    out += " backoff=";
+    out += std::to_string(backoffMs);
+    out += "ms";
+  }
+  out += " -> ";
+  out += statusCodeName(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+std::string ResilienceReport::toString() const {
+  std::string out = "resilience: ";
+  out += statusCodeName(finalCode);
+  out += recovered ? " (recovered)" : "";
+  out += "\n  attempts=";
+  out += std::to_string(attempts.size());
+  out += " resets=";
+  out += std::to_string(resets);
+  out += " health=";
+  out += healthTrail;
+  out += "\n";
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    out += "  #";
+    out += std::to_string(i + 1);
+    out += " ";
+    out += attempts[i].toString();
+    out += "\n";
+  }
+  if (!succeeded() && !finalMessage.empty()) {
+    out += "  final: ";
+    out += finalMessage;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace simtomp::simfault

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -23,6 +24,8 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for a StatusCode.
@@ -53,6 +56,12 @@ class Status {
   }
   static Status internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status deadlineExceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
   }
 
   [[nodiscard]] bool isOk() const { return code_ == StatusCode::kOk; }
@@ -86,6 +95,24 @@ class Result {
 
  private:
   std::variant<T, Status> value_;
+};
+
+/// An exception carrying a Status across stack frames that cannot
+/// return one — device fibers and the async helper thread. The launch
+/// machinery catches it at the block boundary and lands the payload in
+/// the block's outcome slot, so recoverable runtime conditions (e.g.
+/// sharing-space exhaustion) become Status failures instead of aborts.
+class StatusException : public std::exception {
+ public:
+  explicit StatusException(Status status) : status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const char* what() const noexcept override {
+    return status_.message().c_str();
+  }
+
+ private:
+  Status status_;
 };
 
 [[noreturn]] void checkFailed(const char* file, int line, const char* expr,

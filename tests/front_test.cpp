@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "front/directive.h"
+#include "simfault/fault.h"
 
 namespace simtomp::front {
 namespace {
@@ -234,6 +235,52 @@ TEST(DirectiveLowerTest, TuneKeyRespectsExplicitModes) {
   EXPECT_FALSE(launch.teamsModeAuto);   // pinned by the explicit clause
   EXPECT_TRUE(launch.parallelModeAuto); // still free for the tuner
   EXPECT_EQ(launch.simdlen, 16u);
+}
+
+TEST(DirectiveParseTest, FaultClauseCarriesValidatedPlan) {
+  auto spec = parseDirective(
+      "target teams distribute parallel for simd "
+      "fault(trap:block=0:step=50:when=simd)");
+  ASSERT_TRUE(spec.isOk()) << spec.status().toString();
+  EXPECT_EQ(spec.value().faultSpec, "trap:block=0:step=50:when=simd");
+  const dsl::LaunchSpec launch =
+      spec.value().toLaunchSpec(ArchSpec::testTiny());
+  EXPECT_EQ(launch.faultSpec, "trap:block=0:step=50:when=simd");
+  EXPECT_EQ(launch.targetConfig().fault.spec,
+            "trap:block=0:step=50:when=simd");
+}
+
+TEST(DirectiveParseTest, FaultClauseOffAndMultiEntry) {
+  auto off = parseDirective("target teams fault(off)");
+  ASSERT_TRUE(off.isOk());
+  EXPECT_EQ(off.value().faultSpec, "off");
+  auto multi =
+      parseDirective("target teams fault(device_lost_pre:count=1;livelock)");
+  ASSERT_TRUE(multi.isOk()) << multi.status().toString();
+  EXPECT_EQ(multi.value().faultSpec, "device_lost_pre:count=1;livelock");
+}
+
+TEST(DirectiveParseTest, FaultClauseRejectsBadPlans) {
+  EXPECT_FALSE(parseDirective("target teams fault()").isOk());
+  EXPECT_FALSE(parseDirective("target teams fault(explode)").isOk());
+  EXPECT_FALSE(parseDirective("target teams fault(trap:when=never)").isOk());
+}
+
+TEST(DirectiveParseTest, WatchdogClause) {
+  auto steps = parseDirective("target teams watchdog(100000)");
+  ASSERT_TRUE(steps.isOk()) << steps.status().toString();
+  EXPECT_EQ(steps.value().watchdogSteps, 100000u);
+  auto off = parseDirective("target teams watchdog(off)");
+  ASSERT_TRUE(off.isOk());
+  EXPECT_EQ(off.value().watchdogSteps, simfault::kWatchdogOff);
+  auto zero = parseDirective("target teams watchdog(0)");
+  ASSERT_TRUE(zero.isOk());
+  EXPECT_EQ(zero.value().watchdogSteps, simfault::kWatchdogOff);
+  EXPECT_FALSE(parseDirective("target teams watchdog(soon)").isOk());
+  // Lowering carries the budget into the launch config.
+  const dsl::LaunchSpec launch =
+      steps.value().toLaunchSpec(ArchSpec::testTiny());
+  EXPECT_EQ(launch.targetConfig().watchdogSteps, 100000u);
 }
 
 TEST(DirectiveEndToEndTest, ParsedSpecDrivesARealLaunch) {

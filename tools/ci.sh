@@ -20,6 +20,13 @@
 #          and all three saved caches must be byte-identical, so a
 #          nondeterministic trial order or worker-count-dependent
 #          winner fails CI.
+# Stage 6: fault-matrix smoke + resilience-determinism guard; every
+#          (fault kind x recovery policy) cell runs three times — twice
+#          at 1 host worker, once at 8 — and the printed
+#          ResilienceReports must be byte-identical; the simfault
+#          suites also re-run under TSan at 8 workers, and the
+#          resilience_overhead bench asserts the watchdog never
+#          perturbs modeled cycles.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -40,7 +47,7 @@ cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${prefix}-tsan" -j "${jobs}"
 SIMTOMP_HOST_WORKERS=8 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j 1 \
-  -R '^(gpusim|omprt)_'
+  -R '^(gpusim|omprt|simfault)_'
 
 echo "=== stage 3: simcheck gate (SIMTOMP_CHECK=1 over simulator suites) ==="
 SIMTOMP_CHECK=1 \
@@ -85,5 +92,25 @@ if ! cmp "${cache_a}" "${cache_c}"; then
   exit 1
 fi
 echo "tune caches byte-identical across reruns and worker counts"
+
+echo "=== stage 6: fault-matrix smoke + resilience-determinism guard ==="
+matrix_a="${prefix}/fault-matrix-a.txt"
+matrix_b="${prefix}/fault-matrix-b.txt"
+matrix_c="${prefix}/fault-matrix-c.txt"
+"${prefix}/tools/simtomp_fault" matrix --workers 1 > "${matrix_a}"
+"${prefix}/tools/simtomp_fault" matrix --workers 1 > "${matrix_b}"
+"${prefix}/tools/simtomp_fault" matrix --workers 8 > "${matrix_c}"
+if ! cmp "${matrix_a}" "${matrix_b}"; then
+  echo "ci.sh: rerunning the fault matrix produced different reports" >&2
+  exit 1
+fi
+if ! cmp "${matrix_a}" "${matrix_c}"; then
+  echo "ci.sh: fault matrix at 1 vs 8 host workers differs" >&2
+  exit 1
+fi
+echo "resilience reports byte-identical across reruns and worker counts"
+# The overhead bench aborts if the watchdog perturbs modeled cycles.
+(cd "${prefix}/bench" && ./resilience_overhead >/dev/null)
+echo "watchdog zero-perturbation guard passed"
 
 echo "=== ci.sh: all stages passed ==="

@@ -22,7 +22,27 @@
 // SIMTOMP_TUNE / SIMTOMP_TUNE_CACHE:
 //   SIMTOMP_TUNE=2 simtomp_run spmv
 //     "target teams distribute parallel for simd tune(spmv_main)"
+//
+// Fault injection: a `fault(plan)` clause (SIMTOMP_FAULT grammar, see
+// docs/FAULTS.md) and `watchdog(steps|off)` apply to the launch:
+//   simtomp_run ideal "target teams distribute parallel for \
+//                      fault(trap:step=100) watchdog(100000)"
+// The app adapters launch on a plain device (no DeviceManager), so no
+// resilience chain runs here: an injected fault surfaces with its exit
+// class below instead of recovering. Use simtomp_fault for the
+// recovery matrix.
+//
+// Exit codes (documented for CI triage; see docs/FAULTS.md):
+//   0  success (results verified)
+//   1  verification failure (kernel ran, wrong results)
+//   2  usage error
+//   3  build error (directive did not parse / tuning setup failed)
+//   4  launch failure (any class not listed below)
+//   5  watchdog timeout (DEADLINE_EXCEEDED)
+//   6  simcheck-fatal (checking failed the launch)
+//   7  fault injected and not recovered
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -40,11 +60,43 @@ using namespace simtomp;
 
 namespace {
 
+// Exit codes per failure class (see the header comment).
+constexpr int kExitVerifyFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBuildError = 3;
+constexpr int kExitLaunchFailure = 4;
+constexpr int kExitWatchdog = 5;
+constexpr int kExitCheckFatal = 6;
+constexpr int kExitFaultUnrecovered = 7;
+
 int usage() {
   std::fprintf(stderr,
                "usage: simtomp_run <spmv|su3|ideal|laplace3d|transpose|"
                "interpol|gemm> \"<directive>\" [--csv]\n");
-  return 2;
+  return kExitUsage;
+}
+
+bool knownKernel(const std::string& kernel) {
+  static const char* const kKernels[] = {"spmv",      "su3",      "ideal",
+                                         "laplace3d", "transpose", "interpol",
+                                         "gemm"};
+  for (const char* name : kKernels) {
+    if (kernel == name) return true;
+  }
+  return false;
+}
+
+/// Triage a failed launch into its documented exit code. The watchdog
+/// check comes first: its message also carries the [simfault] marker.
+int exitCodeFor(const Status& status) {
+  if (status.code() == StatusCode::kDeadlineExceeded) return kExitWatchdog;
+  if (status.message().find("simcheck") != std::string::npos) {
+    return kExitCheckFatal;
+  }
+  if (status.message().find("[simfault]") != std::string::npos) {
+    return kExitFaultUnrecovered;
+  }
+  return kExitLaunchFailure;
 }
 
 apps::SimdMode modeFromSpec(const dsl::LaunchSpec& launch) {
@@ -189,6 +241,7 @@ Status resolveLaunchTuning(const std::string& kernel, gpusim::Device& device,
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string kernel = argv[1];
+  if (!knownKernel(kernel)) return usage();
   const std::string directive = argv[2];
   const bool csv = argc >= 4 && std::strcmp(argv[3], "--csv") == 0;
 
@@ -196,26 +249,39 @@ int main(int argc, char** argv) {
   if (!parsed.isOk()) {
     std::fprintf(stderr, "directive error: %s\n",
                  parsed.status().toString().c_str());
-    return 1;
+    return kExitBuildError;
   }
   gpusim::Device device;
   dsl::LaunchSpec launch = parsed.value().toLaunchSpec(device.arch());
+  // The app adapters build their launches internally, so the fault and
+  // watchdog clauses reach them through the environment knobs the
+  // launch path already consults.
+  if (!launch.faultSpec.empty()) {
+    setenv("SIMTOMP_FAULT", launch.faultSpec.c_str(), 1);
+  }
+  if (launch.watchdogSteps != 0) {
+    const std::string steps =
+        launch.watchdogSteps == simfault::kWatchdogOff
+            ? "off"
+            : std::to_string(launch.watchdogSteps);
+    setenv("SIMTOMP_WATCHDOG", steps.c_str(), 1);
+  }
   const Status tuned = resolveLaunchTuning(kernel, device, launch);
   if (!tuned.isOk()) {
     std::fprintf(stderr, "tuning error: %s\n", tuned.toString().c_str());
-    return 1;
+    return kExitBuildError;
   }
 
   auto result = runKernel(kernel, device, launch);
   if (!result.isOk()) {
     std::fprintf(stderr, "run error: %s\n",
                  result.status().toString().c_str());
-    return 1;
+    return exitCodeFor(result.status());
   }
   const apps::AppRunResult& r = result.value();
   if (!r.verified) {
     std::fprintf(stderr, "VERIFICATION FAILED (max error %g)\n", r.maxError);
-    return 1;
+    return kExitVerifyFailed;
   }
 
   if (csv) {
