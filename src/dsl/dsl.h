@@ -74,6 +74,8 @@ struct LaunchSpec {
   /// Per-block watchdog step budget (0 = auto, simfault::kWatchdogOff
   /// disables); see gpusim::LaunchConfig::watchdogSteps.
   uint64_t watchdogSteps = 0;
+  /// Hierarchical profiling (simprof); kAuto consults SIMTOMP_PROF.
+  simprof::ProfileConfig profile{};
 
   [[nodiscard]] omprt::TargetConfig targetConfig() const {
     omprt::TargetConfig config;
@@ -92,6 +94,7 @@ struct LaunchSpec {
     config.tripCount = tripCount;
     config.fault.spec = faultSpec;
     config.watchdogSteps = watchdogSteps;
+    config.profile = profile;
     return config;
   }
   /// Region-level parallel configuration. Auto fields (simdlen 0,

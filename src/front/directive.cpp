@@ -209,6 +209,25 @@ Status parseWatchdog(Lexer& lex, DirectiveSpec& spec) {
   return expect(lex, Kind::kRParen, "')'");
 }
 
+Status parseProfile(Lexer& lex, DirectiveSpec& spec) {
+  Status s = expect(lex, Kind::kLParen, "'('");
+  if (!s.isOk()) return s;
+  if (lex.peek().kind != Kind::kIdent) {
+    return Status::invalidArgument("profile expects on|off|auto");
+  }
+  const std::string word = lex.take().text;
+  if (word == "on") {
+    spec.profileMode = simprof::ProfileMode::kOn;
+  } else if (word == "off") {
+    spec.profileMode = simprof::ProfileMode::kOff;
+  } else if (word == "auto") {
+    spec.profileMode = simprof::ProfileMode::kAuto;
+  } else {
+    return Status::invalidArgument("unknown profile mode '" + word + "'");
+  }
+  return expect(lex, Kind::kRParen, "')'");
+}
+
 Status parseSchedule(Lexer& lex, DirectiveSpec& spec) {
   Status s = expect(lex, Kind::kLParen, "'('");
   if (!s.isOk()) return s;
@@ -393,6 +412,9 @@ Result<DirectiveSpec> parseDirective(std::string_view text) {
     } else if (word == "watchdog") {
       const Status s = parseWatchdog(lex, spec);
       if (!s.isOk()) return s;
+    } else if (word == "profile") {
+      const Status s = parseProfile(lex, spec);
+      if (!s.isOk()) return s;
     } else if (word == "nowait") {
       // Accepted; deferral is the caller's choice of launch API.
     } else {
@@ -456,6 +478,7 @@ dsl::LaunchSpec DirectiveSpec::toLaunchSpec(
   if (hasSchedule) spec.scheduleChunk = schedule.chunk;
   spec.faultSpec = faultSpec;
   spec.watchdogSteps = watchdogSteps;
+  spec.profile.mode = profileMode;
   return spec;
 }
 

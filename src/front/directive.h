@@ -76,6 +76,10 @@ struct DirectiveSpec {
   // injection off); `watchdog(n|off)` sets the per-block step budget.
   std::string faultSpec;
   uint64_t watchdogSteps = 0;     ///< 0 = auto; simfault::kWatchdogOff = off
+  // Profiling (extension clause; see src/simprof). `profile(on|off)`
+  // pins hierarchical profiling for this launch; absent (or
+  // `profile(auto)`) defers to the SIMTOMP_PROF environment variable.
+  simprof::ProfileMode profileMode = simprof::ProfileMode::kAuto;
   bool numTeamsAuto = false;      ///< num_teams(auto)
   bool threadLimitAuto = false;   ///< thread_limit(auto)
   bool simdlenAuto = false;       ///< simdlen(auto)

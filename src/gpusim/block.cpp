@@ -39,6 +39,14 @@ void BlockEngine::setChecker(simcheck::BlockChecker* checker) {
   for (auto& t : threads_) t->setChecker(checker_);
 }
 
+void BlockEngine::setProfiler(simprof::BlockProfiler* profiler) {
+  profiler_ = profiler;
+  for (auto& t : threads_) {
+    t->setProfile(profiler_ != nullptr ? &profiler_->thread(t->threadId())
+                                       : nullptr);
+  }
+}
+
 void BlockEngine::setFault(const simfault::BlockFaultArm* arm) {
   fault_ = arm;
   if (fault_ != nullptr && fault_->trap) {
@@ -65,11 +73,15 @@ bool BlockEngine::faultFires(simfault::FaultKind kind) {
 
 Status BlockEngine::run(const Kernel& kernel) {
   simcheck::BlockChecker* checker = checker_;
+  simprof::BlockProfiler* profiler = profiler_;
   for (uint32_t tid = 0; tid < threads_.size(); ++tid) {
     ThreadCtx* t = threads_[tid].get();
-    scheduler_.spawn([&kernel, t, checker] {
+    scheduler_.spawn([&kernel, t, checker, profiler] {
       kernel(*t);
       if (checker != nullptr) checker->onThreadFinish(t->threadId());
+      // Close the thread's implicit team frame (and anything an early
+      // return left open) at its final timeline position.
+      if (profiler != nullptr) profiler->thread(t->threadId()).finish(t->time());
     });
   }
   Status status = scheduler_.run();
@@ -151,6 +163,7 @@ void BlockEngine::warpBarrier(ThreadCtx& t, LaneMask mask, bool charged) {
   WarpState& warp = warps_[t.warpId()];
   SyncPoint& sp = findOrCreateSync(warp, mask);
   SIMTOMP_CHECK(sp.target > 0, "warp barrier with no member lanes");
+  t.noteEnter(simprof::Construct::kBarrier);
   t.charge(Counter::kWarpSync, charged ? cost_->warpSync : 0);
   if (checker_ != nullptr) {
     checker_->onSyncArrive(t.threadId(), &sp, t.warpId() * arch_->warpSize,
@@ -158,15 +171,18 @@ void BlockEngine::warpBarrier(ThreadCtx& t, LaneMask mask, bool charged) {
                            /*is_block=*/false);
   }
   arriveAtSync(t, sp);
+  t.noteExit();
 }
 
 void BlockEngine::blockBarrier(ThreadCtx& t) {
+  t.noteEnter(simprof::Construct::kBarrier);
   t.charge(Counter::kBlockSync, cost_->blockSync);
   if (checker_ != nullptr) {
     checker_->onSyncArrive(t.threadId(), &block_sync_, 0, block_sync_.mask, 0,
                            /*is_block=*/true);
   }
   arriveAtSync(t, block_sync_);
+  t.noteExit();
 }
 
 LaneMask BlockEngine::ballot(ThreadCtx& t, bool predicate, LaneMask mask) {

@@ -110,6 +110,12 @@ class BlockEngine {
   void setChecker(simcheck::BlockChecker* checker);
   [[nodiscard]] simcheck::BlockChecker* checker() const { return checker_; }
 
+  /// Attach a simprof observer for this block's execution. Wires every
+  /// thread context to its ThreadProfile; call before run(). Like the
+  /// checker, the profiler charges no modeled cycles.
+  void setProfiler(simprof::BlockProfiler* profiler);
+  [[nodiscard]] simprof::BlockProfiler* profiler() const { return profiler_; }
+
   /// Watchdog: bound this block's fiber-scheduler steps (0 = off).
   /// Off the hot path — the budget check lives in the scheduler loop,
   /// not in any device-side primitive.
@@ -148,6 +154,7 @@ class BlockEngine {
   SyncPoint block_sync_;
   void* user_state_ = nullptr;
   simcheck::BlockChecker* checker_ = nullptr;
+  simprof::BlockProfiler* profiler_ = nullptr;
   const simfault::BlockFaultArm* fault_ = nullptr;
   uint64_t fault_livelock_seen_ = 0;
   uint64_t fault_corrupt_seen_ = 0;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "gpusim/executor.h"
 #include "simcheck/checker.h"
+#include "simprof/metrics.h"
 #include "support/log.h"
 
 namespace simtomp::gpusim {
@@ -27,7 +30,20 @@ struct BlockOutcome {
   /// footprint survive into the block-order merge — the engine itself
   /// dies with runBlock.
   std::unique_ptr<simcheck::BlockChecker> checker;
+  /// Owned like the checker: the construct trees survive into the
+  /// block-order merge.
+  std::unique_ptr<simprof::BlockProfiler> profiler;
 };
+
+/// "simd_loop@8 (b3)"-style label for a deep-trace construct span.
+std::string spanLabel(const simprof::RawSpan& span, uint32_t block_id) {
+  std::string label(simprof::constructName(span.construct));
+  if (span.construct == simprof::Construct::kSimdLoop && span.detail != 0) {
+    label += "@" + std::to_string(span.detail);
+  }
+  label += " (b" + std::to_string(block_id) + ")";
+  return label;
+}
 
 }  // namespace
 
@@ -49,6 +65,13 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
         "threadsPerBlock out of range for this architecture");
   }
 
+  auto& metrics = simprof::MetricsRegistry::global();
+  metrics.add(simprof::metric::kLaunchesTotal);
+  const auto fail = [&metrics](Status status) {
+    metrics.add(simprof::metric::kLaunchFailuresTotal);
+    return status;
+  };
+
   // Arm injected faults before anything else observable happens. A
   // pre-launch device loss must leave the previous launch's check
   // report published (nothing ran), so it returns before the check
@@ -57,17 +80,22 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
       simfault::resolveWatchdogSteps(config.watchdogSteps);
   Result<simfault::LaunchArm> armed =
       injector_.arm(config.fault, config.numBlocks);
-  if (!armed.isOk()) return armed.status();
+  if (!armed.isOk()) return fail(armed.status());
   const simfault::LaunchArm arm = std::move(armed).value();
   if (arm.lostPre) {
-    return Status::unavailable(
-        "[simfault] injected device loss before launch; nothing ran");
+    return fail(Status::unavailable(
+        "[simfault] injected device loss before launch; nothing ran"));
   }
 
   const simcheck::CheckResolution check =
       simcheck::resolveCheckMode(config.check.mode);
   const bool checking = check.effective != simcheck::CheckMode::kOff;
   last_check_mode_ = check.effective;
+
+  const simprof::ProfileResolution prof =
+      simprof::resolveProfileMode(config.profile.mode);
+  const bool profiling = prof.effective == simprof::ProfileMode::kOn;
+  last_profile_mode_ = prof.effective;
 
   std::vector<BlockOutcome> outcomes(config.numBlocks);
   const auto runBlock = [&](uint32_t b) {
@@ -79,6 +107,12 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
         out.checker = std::make_unique<simcheck::BlockChecker>(
             config.check, b, config.threadsPerBlock, arch_.warpSize);
         engine.setChecker(out.checker.get());
+      }
+      if (profiling) {
+        out.profiler = std::make_unique<simprof::BlockProfiler>(
+            b, config.threadsPerBlock, kNumCounters,
+            /*capture_spans=*/trace_ != nullptr);
+        engine.setProfiler(out.profiler.get());
       }
       engine.setWatchdog(watchdog.steps);
       engine.setFault(arm.forBlock(b));
@@ -129,15 +163,30 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
     if (!last_check_report_.clean()) {
       SIMTOMP_WARN("simcheck: %s", last_check_report_.summary().c_str());
     }
+    metrics.add(simprof::metric::kCheckFindingsTotal,
+                last_check_report_.total());
+  }
+
+  // The profile is published before the status merge too: a deadlocked
+  // launch keeps the partial construct timeline that led up to it.
+  last_profile_ = simprof::LaunchProfile{};
+  last_profile_.enabled = profiling;
+  last_profile_.numCounters = kNumCounters;
+  if (profiling) {
+    for (uint32_t b = 0; b < config.numBlocks; ++b) {
+      if (outcomes[b].profiler == nullptr) continue;  // serial early exit
+      last_profile_.mergeTeam(outcomes[b].profiler->teamTree());
+    }
+    last_profile_.root.sortChildren();
   }
 
   if (arm.lostPost) {
     // Lost after the blocks executed: results are discarded, but the
     // check report above stays published, mirroring a real runtime
     // where diagnostics outlive the connection that produced them.
-    return Status::unavailable(
+    return fail(Status::unavailable(
         "[simfault] injected device loss after kernel execution; "
-        "results discarded");
+        "results discarded"));
   }
 
   KernelStats stats;
@@ -148,17 +197,37 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
   // counter aggregation see blocks exactly as the serial path did.
   // Least-loaded SM placement; equal-load ties resolve round-robin.
   std::vector<uint64_t> sm_time(arch_.numSMs, 0);
+  /// Block residency intervals on the modeled timeline, for the
+  /// "active blocks" counter track (deep tracing).
+  std::vector<std::pair<uint64_t, uint64_t>> block_windows;
   for (uint32_t b = 0; b < config.numBlocks; ++b) {
     BlockOutcome& out = outcomes[b];
     if (out.exception) std::rethrow_exception(out.exception);
     if (!out.status.isOk()) {
-      return Status(out.status.code(),
-                    "block " + std::to_string(b) + ": " + out.status.message());
+      if (out.status.code() == StatusCode::kDeadlineExceeded) {
+        metrics.add(simprof::metric::kWatchdogTimeoutsTotal);
+      }
+      return fail(Status(out.status.code(), "block " + std::to_string(b) +
+                                                ": " + out.status.message()));
     }
     auto least = std::min_element(sm_time.begin(), sm_time.end());
+    const uint32_t sm_id = static_cast<uint32_t>(least - sm_time.begin());
+    const uint64_t sm_start = *least;
     if (trace_ != nullptr) {
-      trace_->recordBlock(b, static_cast<uint32_t>(least - sm_time.begin()),
-                          *least, out.blockTime);
+      trace_->recordBlock(b, sm_id, sm_start, out.blockTime);
+      if (out.profiler != nullptr) {
+        // Deep tracing: the block's representative thread-0 construct
+        // spans, nested inside the block span on its SM track.
+        for (const simprof::RawSpan& span : out.profiler->tracedSpans()) {
+          trace_->recordSpan(sm_id, spanLabel(span, b), sm_start + span.start,
+                             span.end - span.start);
+        }
+        block_windows.emplace_back(sm_start, sm_start + out.blockTime);
+      }
+      if (arm.forBlock(b) != nullptr) {
+        trace_->recordInstant("fault armed (b" + std::to_string(b) + ")",
+                              sm_start);
+      }
     }
     *least += out.blockTime;
     stats.busyCycles += out.busySum;
@@ -166,6 +235,32 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
     stats.peakSharedBytes =
         std::max(stats.peakSharedBytes, out.peakSharedBytes);
     stats.counters.merge(out.counters);
+  }
+
+  if (trace_ != nullptr && !block_windows.empty()) {
+    // "active blocks": step function over the modeled timeline from the
+    // residency intervals (delta map keeps samples sorted by time).
+    std::map<uint64_t, int64_t> deltas;
+    for (const auto& [start, end] : block_windows) {
+      deltas[start] += 1;
+      deltas[end] -= 1;
+    }
+    int64_t active = 0;
+    for (const auto& [at, delta] : deltas) {
+      active += delta;
+      trace_->recordCounter("active blocks", at,
+                            static_cast<uint64_t>(active));
+    }
+    // "active lanes": the traced block's simd spans, sampled at span
+    // boundaries (value = SIMD group width driven by the traced thread).
+    if (outcomes[0].profiler != nullptr) {
+      const uint64_t base = block_windows.front().first;
+      for (const simprof::RawSpan& span : outcomes[0].profiler->tracedSpans()) {
+        if (span.construct != simprof::Construct::kSimdLoop) continue;
+        trace_->recordCounter("active lanes", base + span.start, span.detail);
+        trace_->recordCounter("active lanes", base + span.end, 0);
+      }
+    }
   }
 
   stats.cycles = *std::max_element(sm_time.begin(), sm_time.end()) +
@@ -179,13 +274,16 @@ Result<KernelStats> Device::launch(const LaunchConfig& config,
     trace_->recordKernel("kernel #" + std::to_string(launch_count_),
                          stats.cycles);
   }
+  // Pin the root to the launch total: the profiler's acceptance
+  // contract is root inclusive cycles == KernelStats.cycles, exactly.
+  last_profile_.finalize(stats.cycles);
+  metrics.observe(simprof::metric::kLaunchCycles, stats.cycles);
   SIMTOMP_DEBUG("kernel done: %s", stats.summary().c_str());
   if (check.effective == simcheck::CheckMode::kFatal &&
       !last_check_report_.clean()) {
-    return Status::failedPrecondition("simcheck found " +
-                                      std::to_string(last_check_report_.total()) +
-                                      " issue(s): " +
-                                      last_check_report_.summary());
+    return fail(Status::failedPrecondition(
+        "simcheck found " + std::to_string(last_check_report_.total()) +
+        " issue(s): " + last_check_report_.summary()));
   }
   return stats;
 }

@@ -21,6 +21,7 @@
 #include "gpusim/trace.h"
 #include "simcheck/report.h"
 #include "simfault/fault.h"
+#include "simprof/profile.h"
 #include "support/status.h"
 
 namespace simtomp::gpusim {
@@ -53,6 +54,11 @@ struct LaunchConfig {
   /// check lives in the fiber scheduler loop, off the device-side hot
   /// path — stats are bit-identical with the watchdog on or off.
   uint64_t watchdogSteps = 0;
+  /// Hierarchical profiling (simprof). Default kAuto resolves the
+  /// SIMTOMP_PROF environment variable on every launch; the construct
+  /// tree lands in Device::lastProfile(). Profiling charges no modeled
+  /// cycles — stats are bit-identical with profiling on or off.
+  simprof::ProfileConfig profile{};
 };
 
 /// Optional per-block hook: runs on the host before a block starts, e.g.
@@ -115,6 +121,18 @@ class Device {
     return last_check_mode_;
   }
 
+  /// Construct-tree profile of the most recent launch (enabled only
+  /// when profiling was on). Published like lastCheckReport(): also
+  /// for failed launches, so a deadlock's partial timeline survives.
+  /// On success the root's inclusive cycles equal KernelStats.cycles.
+  [[nodiscard]] const simprof::LaunchProfile& lastProfile() const {
+    return last_profile_;
+  }
+  /// Effective profile mode of the most recent launch (never kAuto).
+  [[nodiscard]] simprof::ProfileMode lastProfileMode() const {
+    return last_profile_mode_;
+  }
+
   /// Simulate a device reset (the recovery path runs this between a
   /// faulted launch and its retry). Deliberately keeps
   /// lastCheckReport() — diagnostics must survive recovery — and the
@@ -137,6 +155,8 @@ class Device {
   uint64_t reset_count_ = 0;
   simcheck::CheckReport last_check_report_;
   simcheck::CheckMode last_check_mode_ = simcheck::CheckMode::kOff;
+  simprof::LaunchProfile last_profile_;
+  simprof::ProfileMode last_profile_mode_ = simprof::ProfileMode::kOff;
   simfault::Injector injector_;
 };
 

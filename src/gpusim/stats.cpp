@@ -32,6 +32,49 @@ std::string_view counterName(Counter c) {
   return "unknown";
 }
 
+std::string_view counterDescription(Counter c) {
+  switch (c) {
+    case Counter::kAluWork: return "ALU operations charged via work()/fma()";
+    case Counter::kGlobalLoad: return "Global-memory loads";
+    case Counter::kGlobalStore: return "Global-memory stores";
+    case Counter::kSharedLoad: return "Shared-memory loads";
+    case Counter::kSharedStore: return "Shared-memory stores";
+    case Counter::kLocalAccess: return "Thread-local (register/stack) accesses";
+    case Counter::kAtomicRmw: return "Atomic read-modify-write operations";
+    case Counter::kWarpSync: return "Warp-level barrier arrivals";
+    case Counter::kBlockSync: return "Block-wide barrier arrivals";
+    case Counter::kStatePoll:
+      return "State-machine polls by parked worker threads";
+    case Counter::kPayloadArgCopy:
+      return "Outlined-region payload pointers copied";
+    case Counter::kDispatchCascade:
+      return "Outlined calls resolved through the if-cascade";
+    case Counter::kDispatchIndirect:
+      return "Outlined calls paying an indirect branch";
+    case Counter::kShuffle: return "Warp shuffle/ballot exchanges";
+    case Counter::kGlobalAlloc: return "Device global-memory allocations";
+    case Counter::kSharingSpaceOverflow:
+      return "Sharing-space overflows to global memory";
+    case Counter::kParallelRegion: return "Parallel regions entered";
+    case Counter::kSimdLoop: return "simd loops executed";
+    case Counter::kWorkshareLoop: return "For-worksharing loops executed";
+    case Counter::kSimdLaneRounds:
+      return "Lane-rounds occupied by simd loops (lanes x rounds)";
+    case Counter::kSimdIdleLaneRounds:
+      return "Of those, lane-rounds with no iteration (thread waste)";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+Counter counterFromName(std::string_view name) {
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (counterName(c) == name) return c;
+  }
+  return Counter::kCount;
+}
+
 std::string KernelStats::csvHeader() {
   std::string out =
       "cycles,busy_cycles,max_thread_cycles,blocks,threads_per_block,waves,"
@@ -58,6 +101,37 @@ std::string KernelStats::csvRow() const {
                   static_cast<unsigned long long>(counters.values[i]));
     out += buf;
   }
+  return out;
+}
+
+std::string KernelStats::toJson() const {
+  char buf[128];
+  std::string out = "{\n";
+  const auto field = [&out, &buf](const char* name, uint64_t value,
+                                  bool comma = true) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %llu%s\n", name,
+                  static_cast<unsigned long long>(value), comma ? "," : "");
+    out += buf;
+  };
+  field("cycles", cycles);
+  field("busy_cycles", busyCycles);
+  field("max_thread_cycles", maxThreadCycles);
+  field("blocks", numBlocks);
+  field("threads_per_block", threadsPerBlock);
+  field("waves", waves);
+  field("peak_shared_bytes", peakSharedBytes);
+  std::snprintf(buf, sizeof(buf), "  \"warp_occupancy\": %.4f,\n",
+                occupancy.warpOccupancy);
+  out += buf;
+  out += "  \"counters\": {\n";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %llu%s\n",
+                  counterName(static_cast<Counter>(i)).data(),
+                  static_cast<unsigned long long>(counters.values[i]),
+                  i + 1 < kNumCounters ? "," : "");
+    out += buf;
+  }
+  out += "  }\n}\n";
   return out;
 }
 

@@ -38,6 +38,11 @@ enum class Counter : uint8_t {
 inline constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount);
 
 std::string_view counterName(Counter c);
+/// One-line description for `simtomp_info --counters` (same table the
+/// profiler/metrics surfaces render from, so names cannot drift).
+std::string_view counterDescription(Counter c);
+/// Inverse of counterName; returns kCount for unknown names.
+Counter counterFromName(std::string_view name);
 
 /// Dense counter set; cheap to merge.
 struct CounterSet {
@@ -78,6 +83,10 @@ struct KernelStats {
   /// post-processing.
   [[nodiscard]] static std::string csvHeader();
   [[nodiscard]] std::string csvRow() const;
+
+  /// JSON object with every scalar field and every counter (by name,
+  /// even zero ones), deterministic key order.
+  [[nodiscard]] std::string toJson() const;
 };
 
 }  // namespace simtomp::gpusim

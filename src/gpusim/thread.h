@@ -21,6 +21,7 @@
 #include "gpusim/memory.h"
 #include "gpusim/stats.h"
 #include "simcheck/checker.h"
+#include "simprof/profile.h"
 #include "support/lane_mask.h"
 
 namespace simtomp::gpusim {
@@ -63,6 +64,9 @@ class ThreadCtx {
     counters_.add(counter, count);
     busy_ += cycles;
     time_ += cycles;
+    if (profile_ != nullptr) {
+      profile_->onCharge(static_cast<uint32_t>(counter), cycles, count);
+    }
   }
   /// Snap the timeline forward (barrier release); never moves backwards.
   void alignTimeTo(uint64_t t) {
@@ -139,6 +143,20 @@ class ThreadCtx {
     if (checker_ != nullptr) checker_->onLockRelease(thread_id_, key);
   }
 
+  // ---- Profiling (no-ops when profiling is off) ----
+  /// Installed by the BlockEngine when the launch enables simprof.
+  void setProfile(simprof::ThreadProfile* profile) { profile_ = profile; }
+  [[nodiscard]] simprof::ThreadProfile* profile() const { return profile_; }
+  /// Open/close a construct span on this thread's modeled timeline.
+  /// Charges nothing: modeled cycles are bit-identical with profiling
+  /// on or off (the profiler only reads the clocks).
+  void noteEnter(simprof::Construct construct, uint64_t detail = 0) {
+    if (profile_ != nullptr) profile_->enter(construct, detail, time_);
+  }
+  void noteExit() {
+    if (profile_ != nullptr) profile_->exit(time_);
+  }
+
  private:
   BlockEngine* block_;
   const CostModel* cost_;
@@ -151,6 +169,7 @@ class ThreadCtx {
   uint64_t busy_ = 0;
   CounterSet counters_;
   simcheck::BlockChecker* checker_ = nullptr;
+  simprof::ThreadProfile* profile_ = nullptr;
 };
 
 /// Kernel entry: runs once per simulated device thread.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simprof/metrics.h"
+
 namespace simtomp::hostrt {
 
 namespace {
@@ -50,6 +52,9 @@ void DeviceManager::applyDefaults(omprt::TargetConfig& config) const {
   if (config.check.mode == simcheck::CheckMode::kAuto) {
     config.check = default_check_;
   }
+  if (config.profile.mode == simprof::ProfileMode::kAuto) {
+    config.profile = default_profile_;
+  }
 }
 
 Status DeviceManager::resolveTuning(size_t n, omprt::TargetConfig& config,
@@ -66,6 +71,10 @@ Status DeviceManager::resolveTuning(size_t n, omprt::TargetConfig& config,
   }
   gpusim::Device& dev = *devices_[n];
   if (default_tuner_->resolveConfig(dev.arch(), dev.costModel(), config)) {
+    if (device != nullptr && device->traceRecorder() != nullptr) {
+      device->traceRecorder()->recordInstant(
+          "tune cache hit: " + config.tuneKey, 0);
+    }
     return Status::ok();
   }
   // Cache miss. kCache falls back to the heuristics in launchTarget;
@@ -94,6 +103,8 @@ omprt::TargetConfig DeviceManager::effectiveConfig(
   config.check = simcheck::CheckConfig{
       simcheck::resolveCheckMode(config.check.mode).effective,
       config.check.maxDiagnostics};
+  config.profile.mode =
+      simprof::resolveProfileMode(config.profile.mode).effective;
   return config;
 }
 
@@ -164,6 +175,16 @@ Result<gpusim::KernelStats> DeviceManager::launchResilient(
   };
 
   const simfault::ResiliencePolicy& policy = default_resilience_;
+  auto& metrics = simprof::MetricsRegistry::global();
+  // Recovery-rung instants on the device trace (when one is attached),
+  // timestamped by attempt ordinal: recovery happens between launches,
+  // off the modeled timeline.
+  const auto noteRung = [&](const char* what) {
+    if (dev.traceRecorder() != nullptr) {
+      dev.traceRecorder()->recordInstant(
+          what, static_cast<uint64_t>(report.attempts.size()));
+    }
+  };
   bool ok = attempt(simfault::RecoveryStage::kInitial, config, 0);
 
   // Rung 1: same shape again, after a reset and capped exponential
@@ -173,6 +194,8 @@ Result<gpusim::KernelStats> DeviceManager::launchResilient(
        !ok && retry <= policy.maxRetries && isTransient(result.status().code());
        ++retry) {
     resetForRecovery();
+    metrics.add(simprof::metric::kResilienceRetriesTotal);
+    noteRung("resilience retry");
     const uint32_t backoff = std::min(
         policy.backoffBaseMs << (retry - 1), policy.backoffCapMs);
     ok = attempt(simfault::RecoveryStage::kRetry, config, backoff);
@@ -186,6 +209,8 @@ Result<gpusim::KernelStats> DeviceManager::launchResilient(
     fallback.simdlen = 1;
     fallback.parallelMode = omprt::ExecMode::kGeneric;
     resetForRecovery();
+    metrics.add(simprof::metric::kResilienceModeFallbacksTotal);
+    noteRung("resilience mode fallback");
     ok = attempt(simfault::RecoveryStage::kModeFallback, fallback, 0);
   }
 
@@ -204,6 +229,8 @@ Result<gpusim::KernelStats> DeviceManager::launchResilient(
     serial.fault.spec = "off";  // empty would re-consult SIMTOMP_FAULT
     serial.check.mode = simcheck::CheckMode::kOff;
     resetForRecovery();
+    metrics.add(simprof::metric::kResilienceHostSerialTotal);
+    noteRung("resilience host-serial");
     ok = attempt(simfault::RecoveryStage::kHostSerial, serial, 0);
   }
 

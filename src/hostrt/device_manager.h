@@ -56,6 +56,16 @@ class DeviceManager {
     return default_check_;
   }
 
+  /// Default simprof config applied to launches whose config leaves the
+  /// mode kAuto (mirrors setDefaultCheck). An unset default stays
+  /// kAuto, so SIMTOMP_PROF still decides per launch.
+  void setDefaultProfile(simprof::ProfileConfig profile) {
+    default_profile_ = profile;
+  }
+  [[nodiscard]] const simprof::ProfileConfig& defaultProfile() const {
+    return default_profile_;
+  }
+
   /// Default autotuner consulted by launches that carry a tune key and
   /// auto launch-shape fields (mirrors setDefaultHostWorkers /
   /// setDefaultCheck). `mode` kAuto defers to the SIMTOMP_TUNE env var
@@ -163,6 +173,7 @@ class DeviceManager {
   std::vector<std::unique_ptr<TargetTaskQueue>> queues_;
   uint32_t default_host_workers_ = 0;  ///< 0 = auto (env / hardware)
   simcheck::CheckConfig default_check_{};  ///< kAuto = env / off
+  simprof::ProfileConfig default_profile_{};  ///< kAuto = env / off
   std::shared_ptr<simtune::Tuner> default_tuner_;  ///< may be lazily created
   simtune::TuneMode default_tune_mode_ = simtune::TuneMode::kAuto;
   simfault::ResiliencePolicy default_resilience_{};

@@ -22,6 +22,24 @@ constexpr uint64_t simdGroupKey(uint32_t group) { return 1 + group; }
 // rt::critical models one team-wide lock.
 constexpr uint64_t kCriticalLockKey = 0;
 
+/// RAII construct span on the calling thread's profile timeline.
+/// noteEnter/noteExit are no-ops when profiling is off, so wrapping a
+/// runtime entry point in one of these charges no modeled cycles.
+class ConstructSpan {
+ public:
+  ConstructSpan(gpusim::ThreadCtx& t, simprof::Construct construct,
+                uint64_t detail = 0)
+      : t_(t) {
+    t_.noteEnter(construct, detail);
+  }
+  ~ConstructSpan() { t_.noteExit(); }
+  ConstructSpan(const ConstructSpan&) = delete;
+  ConstructSpan& operator=(const ConstructSpan&) = delete;
+
+ private:
+  gpusim::ThreadCtx& t_;
+};
+
 /// Per-lane accumulate phase of a reducing simd loop (shared by the
 /// leader/SPMD path and the worker state machine so barrier counts
 /// match exactly).
@@ -60,16 +78,23 @@ bool runPublishedSimdWork(OmpContext& ctx) {
   TeamState& ts = ctx.team();
   SimdGroupState& gs = ts.groups[ctx.simdGroup()];
 
+  t.noteEnter(simprof::Construct::kStatePoll);
   t.charge(Counter::kStatePoll, t.cost().statePoll);
   t.chargeSharedLoad();  // getSimdFn: function pointer
   t.noteSyntheticAccess(simdGroupKey(ctx.simdGroup()), /*is_write=*/false);
   void* fn = gs.simdFn;
-  if (fn == nullptr) return false;
+  if (fn == nullptr) {
+    t.noteExit();
+    return false;
+  }
   t.chargeSharedLoad();  // trip count
   const uint64_t trip = gs.tripCount;
   void** args = nullptr;
   if (gs.numArgs > 0) args = ts.sharing->fetchArgs(t, ctx.simdGroup());
+  t.noteExit();
 
+  const ConstructSpan simd_span(t, simprof::Construct::kSimdLoop,
+                                ctx.simdGroupSize());
   switch (gs.kind) {
     case SimdWorkKind::kLoop:
       workshareLoopSimd(ctx, reinterpret_cast<LoopBodyFn>(fn), trip, args);
@@ -178,6 +203,7 @@ void parallel(OmpContext& ctx, OutlinedFn fn, void** args, uint32_t numArgs,
   SIMTOMP_CHECK(!ctx.inParallel(), "nested parallel regions not supported");
   const ParallelConfig cfg = normalizeParallelConfig(ts, config);
   const uint32_t num_groups = ts.numWorkerThreads / cfg.simdGroupSize;
+  const ConstructSpan parallel_span(t, simprof::Construct::kParallel);
 
   if (ts.teamsMode == ExecMode::kGeneric) {
     SIMTOMP_CHECK(t.threadId() == ts.mainThreadId,
@@ -191,6 +217,7 @@ void parallel(OmpContext& ctx, OutlinedFn fn, void** args, uint32_t numArgs,
     ts.parallelNumArgs = numArgs;
     t.chargeSharedStore();
     if (numArgs > 0) {
+      const ConstructSpan sharing_span(t, simprof::Construct::kSharing);
       void** area = ts.sharing->beginTeamSharing(t, numArgs);
       for (uint32_t i = 0; i < numArgs; ++i) {
         ts.sharing->storeArg(t, 0, area, i, args[i]);
@@ -222,6 +249,8 @@ void simd(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount, void** args,
   gpusim::ThreadCtx& t = ctx.gpu();
   TeamState& ts = ctx.team();
   SIMTOMP_CHECK(ctx.inParallel(), "simd() requires an enclosing parallel");
+  const ConstructSpan simd_span(t, simprof::Construct::kSimdLoop,
+                                ctx.simdGroupSize());
   if (ctx.isSimdGroupLeader()) {
     t.charge(Counter::kSimdLoop, 0);
     chargeLaneUtilization(ctx, tripCount);
@@ -244,6 +273,7 @@ void simd(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount, void** args,
   void** shared_args = args;
   const bool share = numArgs > 0 && ctx.simdGroupSize() > 1;
   if (share) {
+    const ConstructSpan sharing_span(t, simprof::Construct::kSharing);
     shared_args =
         ts.sharing->beginSharing(t, group, ctx.numThreads(), numArgs);
     for (uint32_t i = 0; i < numArgs; ++i) {
@@ -262,6 +292,7 @@ void workshareFor(OmpContext& ctx, uint64_t tripCount, LoopBodyFn fn,
                   void** args) {
   gpusim::ThreadCtx& t = ctx.gpu();
   SIMTOMP_CHECK(ctx.inParallel(), "for-worksharing requires parallel");
+  const ConstructSpan ws_span(t, simprof::Construct::kWorkshare);
   if (ctx.isSimdGroupLeader()) t.charge(Counter::kWorkshareLoop, 0);
   const uint64_t id = ctx.threadNum();
   const uint64_t n = ctx.numThreads();
@@ -284,6 +315,7 @@ void workshareForScheduled(OmpContext& ctx, uint64_t tripCount,
   gpusim::ThreadCtx& t = ctx.gpu();
   TeamState& ts = ctx.team();
   SIMTOMP_CHECK(ctx.inParallel(), "for-worksharing requires parallel");
+  const ConstructSpan ws_span(t, simprof::Construct::kWorkshare);
   if (ctx.isSimdGroupLeader()) t.charge(Counter::kWorkshareLoop, 0);
 
   const Dispatcher& dispatcher = Dispatcher::global();
@@ -404,6 +436,7 @@ void distributeStaticChunked(OmpContext& ctx, uint64_t tripCount,
                              uint64_t chunk, LoopBodyFn fn, void** args) {
   if (chunk == 0) chunk = 1;
   gpusim::ThreadCtx& t = ctx.gpu();
+  const ConstructSpan dist_span(t, simprof::Construct::kDistribute);
   const uint64_t team = ctx.teamNum();
   const uint64_t stride = static_cast<uint64_t>(ctx.numTeams()) * chunk;
   const Dispatcher& dispatcher = Dispatcher::global();
@@ -461,6 +494,7 @@ void critical(OmpContext& ctx, OutlinedFn fn, void** args) {
   SIMTOMP_CHECK(ctx.inParallel(), "critical requires a parallel region");
   gpusim::ThreadCtx& t = ctx.gpu();
   TeamState& ts = ctx.team();
+  const ConstructSpan crit_span(t, simprof::Construct::kCritical);
   if (ctx.isSimdGroupLeader()) {
     // Lock acquire: atomic RMW, then wait out the previous holder.
     t.chargeAtomic();
@@ -482,12 +516,16 @@ ThreadKind teamStateMachine(OmpContext& ctx) {
   gpusim::ThreadCtx& t = ctx.gpu();
   TeamState& ts = ctx.team();
   for (;;) {
+    t.noteEnter(simprof::Construct::kStatePoll);
     t.syncBlock();  // wait for the main thread to publish work
     t.charge(Counter::kStatePoll, t.cost().statePoll);
     t.chargeSharedLoad();  // termination flag
     t.noteSyntheticAccess(kTeamStateKey, /*is_write=*/false);
-    if (ts.terminate) return ThreadKind::kTerminated;
+    const bool done = ts.terminate;
+    t.noteExit();
+    if (done) return ThreadKind::kTerminated;
     if (t.threadId() < ts.numWorkerThreads) {
+      const ConstructSpan region_span(t, simprof::Construct::kParallel);
       t.chargeSharedLoad();  // outlined function pointer
       OutlinedFn fn = ts.parallelFn;
       t.chargeSharedLoad();  // region config
@@ -555,6 +593,8 @@ double simdLoopReduceAdd(OmpContext& ctx, ReduceBodyF64 fn,
   gpusim::ThreadCtx& t = ctx.gpu();
   TeamState& ts = ctx.team();
   SIMTOMP_CHECK(ctx.inParallel(), "simd reduction requires parallel");
+  const ConstructSpan simd_span(t, simprof::Construct::kSimdLoop,
+                                ctx.simdGroupSize());
   if (ctx.isSimdGroupLeader()) {
     t.charge(Counter::kSimdLoop, 0);
     chargeLaneUtilization(ctx, tripCount);
@@ -575,6 +615,7 @@ double simdLoopReduceAdd(OmpContext& ctx, ReduceBodyF64 fn,
   void** shared_args = args;
   const bool share = numArgs > 0 && ctx.simdGroupSize() > 1;
   if (share) {
+    const ConstructSpan sharing_span(t, simprof::Construct::kSharing);
     shared_args =
         ts.sharing->beginSharing(t, group, ctx.numThreads(), numArgs);
     for (uint32_t i = 0; i < numArgs; ++i) {

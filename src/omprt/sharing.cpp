@@ -3,6 +3,7 @@
 #include "gpusim/block.h"
 #include "gpusim/stats.h"
 #include "simcheck/checker.h"
+#include "simprof/metrics.h"
 #include "support/log.h"
 
 namespace simtomp::omprt {
@@ -60,6 +61,11 @@ uint32_t SharingSpace::slotsPerGroup(uint32_t numGroups) const {
 void** SharingSpace::begin(gpusim::ThreadCtx& t, Slot& slot, void** slice,
                            uint32_t capacity, uint32_t numArgs) {
   SIMTOMP_CHECK(slot.area == nullptr, "nested beginSharing for one slot");
+  // Process-wide observability; max/add are commutative, so snapshots
+  // stay byte-identical for any host worker count.
+  simprof::MetricsRegistry::global().gaugeMax(
+      simprof::metric::kSharingHighWaterBytes,
+      static_cast<uint64_t>(numArgs) * sizeof(void*));
   if (numArgs <= capacity && slice != nullptr) {
     slot.area = slice;
     return slot.area;
@@ -79,6 +85,8 @@ void** SharingSpace::begin(gpusim::ThreadCtx& t, Slot& slot, void** slice,
   slot.overflow = ptr.value();
   slot.area = reinterpret_cast<void**>(global_->raw(slot.overflow));
   ++overflow_count_;
+  simprof::MetricsRegistry::global().add(
+      simprof::metric::kSharingOverflowsTotal);
   t.charge(gpusim::Counter::kGlobalAlloc, t.cost().globalAccess * 4);
   t.charge(gpusim::Counter::kSharingSpaceOverflow, 0);
   return slot.area;

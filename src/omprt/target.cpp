@@ -75,6 +75,7 @@ Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
   // generic-mode fallback (simdlen 1) genuinely escapes them.
   launch.fault.simdActive = config.simdlen > 1;
   launch.watchdogSteps = config.watchdogSteps;
+  launch.profile = config.profile;
 
   // Launch-wide defaults for region-level auto fields; never auto
   // themselves (resolveAutoConfig ran above).

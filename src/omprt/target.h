@@ -67,6 +67,8 @@ struct TargetConfig {
   simfault::FaultConfig fault{};
   /// Per-block watchdog step budget; see gpusim::LaunchConfig.
   uint64_t watchdogSteps = 0;
+  /// Hierarchical profiling (simprof); see gpusim::LaunchConfig::profile.
+  simprof::ProfileConfig profile{};
 
   [[nodiscard]] Status validate(const gpusim::ArchSpec& arch) const;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "simprof/metrics.h"
+
 namespace simtomp::simfault {
 namespace {
 
@@ -233,6 +235,8 @@ Result<LaunchArm> Injector::arm(const FaultConfig& config,
     uint64_t& fired = fired_[spec.canonical()];
     if (spec.count != 0 && fired >= spec.count) continue;
     ++fired;
+    simprof::MetricsRegistry::global().add(
+        simprof::metric::kFaultInjectionsTotal);
     switch (spec.kind) {
       case FaultKind::kDeviceLostPre:
         arm.lostPre = true;

@@ -1,0 +1,120 @@
+// simprof metrics: process-wide named counters, gauges and histograms.
+//
+// A fixed catalog of runtime metrics (launches, tune-cache hits, fault
+// injections, resilience retries, sharing-space high-water mark, ...)
+// with Prometheus text exposition and a sorted-key JSON snapshot. All
+// values derive from deterministic modeled quantities and every update
+// is a commutative atomic add / max, so snapshots are byte-identical
+// for any SIMTOMP_HOST_WORKERS.
+//
+// The catalog is the single source of truth: `simtomp_info --metrics`
+// lists it, the registry allocates from it, and the writers iterate it
+// — names cannot drift.
+//
+// SIMTOMP_METRICS=<path> arranges a Prometheus text dump of the global
+// registry at process exit (for long fault/tune runs).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string_view>
+
+namespace simtomp::simprof {
+
+enum class MetricType : uint8_t { kCounter = 0, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view metricTypeName(MetricType type);
+
+/// One catalog entry: stable name (Prometheus conventions), kind and a
+/// one-line description shared with `simtomp_info --metrics`.
+struct MetricDef {
+  std::string_view name;
+  MetricType type = MetricType::kCounter;
+  std::string_view help;
+};
+
+/// The full metric catalog, in exposition order.
+[[nodiscard]] std::span<const MetricDef> allMetricDefs();
+
+// Metric names (use these with the registry; typos become link errors
+// at the call site instead of silently minting new series).
+namespace metric {
+inline constexpr std::string_view kLaunchesTotal = "simtomp_launches_total";
+inline constexpr std::string_view kLaunchFailuresTotal =
+    "simtomp_launch_failures_total";
+inline constexpr std::string_view kLaunchCycles = "simtomp_launch_cycles";
+inline constexpr std::string_view kCheckFindingsTotal =
+    "simtomp_check_findings_total";
+inline constexpr std::string_view kFaultInjectionsTotal =
+    "simtomp_fault_injections_total";
+inline constexpr std::string_view kWatchdogTimeoutsTotal =
+    "simtomp_watchdog_timeouts_total";
+inline constexpr std::string_view kTuneCacheHitsTotal =
+    "simtomp_tune_cache_hits_total";
+inline constexpr std::string_view kTuneCacheMissesTotal =
+    "simtomp_tune_cache_misses_total";
+inline constexpr std::string_view kTuneTrialsTotal =
+    "simtomp_tune_trials_total";
+inline constexpr std::string_view kResilienceRetriesTotal =
+    "simtomp_resilience_retries_total";
+inline constexpr std::string_view kResilienceModeFallbacksTotal =
+    "simtomp_resilience_mode_fallbacks_total";
+inline constexpr std::string_view kResilienceHostSerialTotal =
+    "simtomp_resilience_host_serial_total";
+inline constexpr std::string_view kSharingHighWaterBytes =
+    "simtomp_sharing_space_high_water_bytes";
+inline constexpr std::string_view kSharingOverflowsTotal =
+    "simtomp_sharing_overflows_total";
+}  // namespace metric
+
+/// Process-wide registry over the fixed catalog. Thread-safe: counters
+/// and histogram cells are atomic adds, gauges are atomic fetch-max.
+class MetricsRegistry {
+ public:
+  /// Histogram buckets: upper bounds 4^1 .. 4^14 cycles, plus +Inf.
+  static constexpr size_t kHistogramBuckets = 15;
+  /// Catalog size (static_asserted against allMetricDefs()).
+  static constexpr size_t kNumMetrics = 14;
+
+  static MetricsRegistry& global();
+
+  /// Counter increment (no-op with a warning for unknown names).
+  void add(std::string_view name, uint64_t delta = 1);
+  /// Gauge high-water update (atomic max).
+  void gaugeMax(std::string_view name, uint64_t value);
+  /// Histogram observation.
+  void observe(std::string_view name, uint64_t value);
+
+  /// Current counter/gauge value, or a histogram's observation count.
+  [[nodiscard]] uint64_t value(std::string_view name) const;
+  /// A histogram's sum of observations.
+  [[nodiscard]] uint64_t histogramSum(std::string_view name) const;
+
+  /// Prometheus text exposition (HELP/TYPE + samples, catalog order).
+  void writePrometheus(std::ostream& out) const;
+  /// JSON snapshot, keys sorted (catalog names are already sorted per
+  /// section; the writer sorts globally to guarantee it).
+  void writeJson(std::ostream& out) const;
+
+  /// Zero every value (tests; not thread-safe against concurrent use).
+  void reset();
+
+ private:
+  MetricsRegistry();
+
+  struct Cell {
+    std::atomic<uint64_t> value{0};
+    // Histogram-only state (unused for counters/gauges).
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  [[nodiscard]] int indexOf(std::string_view name) const;
+
+  std::array<Cell, kNumMetrics> cells_;
+};
+
+}  // namespace simtomp::simprof

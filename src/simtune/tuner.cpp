@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "gpusim/executor.h"
+#include "simprof/metrics.h"
 
 namespace simtomp::simtune {
 namespace {
@@ -195,6 +196,8 @@ Result<TuneOutcome> Tuner::tune(const std::string& kernel,
   if (!request.skipCache) {
     if (const auto hit = cache_->lookup(key)) {
       ++cache_hits_;
+      simprof::MetricsRegistry::global().add(
+          simprof::metric::kTuneCacheHitsTotal);
       TuneOutcome outcome;
       outcome.key = key;
       outcome.shape = *hit;
@@ -203,6 +206,8 @@ Result<TuneOutcome> Tuner::tune(const std::string& kernel,
     }
   }
   ++cache_misses_;
+  simprof::MetricsRegistry::global().add(
+      simprof::metric::kTuneCacheMissesTotal);
   Result<TuneOutcome> result = search(key, arch, cost, axes, trial, request);
   if (!result.isOk()) return result;
   cache_->insert(key, result.value().shape);
@@ -250,6 +255,8 @@ Result<TuneOutcome> Tuner::search(const TuneKey& key,
           }
         });
     trial_launches_ += batch.size();
+    simprof::MetricsRegistry::global().add(
+        simprof::metric::kTuneTrialsTotal, batch.size());
     outcome.trialsRun += static_cast<uint32_t>(batch.size());
     budget -= static_cast<uint32_t>(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -483,9 +490,13 @@ bool Tuner::resolveConfig(const gpusim::ArchSpec& arch,
   const auto hit = cache_->lookup(key);
   if (!hit) {
     ++cache_misses_;
+    simprof::MetricsRegistry::global().add(
+        simprof::metric::kTuneCacheMissesTotal);
     return false;
   }
   ++cache_hits_;
+  simprof::MetricsRegistry::global().add(
+      simprof::metric::kTuneCacheHitsTotal);
   applyShape(*hit, config);
   return true;
 }

@@ -13,6 +13,10 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::once_flag g_env_once;
 std::mutex g_io_mutex;
+// Log sink; stderr unless setLogFile / SIMTOMP_LOG_FILE opened a file.
+// Guarded by g_io_mutex. Never closed on exit (the OS reclaims it) so
+// a logging static destructor can't race a closed stream.
+FILE* g_sink = nullptr;
 
 const char* levelTag(LogLevel level) {
   switch (level) {
@@ -29,6 +33,9 @@ const char* levelTag(LogLevel level) {
 void initFromEnv() {
   if (const char* env = std::getenv("SIMTOMP_LOG")) {
     g_level.store(parseLogLevel(env), std::memory_order_relaxed);
+  }
+  if (const char* path = std::getenv("SIMTOMP_LOG_FILE")) {
+    if (*path != '\0') (void)setLogFile(path);
   }
 }
 
@@ -57,16 +64,37 @@ LogLevel parseLogLevel(std::string_view name) {
   return LogLevel::kWarn;
 }
 
+bool setLogFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  FILE* next = nullptr;
+  if (!path.empty()) {
+    next = std::fopen(path.c_str(), "a");
+    if (next == nullptr) return false;
+  }
+  if (g_sink != nullptr) std::fclose(g_sink);
+  g_sink = next;
+  return true;
+}
+
+void reinitLogFromEnvForTest() {
+  // call_once already ran (or will run idempotently); re-apply the env
+  // directly so tests can flip SIMTOMP_LOG / SIMTOMP_LOG_FILE at will.
+  std::call_once(g_env_once, [] {});
+  initFromEnv();
+}
+
 namespace detail {
 
 void logLine(LogLevel level, const char* fmt, ...) {
   std::lock_guard<std::mutex> lock(g_io_mutex);
-  std::fprintf(stderr, "[simtomp %s] ", levelTag(level));
+  FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fprintf(out, "[simtomp %s] ", levelTag(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vfprintf(out, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  std::fputc('\n', out);
+  if (g_sink != nullptr) std::fflush(g_sink);
 }
 
 }  // namespace detail

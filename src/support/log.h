@@ -2,10 +2,12 @@
 //
 // The simulator is deliberately quiet by default (kWarn); tests and the
 // benches bump verbosity through setLogLevel or the SIMTOMP_LOG env var
-// (trace|debug|info|warn|error|off).
+// (trace|debug|info|warn|error|off). SIMTOMP_LOG_FILE (or setLogFile)
+// redirects log lines from stderr to a file, appending.
 #pragma once
 
 #include <cstdarg>
+#include <string>
 #include <string_view>
 
 namespace simtomp {
@@ -16,6 +18,14 @@ LogLevel logLevel();
 void setLogLevel(LogLevel level);
 /// Parse "trace"/"debug"/... (case-insensitive); returns kWarn on garbage.
 LogLevel parseLogLevel(std::string_view name);
+
+/// Redirect log output to `path` (append mode); "" restores stderr.
+/// An unopenable path keeps stderr and returns false.
+bool setLogFile(const std::string& path);
+
+/// Re-read SIMTOMP_LOG / SIMTOMP_LOG_FILE (normally consulted once, on
+/// first use). Exposed so tests can exercise the env plumbing.
+void reinitLogFromEnvForTest();
 
 namespace detail {
 void logLine(LogLevel level, const char* fmt, ...)

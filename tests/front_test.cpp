@@ -283,6 +283,32 @@ TEST(DirectiveParseTest, WatchdogClause) {
   EXPECT_EQ(launch.targetConfig().watchdogSteps, 100000u);
 }
 
+TEST(DirectiveParseTest, ProfileClause) {
+  auto on = parseDirective("target teams profile(on)");
+  ASSERT_TRUE(on.isOk()) << on.status().toString();
+  EXPECT_EQ(on.value().profileMode, simprof::ProfileMode::kOn);
+  auto off = parseDirective("target teams profile(off)");
+  ASSERT_TRUE(off.isOk());
+  EXPECT_EQ(off.value().profileMode, simprof::ProfileMode::kOff);
+  auto auto_mode = parseDirective("target teams profile(auto)");
+  ASSERT_TRUE(auto_mode.isOk());
+  EXPECT_EQ(auto_mode.value().profileMode, simprof::ProfileMode::kAuto);
+  // Unset defaults to auto (SIMTOMP_PROF decides per launch).
+  auto unset = parseDirective("target teams");
+  ASSERT_TRUE(unset.isOk());
+  EXPECT_EQ(unset.value().profileMode, simprof::ProfileMode::kAuto);
+  // Lowering carries the mode into the launch config.
+  const dsl::LaunchSpec launch = on.value().toLaunchSpec(ArchSpec::testTiny());
+  EXPECT_EQ(launch.profile.mode, simprof::ProfileMode::kOn);
+  EXPECT_EQ(launch.targetConfig().profile.mode, simprof::ProfileMode::kOn);
+}
+
+TEST(DirectiveParseTest, ProfileClauseRejectsGarbage) {
+  EXPECT_FALSE(parseDirective("target teams profile()").isOk());
+  EXPECT_FALSE(parseDirective("target teams profile(loud)").isOk());
+  EXPECT_FALSE(parseDirective("target teams profile(1)").isOk());
+}
+
 TEST(DirectiveEndToEndTest, ParsedSpecDrivesARealLaunch) {
   auto parsed = parseDirective(
       "target teams distribute parallel for simd "

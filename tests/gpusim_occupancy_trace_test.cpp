@@ -115,9 +115,94 @@ TEST(TraceTest, ChromeJsonIsWellFormed) {
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"block 0\""), std::string::npos);
   EXPECT_NE(json.find("\"dur\": 60"), std::string::npos);
-  // Six fields per event (5 commas each) plus one separator.
+  // Four metadata events (4 commas each: 5 fields, single-key args),
+  // two "X" events (5 commas each: 6 fields) and 5 event separators.
   EXPECT_EQ(std::count(json.begin(), json.end(), ','),
-            static_cast<long>(2 * 5 + 1));
+            static_cast<long>(4 * 4 + 2 * 5 + 5));
+}
+
+TEST(TraceTest, MetadataNamesProcessesAndTracksFirst) {
+  TraceRecorder trace;
+  // Record SMs out of order: metadata must still come out sorted.
+  trace.recordBlock(7, 3, 0, 10);
+  trace.recordBlock(2, 1, 10, 10);
+  trace.recordKernel("k", 25);
+  std::ostringstream out;
+  trace.writeChromeJson(out);
+  const std::string json = out.str();
+  const size_t proc_kernel = json.find("\"args\": {\"name\": \"kernel\"}");
+  const size_t proc_sms = json.find("\"args\": {\"name\": \"SMs\"}");
+  const size_t sm1 = json.find("\"args\": {\"name\": \"SM 1\"}");
+  const size_t sm3 = json.find("\"args\": {\"name\": \"SM 3\"}");
+  const size_t first_x = json.find("\"ph\": \"X\"");
+  ASSERT_NE(proc_kernel, std::string::npos);
+  ASSERT_NE(proc_sms, std::string::npos);
+  ASSERT_NE(sm1, std::string::npos);
+  ASSERT_NE(sm3, std::string::npos);
+  ASSERT_NE(first_x, std::string::npos);
+  // Processes first, then per-SM track names in sorted order, all
+  // before any real event.
+  EXPECT_LT(proc_kernel, proc_sms);
+  EXPECT_LT(proc_sms, sm1);
+  EXPECT_LT(sm1, sm3);
+  EXPECT_LT(sm3, first_x);
+  // SM tracks live in their own process with tid = sm + 1.
+  EXPECT_NE(json.find("\"pid\": 1, \"tid\": 2, \"args\": {\"name\": \"SM 1\"}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceTest, InstantAndCounterEvents) {
+  TraceRecorder trace;
+  trace.recordInstant("fault armed (b0)", 12);
+  trace.recordCounter("active blocks", 0, 2);
+  trace.recordCounter("active blocks", 40, 0);
+  std::ostringstream out;
+  trace.writeChromeJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ph\": \"i\", \"s\": \"p\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 2}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"value\": 0}"), std::string::npos);
+}
+
+TEST(TraceTest, DeepSpansNestInsideBlockSpans) {
+  Device dev(ArchSpec::testTiny());
+  TraceRecorder trace;
+  dev.setTraceRecorder(&trace);
+  LaunchConfig config{2, 32};
+  config.profile.mode = simprof::ProfileMode::kOn;
+  auto stats = dev.launch(config, [](ThreadCtx& t) {
+    t.noteEnter(simprof::Construct::kSimdLoop, 4);
+    t.work(10);
+    t.noteExit();
+  });
+  ASSERT_TRUE(stats.isOk());
+  // Each block's representative thread contributes one nested span on
+  // the block's SM track, inside the block's own window.
+  int deep = 0;
+  for (const auto& e : trace.events()) {
+    if (e.phase != TraceRecorder::Phase::kComplete) continue;
+    if (e.name.rfind("simd_loop@4", 0) != 0) continue;
+    ++deep;
+    // "simd_loop@4 (b<N>)" -> the enclosing "block <N>" span.
+    const size_t open = e.name.find("(b");
+    ASSERT_NE(open, std::string::npos);
+    const std::string block_name =
+        "block " + e.name.substr(open + 2, e.name.size() - open - 3);
+    bool found = false;
+    for (const auto& blk : trace.events()) {
+      if (blk.name != block_name) continue;
+      found = true;
+      EXPECT_EQ(blk.track, e.track);
+      EXPECT_GE(e.startCycle, blk.startCycle);
+      EXPECT_LE(e.startCycle + e.durationCycles,
+                blk.startCycle + blk.durationCycles);
+    }
+    EXPECT_TRUE(found) << e.name;
+  }
+  EXPECT_EQ(deep, 2);
 }
 
 TEST(TraceTest, KernelNamesAreJsonEscaped) {

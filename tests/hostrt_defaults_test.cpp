@@ -29,7 +29,8 @@ namespace {
 using gpusim::ArchSpec;
 
 constexpr const char* kEnvVars[] = {"SIMTOMP_HOST_WORKERS", "SIMTOMP_CHECK",
-                                    "SIMTOMP_TUNE", "SIMTOMP_TUNE_CACHE"};
+                                    "SIMTOMP_TUNE", "SIMTOMP_TUNE_CACHE",
+                                    "SIMTOMP_PROF"};
 
 struct Channel {
   const char* name;
@@ -152,6 +153,31 @@ Channel tunerChannel() {
   return ch;
 }
 
+Channel profileChannel() {
+  Channel ch;
+  ch.name = "profile";
+  ch.prepBase = [](omprt::TargetConfig&) {};
+  ch.setEnv = [] { ::setenv("SIMTOMP_PROF", "1", 1); };  // on
+  // Only two non-auto modes exist, so the manager pins profiling *off*
+  // against the env's on — each stage still flips the observed value.
+  ch.setManager = [](DeviceManager& mgr) {
+    mgr.setDefaultProfile(simprof::ProfileConfig{simprof::ProfileMode::kOff});
+  };
+  ch.setExplicit = [](omprt::TargetConfig& c) {
+    c.profile.mode = simprof::ProfileMode::kOn;
+  };
+  ch.observe = [](DeviceManager& mgr, const omprt::TargetConfig& c) {
+    return static_cast<int>(mgr.effectiveConfig(0, c).profile.mode);
+  };
+  ch.expectDefault = [] {
+    return static_cast<int>(simprof::ProfileMode::kOff);
+  };
+  ch.expectEnv = static_cast<int>(simprof::ProfileMode::kOn);
+  ch.expectManager = static_cast<int>(simprof::ProfileMode::kOff);
+  ch.expectExplicit = static_cast<int>(simprof::ProfileMode::kOn);
+  return ch;
+}
+
 class DefaultsPrecedenceTest : public ::testing::TestWithParam<Channel> {
  protected:
   void SetUp() override {
@@ -212,7 +238,8 @@ TEST_P(DefaultsPrecedenceTest, ExplicitBeatsManagerBeatsEnv) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllChannels, DefaultsPrecedenceTest,
-    ::testing::Values(hostWorkersChannel(), checkChannel(), tunerChannel()),
+    ::testing::Values(hostWorkersChannel(), checkChannel(), tunerChannel(),
+                      profileChannel()),
     [](const ::testing::TestParamInfo<Channel>& param_info) {
       return std::string(param_info.param.name);
     });

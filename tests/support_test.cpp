@@ -1,7 +1,12 @@
 // Unit tests for src/support: Status/Result, Rng, LaneMask, logging.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "support/lane_mask.h"
@@ -224,6 +229,77 @@ TEST(LogTest, SetAndGetLevel) {
   setLogLevel(LogLevel::kError);
   EXPECT_EQ(logLevel(), LogLevel::kError);
   setLogLevel(before);
+}
+
+TEST(LogTest, ParseLevelGarbageFallsBackToWarn) {
+  EXPECT_EQ(parseLogLevel(""), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel(" "), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("debugx"), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("1"), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("warn "), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("\ttrace"), LogLevel::kWarn);
+}
+
+TEST(LogTest, ParseLevelIsCaseInsensitive) {
+  EXPECT_EQ(parseLogLevel("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(parseLogLevel("tRaCe"), LogLevel::kTrace);
+  EXPECT_EQ(parseLogLevel("ErRoR"), LogLevel::kError);
+  EXPECT_EQ(parseLogLevel("OFF"), LogLevel::kOff);
+}
+
+TEST(LogTest, EnvVarSetsLevel) {
+  const LogLevel before = logLevel();
+  ::setenv("SIMTOMP_LOG", "debug", 1);
+  reinitLogFromEnvForTest();
+  EXPECT_EQ(logLevel(), LogLevel::kDebug);
+  ::setenv("SIMTOMP_LOG", "not-a-level", 1);
+  reinitLogFromEnvForTest();
+  EXPECT_EQ(logLevel(), LogLevel::kWarn);
+  ::unsetenv("SIMTOMP_LOG");
+  setLogLevel(before);
+}
+
+TEST(LogTest, SetLogFileRedirectsAndRestores) {
+  const std::string path = ::testing::TempDir() + "simtomp_log_test.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(setLogFile(path));
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kError);
+  SIMTOMP_ERROR("log-file marker %d", 42);
+  setLogLevel(before);
+  ASSERT_TRUE(setLogFile(""));  // back to stderr
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("log-file marker 42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, UnopenableLogFileKeepsStderr) {
+  EXPECT_FALSE(setLogFile("/nonexistent-dir/nope/log.txt"));
+}
+
+TEST(LogTest, EnvVarSetsLogFile) {
+  const LogLevel before = logLevel();
+  const std::string path = ::testing::TempDir() + "simtomp_log_env_test.txt";
+  std::remove(path.c_str());
+  ::setenv("SIMTOMP_LOG_FILE", path.c_str(), 1);
+  ::setenv("SIMTOMP_LOG", "error", 1);
+  reinitLogFromEnvForTest();
+  SIMTOMP_ERROR("env log-file marker");
+  ASSERT_TRUE(setLogFile(""));
+  ::unsetenv("SIMTOMP_LOG_FILE");
+  ::unsetenv("SIMTOMP_LOG");
+  setLogLevel(before);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("env log-file marker"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

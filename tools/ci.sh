@@ -27,6 +27,11 @@
 #          suites also re-run under TSan at 8 workers, and the
 #          resilience_overhead bench asserts the watchdog never
 #          perturbs modeled cycles.
+# Stage 7: observability guard; a profiled kernel runs at 1 and 8 host
+#          workers and the construct table, folded stacks and metrics
+#          dumps must be byte-identical; the deep trace must be valid
+#          JSON; the observability_overhead bench asserts profiling
+#          never perturbs KernelStats.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -112,5 +117,42 @@ echo "resilience reports byte-identical across reruns and worker counts"
 # The overhead bench aborts if the watchdog perturbs modeled cycles.
 (cd "${prefix}/bench" && ./resilience_overhead >/dev/null)
 echo "watchdog zero-perturbation guard passed"
+
+echo "=== stage 7: observability determinism + overhead guard ==="
+prof_cmd=("${prefix}/tools/simtomp_prof" ideal
+          "target teams distribute parallel for simd num_teams(64) \
+thread_limit(128) simdlen(8)")
+prof_a="${prefix}/prof-guard-a.txt"
+prof_b="${prefix}/prof-guard-b.txt"
+folded_a="${prefix}/prof-guard-a.folded"
+folded_b="${prefix}/prof-guard-b.folded"
+metrics_a="${prefix}/prof-guard-a.prom"
+metrics_b="${prefix}/prof-guard-b.prom"
+trace_json="${prefix}/prof-guard.trace.json"
+SIMTOMP_HOST_WORKERS=1 "${prof_cmd[@]}" --metrics "${metrics_a}" \
+  > "${prof_a}"
+SIMTOMP_HOST_WORKERS=8 "${prof_cmd[@]}" --metrics "${metrics_b}" \
+  > "${prof_b}"
+SIMTOMP_HOST_WORKERS=1 "${prof_cmd[@]}" --folded > "${folded_a}"
+SIMTOMP_HOST_WORKERS=8 "${prof_cmd[@]}" --folded > "${folded_b}"
+if ! cmp "${prof_a}" "${prof_b}"; then
+  echo "ci.sh: profile tables at 1 vs 8 host workers differ" >&2
+  exit 1
+fi
+if ! cmp "${folded_a}" "${folded_b}"; then
+  echo "ci.sh: folded stacks at 1 vs 8 host workers differ" >&2
+  exit 1
+fi
+if ! cmp "${metrics_a}" "${metrics_b}"; then
+  echo "ci.sh: metrics dumps at 1 vs 8 host workers differ" >&2
+  exit 1
+fi
+echo "profile/folded/metrics byte-identical across worker counts"
+SIMTOMP_HOST_WORKERS=8 "${prof_cmd[@]}" --trace "${trace_json}" >/dev/null
+python3 -m json.tool "${trace_json}" >/dev/null
+echo "deep trace is valid JSON"
+# The overhead bench aborts if profiling perturbs KernelStats.
+(cd "${prefix}/bench" && ./observability_overhead >/dev/null)
+echo "profiling zero-perturbation guard passed"
 
 echo "=== ci.sh: all stages passed ==="

@@ -14,6 +14,13 @@
 //                                       would resolve: tune mode, cache
 //                                       path, entry count, and hit/miss
 //                                       per demo kernel
+//   simtomp_info --prof               — how simprof (the profiler)
+//                                       would resolve for a launch in
+//                                       this environment
+//   simtomp_info --counters           — the per-launch event counters
+//                                       (KernelStats) with descriptions
+//   simtomp_info --metrics            — the process-wide metrics
+//                                       catalog (simprof registry)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +29,11 @@
 #include "gpusim/arch.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/occupancy.h"
+#include "gpusim/stats.h"
 #include "omprt/target.h"
 #include "simcheck/report.h"
+#include "simprof/metrics.h"
+#include "simprof/profile.h"
 #include "simtune/cache.h"
 #include "simtune/tuner.h"
 
@@ -164,6 +174,54 @@ void tuneInfo() {
   }
 }
 
+void profInfo() {
+  const char* env = std::getenv("SIMTOMP_PROF");
+  std::printf("simprof resolution for this environment:\n");
+  std::printf("  SIMTOMP_PROF             = %s\n",
+              env != nullptr ? env : "(unset)");
+  const simprof::ProfileResolution auto_mode =
+      simprof::resolveProfileMode(simprof::ProfileMode::kAuto);
+  std::printf("  default  %-6s launches  -> %-6s  [from %s]\n", "(auto)",
+              std::string(simprof::profileModeName(auto_mode.effective))
+                  .c_str(),
+              auto_mode.source);
+  for (const simprof::ProfileMode mode :
+       {simprof::ProfileMode::kOff, simprof::ProfileMode::kOn}) {
+    const simprof::ProfileResolution r = simprof::resolveProfileMode(mode);
+    std::printf("  explicit %-6s launches  -> %-6s  [from %s]\n",
+                std::string(simprof::profileModeName(mode)).c_str(),
+                std::string(simprof::profileModeName(r.effective)).c_str(),
+                r.source);
+  }
+  std::printf("accepted SIMTOMP_PROF values: 0/off, 1/on\n");
+  std::printf(
+      "SIMTOMP_METRICS=<path> dumps the metrics registry at exit\n");
+}
+
+// The next two render straight from the authoritative tables
+// (gpusim::counterName/counterDescription and simprof::allMetricDefs),
+// so this listing cannot drift from what the runtime records.
+void counterTable() {
+  std::printf("per-launch event counters (KernelStats.counters):\n");
+  std::printf("  %-22s %s\n", "name", "description");
+  for (size_t i = 0; i < gpusim::kNumCounters; ++i) {
+    const auto c = static_cast<gpusim::Counter>(i);
+    std::printf("  %-22s %s\n",
+                std::string(gpusim::counterName(c)).c_str(),
+                std::string(gpusim::counterDescription(c)).c_str());
+  }
+}
+
+void metricTable() {
+  std::printf("process-wide metrics (simprof registry):\n");
+  std::printf("  %-42s %-9s %s\n", "name", "type", "description");
+  for (const simprof::MetricDef& def : simprof::allMetricDefs()) {
+    std::printf("  %-42s %-9s %s\n", std::string(def.name).c_str(),
+                std::string(simprof::metricTypeName(def.type)).c_str(),
+                std::string(def.help).c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,8 +251,24 @@ int main(int argc, char** argv) {
     tuneInfo();
     return 0;
   }
+  if (std::strcmp(argv[1], "--prof") == 0 ||
+      std::strcmp(argv[1], "prof") == 0) {
+    profInfo();
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--counters") == 0 ||
+      std::strcmp(argv[1], "counters") == 0) {
+    counterTable();
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--metrics") == 0 ||
+      std::strcmp(argv[1], "metrics") == 0) {
+    metricTable();
+    return 0;
+  }
   std::fprintf(stderr,
                "usage: simtomp_info [occupancy <threads> [sharedBytes] | "
-               "groups <threads> | --check | --tune]\n");
+               "groups <threads> | --check | --tune | --prof | --counters | "
+               "--metrics]\n");
   return 2;
 }
