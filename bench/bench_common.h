@@ -90,14 +90,15 @@ inline void printTable(const char* title, const char* baseline_label,
 }
 
 /// Write every series printed so far to BENCH_<name>.json in the
-/// working directory (label → sim cycles, host ms, speedup). Call once
-/// at the end of each benchmark binary's main().
+/// working directory (label → sim cycles, host wall time, speedup,
+/// modeled-cycles-per-host-second throughput). Call once at the end of
+/// each benchmark binary's main().
 inline Status writeBenchJson(const char* name) {
   std::string out = "{\n  \"bench\": \"";
   detail::jsonEscapeTo(out, name);
   out += "\",\n  \"series\": [\n";
   const auto& log = detail::seriesLog();
-  char buf[160];
+  char buf[256];
   for (size_t s = 0; s < log.size(); ++s) {
     const detail::Series& series = log[s];
     out += "    {\"title\": \"";
@@ -110,13 +111,18 @@ inline Status writeBenchJson(const char* name) {
     out += "     \"rows\": [\n";
     for (size_t r = 0; r < series.rows.size(); ++r) {
       const Row& row = series.rows[r];
+      const double host_s = row.hostMs / 1000.0;
+      const double cycles_per_host_s =
+          host_s > 0.0 ? static_cast<double>(row.cycles) / host_s : 0.0;
       out += "       {\"label\": \"";
       detail::jsonEscapeTo(out, row.label);
       std::snprintf(buf, sizeof(buf),
                     "\", \"sim_cycles\": %llu, \"speedup\": %.6f, "
-                    "\"host_ms\": %.3f}%s\n",
+                    "\"host_ms\": %.3f, \"host_s\": %.6f, "
+                    "\"cycles_per_host_s\": %.1f}%s\n",
                     static_cast<unsigned long long>(row.cycles), row.speedup,
-                    row.hostMs, r + 1 < series.rows.size() ? "," : "");
+                    row.hostMs, host_s, cycles_per_host_s,
+                    r + 1 < series.rows.size() ? "," : "");
       out += buf;
     }
     out += "     ]}";

@@ -103,16 +103,20 @@ Result<gpusim::KernelStats> launchThreeLevel(gpusim::Device& device,
         const uint32_t begin = d.rowPtr.get(t, row);
         const uint32_t end = d.rowPtr.get(t, row + 1);
         if (useReduction) {
+          // Pure loads + fma: eligible for the convergence fast path
+          // whenever the launch runs full-SPMD parallel regions. The
+          // atomic variant (spmvElement) must stay unannotated.
           const double sum = dsl::simdReduceAdd(
               ctx, end - begin,
-              [&d, begin](OmpContext& inner, uint64_t k) -> double {
-                gpusim::ThreadCtx& it = inner.gpu();
-                const uint32_t col = d.colIdx.get(it, begin + k);
-                const double v = d.values.get(it, begin + k);
-                const double xv = d.x.get(it, col);
-                it.fma();
-                return v * xv;
-              });
+              dsl::convergent(
+                  [&d, begin](OmpContext& inner, uint64_t k) -> double {
+                    gpusim::ThreadCtx& it = inner.gpu();
+                    const uint32_t col = d.colIdx.get(it, begin + k);
+                    const double v = d.values.get(it, begin + k);
+                    const double xv = d.x.get(it, col);
+                    it.fma();
+                    return v * xv;
+                  }));
           if (ctx.simdGroupId() == 0) d.y.set(t, row, sum);
         } else {
           dsl::simd(ctx, end - begin,

@@ -27,6 +27,7 @@
 #include "loopir/canonical_loop.h"
 #include "loopir/globalize.h"
 #include "loopir/outline.h"
+#include "omprt/convergence.h"
 #include "omprt/omp_api.h"
 #include "omprt/runtime.h"
 #include "omprt/schedule.h"
@@ -76,6 +77,11 @@ struct LaunchSpec {
   uint64_t watchdogSteps = 0;
   /// Hierarchical profiling (simprof); kAuto consults SIMTOMP_PROF.
   simprof::ProfileConfig profile{};
+  /// Convergence fast path (batched lane execution for hazard-free SIMD
+  /// bodies); see omprt::TargetConfig::fastPath. kAuto consults
+  /// SIMTOMP_FAST (default on). Modeled results are bit-identical
+  /// either way — this trades only host wall-time.
+  omprt::FastPathMode fastPath = omprt::FastPathMode::kAuto;
 
   [[nodiscard]] omprt::TargetConfig targetConfig() const {
     omprt::TargetConfig config;
@@ -95,6 +101,7 @@ struct LaunchSpec {
     config.fault.spec = faultSpec;
     config.watchdogSteps = watchdogSteps;
     config.profile = profile;
+    config.fastPath = fastPath;
     return config;
   }
   /// Region-level parallel configuration. Auto fields (simdlen 0,
@@ -110,6 +117,61 @@ struct LaunchSpec {
 [[nodiscard]] constexpr ExecMode inferSpmd(bool tightly_nested) {
   return tightly_nested ? ExecMode::kSPMD : ExecMode::kGeneric;
 }
+
+// ---------------------------------------------------------------------
+// Body classification (convergence fast path)
+// ---------------------------------------------------------------------
+
+/// A loop body the front-end statically classified as *convergent*:
+/// free of barriers, cross-lane operations (shuffle / group reduce),
+/// atomics, and divergent branches. This is the stand-in for the
+/// compiler analysis described in DESIGN.md §3.6 — a real front-end
+/// would derive the property from the body's IR; here the author
+/// asserts it and the runtime *verifies* it (the first execution probes
+/// the body with hazard counting before trusting the declaration, and
+/// any hazard rejects the function permanently).
+template <typename Body>
+struct Convergent {
+  static constexpr bool kConvergentBody = true;
+  Body body;
+
+  // Trailing return type keeps the call SFINAE-friendly: the outline
+  // trampolines probe invocability with and without a payload pointer.
+  template <typename... Args>
+  auto operator()(Args&&... args)
+      -> decltype(this->body(std::forward<Args>(args)...)) {
+    return body(std::forward<Args>(args)...);
+  }
+};
+
+/// Wrap a simd body to declare it hazard-free. Keeps trivial
+/// copyability, so globalization in generic parallel mode still works.
+template <typename Body>
+[[nodiscard]] Convergent<std::decay_t<Body>> convergent(Body&& body) {
+  return {std::forward<Body>(body)};
+}
+
+namespace detail {
+
+template <typename T, typename = void>
+struct IsConvergentBody : std::false_type {};
+template <typename T>
+struct IsConvergentBody<T, std::void_t<decltype(T::kConvergentBody)>>
+    : std::bool_constant<T::kConvergentBody> {};
+
+/// classifyBody: the conservative front-end classification. Only bodies
+/// explicitly wrapped in dsl::convergent() are declared to the runtime;
+/// everything else stays unknown and earns eligibility (or rejection)
+/// through the runtime's hazard probe on first execution.
+template <typename BodyT, typename Fn>
+void classifyBody(Fn fn) {
+  if constexpr (IsConvergentBody<BodyT>::value) {
+    omprt::ConvergenceCache::global().declareConvergent(
+        reinterpret_cast<const void*>(fn));
+  }
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------
 // Region-level directives (call from inside a target region)
@@ -128,11 +190,13 @@ void simd(OmpContext& ctx, uint64_t trip, Body&& body,
     auto* promoted = static_cast<BodyT*>(
         globalizer.globalizeBytes(&body, sizeof(BodyT), alignof(BodyT)));
     auto outlined = loopir::outlineLoop(ctx, *promoted, registerInCascade);
+    detail::classifyBody<BodyT>(outlined.fn);
     omprt::rt::simd(ctx, outlined.fn, trip, outlined.payload.data(),
                     outlined.payload.size());
     return;  // globalizer releases the promoted copy here (region end)
   }
   auto outlined = loopir::outlineLoop(ctx, body, registerInCascade);
+  detail::classifyBody<BodyT>(outlined.fn);
   omprt::rt::simd(ctx, outlined.fn, trip, outlined.payload.data(),
                   outlined.payload.size());
 }
@@ -150,11 +214,13 @@ double simdReduceAdd(OmpContext& ctx, uint64_t trip, Body&& body,
         globalizer.globalizeBytes(&body, sizeof(BodyT), alignof(BodyT)));
     auto outlined =
         loopir::outlineReduceLoop(ctx, *promoted, registerInCascade);
+    detail::classifyBody<BodyT>(outlined.fn);
     return omprt::rt::simdLoopReduceAdd(ctx, outlined.fn, trip,
                                         outlined.payload.data(),
                                         outlined.payload.size());
   }
   auto outlined = loopir::outlineReduceLoop(ctx, body, registerInCascade);
+  detail::classifyBody<BodyT>(outlined.fn);
   return omprt::rt::simdLoopReduceAdd(ctx, outlined.fn, trip,
                                       outlined.payload.data(),
                                       outlined.payload.size());

@@ -42,8 +42,16 @@ void* tsanCurrentFiber() { return nullptr; }
 #endif
 }  // namespace
 
-Fiber::Fiber(size_t index, Entry entry, size_t stack_size)
-    : index_(index), entry_(std::move(entry)), stack_(stack_size) {
+Fiber::Fiber(size_t index, Entry entry, size_t stack_size,
+             char* external_stack)
+    : index_(index), entry_(std::move(entry)) {
+  if (external_stack != nullptr) {
+    stack_data_ = external_stack;
+  } else {
+    owned_stack_.resize(stack_size);
+    stack_data_ = owned_stack_.data();
+  }
+  stack_bytes_ = stack_size;
   tsan_fiber_ = tsanCreateFiber();
 }
 
@@ -65,7 +73,9 @@ void Fiber::trampoline() {
   SIMTOMP_CHECK(false, "resumed a finished fiber");
 }
 
-FiberScheduler::FiberScheduler(size_t stack_size) : stack_size_(stack_size) {
+FiberScheduler::FiberScheduler(size_t stack_size,
+                               StackAllocator stack_allocator)
+    : stack_size_(stack_size), stack_allocator_(std::move(stack_allocator)) {
   SIMTOMP_CHECK(stack_size_ >= 16 * 1024, "fiber stack too small to be safe");
 }
 
@@ -76,8 +86,10 @@ size_t FiberScheduler::spawn(Fiber::Entry entry) {
   SIMTOMP_CHECK(std::this_thread::get_id() == owner_thread_,
                 "spawn() off the scheduler's owning thread");
   const size_t index = fibers_.size();
+  char* external_stack =
+      stack_allocator_ ? stack_allocator_(stack_size_) : nullptr;
   fibers_.emplace_back(
-      new Fiber(index, std::move(entry), stack_size_));
+      new Fiber(index, std::move(entry), stack_size_, external_stack));
   return index;
 }
 
@@ -170,8 +182,8 @@ void FiberScheduler::switchToFiber(Fiber& f) {
   if (!f.started_) {
     f.started_ = true;
     getcontext(&f.context_);
-    f.context_.uc_stack.ss_sp = f.stack_.data();
-    f.context_.uc_stack.ss_size = f.stack_.size();
+    f.context_.uc_stack.ss_sp = f.stack_data_;
+    f.context_.uc_stack.ss_size = f.stack_bytes_;
     f.context_.uc_link = nullptr;  // fibers exit via switchToScheduler()
     makecontext(&f.context_, &Fiber::trampoline, 0);
   }

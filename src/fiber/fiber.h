@@ -51,13 +51,17 @@ class Fiber {
 
  private:
   friend class FiberScheduler;
-  Fiber(size_t index, Entry entry, size_t stack_size);
+  /// `external_stack` non-null: use that storage (size `stack_size`,
+  /// owned by the caller, e.g. an arena) instead of heap-allocating.
+  Fiber(size_t index, Entry entry, size_t stack_size, char* external_stack);
 
   static void trampoline();
 
   size_t index_;
   Entry entry_;
-  std::vector<char> stack_;
+  std::vector<char> owned_stack_;  ///< empty when the stack is external
+  char* stack_data_ = nullptr;
+  size_t stack_bytes_ = 0;
   ucontext_t context_{};
   FiberState state_ = FiberState::kReady;
   const void* wait_tag_ = nullptr;
@@ -74,7 +78,15 @@ class Fiber {
 /// must never migrate between host threads.
 class FiberScheduler {
  public:
-  explicit FiberScheduler(size_t stack_size = kDefaultStackSize);
+  /// Optional external stack storage: called once per spawn with the
+  /// stack size; must return `stack_size` writable bytes that outlive
+  /// the scheduler (e.g. arena memory). nullptr = heap-allocate per
+  /// fiber (the pre-arena behaviour; stacks are then zero-initialized,
+  /// external stacks are handed out as-is).
+  using StackAllocator = std::function<char*(size_t stack_size)>;
+
+  explicit FiberScheduler(size_t stack_size = kDefaultStackSize,
+                          StackAllocator stack_allocator = nullptr);
   ~FiberScheduler();
 
   FiberScheduler(const FiberScheduler&) = delete;
@@ -135,6 +147,7 @@ class FiberScheduler {
   [[nodiscard]] std::string describeFiberStates() const;
 
   size_t stack_size_;
+  StackAllocator stack_allocator_;
   std::thread::id owner_thread_ = std::this_thread::get_id();
   std::vector<std::unique_ptr<Fiber>> fibers_;
   ucontext_t scheduler_context_{};

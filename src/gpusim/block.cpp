@@ -6,6 +6,13 @@
 
 namespace simtomp::gpusim {
 
+// The arena hands ThreadCtx storage out by pointer bump and never runs
+// destructors; the context must not grow owning members.
+static_assert(std::is_trivially_destructible_v<ThreadCtx>,
+              "ThreadCtx lives in the block arena");
+static_assert(std::is_trivially_destructible_v<BatchPoint>,
+              "BatchPoint lives in the block arena");
+
 BlockEngine::BlockEngine(const ArchSpec& arch, const CostModel& cost,
                          DeviceMemory& global_memory, uint32_t block_id,
                          uint32_t num_blocks, uint32_t num_threads)
@@ -13,16 +20,26 @@ BlockEngine::BlockEngine(const ArchSpec& arch, const CostModel& cost,
       cost_(&cost),
       global_(&global_memory),
       block_id_(block_id),
-      shared_(arch.sharedMemPerBlock) {
+      shared_(arch.sharedMemPerBlock),
+      scheduler_(fiber::FiberScheduler::kDefaultStackSize,
+                 [this](size_t stack_size) {
+                   // Fiber stacks bump through the block arena (and its
+                   // thread-local pool of warm slabs) instead of the heap.
+                   return static_cast<char*>(
+                       arena_.arena().allocate(stack_size, 64));
+                 }) {
   SIMTOMP_CHECK(num_threads > 0, "block must have at least one thread");
   SIMTOMP_CHECK(num_threads <= arch.maxThreadsPerBlock,
                 "block exceeds maxThreadsPerBlock");
   const uint32_t num_warps = (num_threads + arch.warpSize - 1) / arch.warpSize;
   warps_.resize(num_warps);
-  threads_.reserve(num_threads);
+  num_threads_ = num_threads;
+  threads_ = static_cast<ThreadCtx*>(
+      arena_.arena().allocate(num_threads * sizeof(ThreadCtx),
+                              alignof(ThreadCtx)));
   for (uint32_t tid = 0; tid < num_threads; ++tid) {
-    threads_.emplace_back(std::make_unique<ThreadCtx>(
-        *this, cost, block_id, num_blocks, tid, num_threads, arch.warpSize));
+    ::new (static_cast<void*>(threads_ + tid)) ThreadCtx(
+        *this, cost, block_id, num_blocks, tid, num_threads, arch.warpSize);
     warps_[tid / arch.warpSize].memberMask |= LaneMask{1}
                                               << (tid % arch.warpSize);
   }
@@ -36,14 +53,16 @@ void BlockEngine::setChecker(simcheck::BlockChecker* checker) {
     checker_->setSharedRange(shared_.base(), shared_.capacity());
     checker_->setGlobalRange(global_->raw(0), global_->capacity());
   }
-  for (auto& t : threads_) t->setChecker(checker_);
+  for (uint32_t tid = 0; tid < num_threads_; ++tid) {
+    threads_[tid].setChecker(checker_);
+  }
 }
 
 void BlockEngine::setProfiler(simprof::BlockProfiler* profiler) {
   profiler_ = profiler;
-  for (auto& t : threads_) {
-    t->setProfile(profiler_ != nullptr ? &profiler_->thread(t->threadId())
-                                       : nullptr);
+  for (uint32_t tid = 0; tid < num_threads_; ++tid) {
+    threads_[tid].setProfile(profiler_ != nullptr ? &profiler_->thread(tid)
+                                                  : nullptr);
   }
 }
 
@@ -74,8 +93,8 @@ bool BlockEngine::faultFires(simfault::FaultKind kind) {
 Status BlockEngine::run(const Kernel& kernel) {
   simcheck::BlockChecker* checker = checker_;
   simprof::BlockProfiler* profiler = profiler_;
-  for (uint32_t tid = 0; tid < threads_.size(); ++tid) {
-    ThreadCtx* t = threads_[tid].get();
+  for (uint32_t tid = 0; tid < num_threads_; ++tid) {
+    ThreadCtx* t = &threads_[tid];
     scheduler_.spawn([&kernel, t, checker, profiler] {
       kernel(*t);
       if (checker != nullptr) checker->onThreadFinish(t->threadId());
@@ -97,10 +116,9 @@ Status BlockEngine::run(const Kernel& kernel) {
   for (uint32_t w = 0; w < warps_.size(); ++w) {
     uint64_t warp_busy = 0;
     const uint32_t lo = w * warp_size;
-    const uint32_t hi =
-        std::min<uint32_t>(lo + warp_size, static_cast<uint32_t>(threads_.size()));
+    const uint32_t hi = std::min<uint32_t>(lo + warp_size, num_threads_);
     for (uint32_t tid = lo; tid < hi; ++tid) {
-      const ThreadCtx& t = *threads_[tid];
+      const ThreadCtx& t = threads_[tid];
       busy_sum_ += t.busy();
       warp_busy = std::max(warp_busy, t.busy());
       max_thread_time_ = std::max(max_thread_time_, t.time());
@@ -158,6 +176,9 @@ void BlockEngine::arriveAtSync(ThreadCtx& t, SyncPoint& sp) {
 }
 
 void BlockEngine::warpBarrier(ThreadCtx& t, LaneMask mask, bool charged) {
+  // Covers syncWarp and, transitively, shuffle/ballot (both rendezvous
+  // here) for convergence-hazard classification.
+  t.noteHazard("warp barrier / cross-lane op");
   SIMTOMP_CHECK(laneIn(mask, t.laneId()),
                 "warp barrier mask excludes the calling lane");
   WarpState& warp = warps_[t.warpId()];
@@ -175,6 +196,7 @@ void BlockEngine::warpBarrier(ThreadCtx& t, LaneMask mask, bool charged) {
 }
 
 void BlockEngine::blockBarrier(ThreadCtx& t) {
+  t.noteHazard("block barrier");
   t.noteEnter(simprof::Construct::kBarrier);
   t.charge(Counter::kBlockSync, cost_->blockSync);
   if (checker_ != nullptr) {
@@ -183,6 +205,39 @@ void BlockEngine::blockBarrier(ThreadCtx& t) {
   }
   arriveAtSync(t, block_sync_);
   t.noteExit();
+}
+
+BatchPoint& BlockEngine::convergentBatchPoint(ThreadCtx& t, LaneMask mask) {
+  WarpState& warp = warps_[t.warpId()];
+  for (BatchPoint* bp : warp.batches) {
+    if (bp->mask == mask) return *bp;
+  }
+  BatchPoint* bp = arena_.arena().create<BatchPoint>();
+  bp->mask = mask;
+  bp->target = static_cast<uint32_t>(popcount(mask & warp.memberMask));
+  warp.batches.push_back(bp);
+  return *bp;
+}
+
+bool BlockEngine::convergentBatchArrive(BatchPoint& bp) {
+  bp.arrived += 1;
+  if (bp.arrived == bp.target) {
+    bp.arrived = 0;
+    return true;
+  }
+  scheduler_.block(&bp);
+  return false;
+}
+
+void BlockEngine::convergentBatchRelease(BatchPoint& bp) {
+  scheduler_.unblockAll(&bp);
+}
+
+void ThreadCtx::hazardForbidden(const char* what) {
+  throw StatusException(Status::failedPrecondition(
+      std::string("convergence fast path executed a hazard (") + what +
+      "); the body classification promised none — this is a simulator "
+      "bug, not a program bug"));
 }
 
 LaneMask BlockEngine::ballot(ThreadCtx& t, bool predicate, LaneMask mask) {

@@ -24,6 +24,7 @@
 #include "gpusim/memory.h"
 #include "gpusim/thread.h"
 #include "simfault/fault.h"
+#include "support/arena.h"
 #include "support/lane_mask.h"
 #include "support/status.h"
 
@@ -42,9 +43,22 @@ struct SyncPoint {
   std::array<uint64_t, 2> releaseTime{};
 };
 
+/// Rendezvous + result slot for one convergence fast-path batch (one
+/// (warp, mask) pair). The last lane to arrive becomes the *runner*: it
+/// executes the batched loop bodies for every lane, deposits per-lane
+/// results, and releases the others. Arena-allocated (stable address =
+/// fiber block tag); trivially destructible by construction.
+struct BatchPoint {
+  LaneMask mask = 0;
+  uint32_t target = 0;
+  uint32_t arrived = 0;
+  std::array<double, 64> result{};  ///< per-lane reduce results (by lane id)
+};
+
 struct WarpState {
   LaneMask memberMask = 0;                 ///< lanes that exist in the block
   std::vector<std::unique_ptr<SyncPoint>> syncs;  ///< stable addresses (block tags)
+  std::vector<BatchPoint*> batches;        ///< arena-owned, keyed by mask
   std::array<uint64_t, 64> exchange{};     ///< shuffle/ballot staging
 };
 
@@ -92,13 +106,35 @@ class BlockEngine {
   [[nodiscard]] DeviceMemory& globalMemory() { return *global_; }
   [[nodiscard]] const ArchSpec& arch() const { return *arch_; }
   [[nodiscard]] fiber::FiberScheduler& scheduler() { return scheduler_; }
+  /// Per-block bump arena; everything created here dies with the block.
+  /// The engine's own state (fiber stacks, thread contexts, batch
+  /// points) already lives here; the OpenMP runtime parks its TeamState
+  /// in it too.
+  [[nodiscard]] support::Arena& arena() { return arena_.arena(); }
   /// Grid position of this block; under host-parallel execution the
   /// setup hook keys per-block state slots off this.
   [[nodiscard]] uint32_t blockId() const { return block_id_; }
-  [[nodiscard]] ThreadCtx& thread(uint32_t tid) { return *threads_[tid]; }
-  [[nodiscard]] uint32_t numThreads() const {
-    return static_cast<uint32_t>(threads_.size());
+  [[nodiscard]] ThreadCtx& thread(uint32_t tid) { return threads_[tid]; }
+  [[nodiscard]] uint32_t numThreads() const { return num_threads_; }
+  /// Lanes of warp `w` that exist in the block.
+  [[nodiscard]] LaneMask warpMemberMask(uint32_t w) const {
+    return warps_[w].memberMask;
   }
+  /// True when simfault armed anything for this block — the convergence
+  /// fast path is disabled then, so injected sync faults keep observing
+  /// the exact lane-per-fiber arrival sequence they were tuned against.
+  [[nodiscard]] bool hasArmedFault() const { return fault_ != nullptr; }
+
+  // ---- Convergence fast path rendezvous ----
+  /// The batch point for (this warp, mask); created in the arena on
+  /// first use.
+  BatchPoint& convergentBatchPoint(ThreadCtx& t, LaneMask mask);
+  /// Arrive at a batch point. Returns true for the runner (the last
+  /// arrival, mirroring arriveAtSync's release rule); everyone else
+  /// blocks until convergentBatchRelease and returns false.
+  bool convergentBatchArrive(BatchPoint& bp);
+  /// Wake every lane parked at `bp` (runner only, after the batch).
+  void convergentBatchRelease(BatchPoint& bp);
 
   /// Arbitrary per-block runtime state slot (the OpenMP runtime parks its
   /// TeamState here so device code can reach it from any thread).
@@ -148,8 +184,12 @@ class BlockEngine {
   DeviceMemory* global_;
   uint32_t block_id_;
   SharedMemory shared_;
+  // Declared before the scheduler and thread contexts: both allocate
+  // from it (fiber stacks / ThreadCtx array), so it must outlive them.
+  support::ArenaLease arena_;
   fiber::FiberScheduler scheduler_;
-  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  ThreadCtx* threads_ = nullptr;  ///< arena array, length num_threads_
+  uint32_t num_threads_ = 0;
   std::vector<WarpState> warps_;
   SyncPoint block_sync_;
   void* user_state_ = nullptr;

@@ -28,6 +28,16 @@ namespace simtomp::gpusim {
 
 class BlockEngine;
 
+/// How a thread reacts to "convergence hazards" — operations (barriers,
+/// cross-lane ops, atomics, divergent branches) whose timing or result
+/// can depend on lane interleaving, making a loop body ineligible for
+/// the batched convergence fast path.
+///   kNone   — normal execution, hazards are not tracked (zero cost).
+///   kProbe  — count hazards (slow-path probe run of a candidate body).
+///   kForbid — a hazard is a charging bug: the fast path promised the
+///             body was convergent; abort the block with a diagnostic.
+enum class HazardMode : uint8_t { kNone, kProbe, kForbid };
+
 class ThreadCtx {
  public:
   ThreadCtx(BlockEngine& block, const CostModel& cost, uint32_t block_id,
@@ -76,7 +86,34 @@ class ThreadCtx {
   // ---- Compute charging ----
   void work(uint64_t alu_ops) { charge(Counter::kAluWork, alu_ops * cost_->aluOp, alu_ops); }
   void fma(uint64_t n = 1) { charge(Counter::kAluWork, n * cost_->fmaOp, n); }
-  void branch() { charge(Counter::kAluWork, cost_->divergeBranch); }
+  void branch() {
+    noteHazard("divergent branch");
+    charge(Counter::kAluWork, cost_->divergeBranch);
+  }
+
+  // ---- Convergence-hazard tracking (fast-path classification) ----
+  void beginHazardProbe() {
+    hazard_mode_ = HazardMode::kProbe;
+    hazard_count_ = 0;
+  }
+  /// Ends a probe; returns true iff the probed code was hazard-free.
+  bool endHazardProbe() {
+    hazard_mode_ = HazardMode::kNone;
+    return hazard_count_ == 0;
+  }
+  /// Arm/disarm the kForbid guard around a batched fast-path body.
+  void setHazardGuard(bool forbid) {
+    hazard_mode_ = forbid ? HazardMode::kForbid : HazardMode::kNone;
+  }
+  /// Called at every hazard site; free when tracking is off.
+  void noteHazard(const char* what) {
+    if (hazard_mode_ == HazardMode::kNone) return;
+    if (hazard_mode_ == HazardMode::kProbe) {
+      ++hazard_count_;
+      return;
+    }
+    hazardForbidden(what);  // kForbid: [[noreturn]] via StatusException
+  }
 
   // ---- Memory charging (used by the typed spans) ----
   void chargeGlobalLoad(uint64_t n = 1) {
@@ -95,6 +132,9 @@ class ThreadCtx {
     charge(Counter::kLocalAccess, n * cost_->localAccess, n);
   }
   void chargeAtomic(uint64_t n = 1) {
+    // Atomics are hazards: their result (and for FP, the final value)
+    // depends on inter-lane ordering, which the batched path reorders.
+    noteHazard("atomic RMW");
     charge(Counter::kAtomicRmw, n * cost_->atomicRmw, n);
   }
 
@@ -158,6 +198,10 @@ class ThreadCtx {
   }
 
  private:
+  /// Out-of-line (block.cpp): throws a FAILED_PRECONDITION
+  /// StatusException naming the hazard — a fast-path classification bug.
+  [[noreturn]] void hazardForbidden(const char* what);
+
   BlockEngine* block_;
   const CostModel* cost_;
   uint32_t block_id_;
@@ -167,6 +211,8 @@ class ThreadCtx {
   uint32_t warp_size_;
   uint64_t time_ = 0;
   uint64_t busy_ = 0;
+  HazardMode hazard_mode_ = HazardMode::kNone;
+  uint64_t hazard_count_ = 0;
   CounterSet counters_;
   simcheck::BlockChecker* checker_ = nullptr;
   simprof::ThreadProfile* profile_ = nullptr;

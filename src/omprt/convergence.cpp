@@ -1,0 +1,67 @@
+#include "omprt/convergence.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace simtomp::omprt {
+
+bool resolveFastPath(FastPathMode mode) {
+  switch (mode) {
+    case FastPathMode::kOn:
+      return true;
+    case FastPathMode::kOff:
+      return false;
+    case FastPathMode::kAuto:
+      break;
+  }
+  if (const char* env = std::getenv("SIMTOMP_FAST")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "false") == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ConvergenceCache& ConvergenceCache::global() {
+  static ConvergenceCache cache;
+  return cache;
+}
+
+void ConvergenceCache::declareConvergent(const void* fn) {
+  std::unique_lock lock(mutex_);
+  Entry& entry = entries_[fn];
+  // A recorded hazard outranks the promise: the probe saw the body do
+  // something batching cannot reproduce.
+  if (entry.verdict == Verdict::kUnknown) entry.verdict = Verdict::kDeclared;
+}
+
+ConvergenceCache::Verdict ConvergenceCache::lookup(const void* fn) const {
+  std::shared_lock lock(mutex_);
+  const auto it = entries_.find(fn);
+  return it == entries_.end() ? Verdict::kUnknown : it->second.verdict;
+}
+
+void ConvergenceCache::reportProbe(const void* fn, bool clean,
+                                   uint32_t group_size) {
+  std::unique_lock lock(mutex_);
+  Entry& entry = entries_[fn];
+  if (entry.verdict != Verdict::kUnknown) return;  // already settled
+  if (!clean) {
+    entry.verdict = Verdict::kRejected;
+    entry.cleanLanes = 0;
+    return;
+  }
+  // Promote once a full group's worth of lanes ran the body hazard-free.
+  // Lanes with zero iterations never report, so a body that only ever
+  // sees empty loops stays kUnknown rather than being promoted untested.
+  if (++entry.cleanLanes >= group_size) entry.verdict = Verdict::kEligible;
+}
+
+void ConvergenceCache::clearForTest() {
+  std::unique_lock lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace simtomp::omprt

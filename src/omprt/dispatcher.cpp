@@ -1,11 +1,43 @@
 #include "omprt/dispatcher.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace simtomp::omprt {
 
+namespace {
+
+// Per-host-thread cache of resolved cascade hits. Safe because the
+// cascade is append-only between clear()s: once a function has a
+// position, every future lookup agrees, so a stale cache can only be
+// *missing* entries, never wrong ones. Keyed additionally by the
+// dispatcher instance and its generation so tests that clear() or use
+// private dispatchers do not see leftovers.
+struct TlsDispatchCache {
+  const void* owner = nullptr;
+  uint64_t generation = 0;
+  std::unordered_map<const void*, uint64_t> positions;
+};
+
+TlsDispatchCache& tlsCache() {
+  thread_local TlsDispatchCache cache;
+  return cache;
+}
+
+}  // namespace
+
 void Dispatcher::registerOutlined(const void* fn) {
   if (fn == nullptr) return;
+  {
+    // Registration is idempotent and hot (outline helpers re-register
+    // per call); a cached hit means this fn is already in the cascade.
+    TlsDispatchCache& cache = tlsCache();
+    if (cache.owner == this &&
+        cache.generation == generation_.load(std::memory_order_acquire) &&
+        cache.positions.count(fn) != 0) {
+      return;
+    }
+  }
   std::unique_lock<std::shared_mutex> lock(mutex_);
   if (std::find(known_.begin(), known_.end(), fn) != known_.end()) return;
   if (known_.size() >= kMaxCascade) return;
@@ -15,6 +47,7 @@ void Dispatcher::registerOutlined(const void* fn) {
 void Dispatcher::clear() {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   known_.clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 size_t Dispatcher::size() const {
@@ -22,24 +55,37 @@ size_t Dispatcher::size() const {
   return known_.size();
 }
 
-bool Dispatcher::isKnown(const void* fn) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return std::find(known_.begin(), known_.end(), fn) != known_.end();
-}
+bool Dispatcher::isKnown(const void* fn) const { return prepare(fn).known; }
 
-bool Dispatcher::chargeDispatch(gpusim::ThreadCtx& t, const void* fn) const {
+DispatchPlan Dispatcher::lookupLocked(const void* fn) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = std::find(known_.begin(), known_.end(), fn);
+  DispatchPlan plan;
   if (it != known_.end()) {
-    // One compare per cascade entry traversed before the hit.
-    const auto position =
-        static_cast<uint64_t>(std::distance(known_.begin(), it));
-    t.charge(gpusim::Counter::kDispatchCascade,
-             t.cost().dispatchCascade + position * t.cost().aluOp);
-    return true;
+    plan.known = true;
+    plan.position = static_cast<uint64_t>(std::distance(known_.begin(), it));
   }
-  t.charge(gpusim::Counter::kDispatchIndirect, t.cost().dispatchIndirect);
-  return false;
+  return plan;
+}
+
+DispatchPlan Dispatcher::prepare(const void* fn) const {
+  TlsDispatchCache& cache = tlsCache();
+  const uint64_t generation = generation_.load(std::memory_order_acquire);
+  if (cache.owner != this || cache.generation != generation) {
+    cache.owner = this;
+    cache.generation = generation;
+    cache.positions.clear();
+  } else {
+    const auto it = cache.positions.find(fn);
+    if (it != cache.positions.end()) {
+      return DispatchPlan{true, it->second};
+    }
+  }
+  const DispatchPlan plan = lookupLocked(fn);
+  // Only hits are cacheable: a miss can become a hit after another
+  // block registers the function.
+  if (plan.known) cache.positions.emplace(fn, plan.position);
+  return plan;
 }
 
 Dispatcher& Dispatcher::global() {

@@ -9,6 +9,7 @@
 // a larger indirect-call cost on a miss.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <shared_mutex>
 #include <vector>
@@ -17,6 +18,25 @@
 #include "omprt/modes.h"
 
 namespace simtomp::omprt {
+
+/// A resolved dispatch decision for one outlined function: whether the
+/// cascade knows it and at which position. Hot loops prepare() this
+/// once per launch-site and then charge per iteration without touching
+/// the dispatcher's lock again (cascade positions are stable: the
+/// registry is append-only between clear()s).
+struct DispatchPlan {
+  bool known = false;
+  uint64_t position = 0;
+
+  void charge(gpusim::ThreadCtx& t) const {
+    if (known) {
+      t.charge(gpusim::Counter::kDispatchCascade,
+               t.cost().dispatchCascade + position * t.cost().aluOp);
+    } else {
+      t.charge(gpusim::Counter::kDispatchIndirect, t.cost().dispatchIndirect);
+    }
+  }
+};
 
 /// Thread-safe: outlined regions register from device code, which under
 /// host-parallel block execution runs on many worker threads at once.
@@ -38,17 +58,32 @@ class Dispatcher {
   [[nodiscard]] size_t size() const;
   [[nodiscard]] bool isKnown(const void* fn) const;
 
+  /// Resolve `fn` against the cascade once; the returned plan charges
+  /// without locking. Hits are served from a per-host-thread cache (a
+  /// cascade position never changes once assigned); misses re-consult
+  /// the registry, since a later registration can turn them into hits.
+  [[nodiscard]] DispatchPlan prepare(const void* fn) const;
+
   /// Charge the dispatch cost for calling `fn`: a cascade of pointer
   /// compares on a hit (cost grows with cascade position), or the
   /// indirect-call penalty on a miss. Returns true on a cascade hit.
-  bool chargeDispatch(gpusim::ThreadCtx& t, const void* fn) const;
+  bool chargeDispatch(gpusim::ThreadCtx& t, const void* fn) const {
+    const DispatchPlan plan = prepare(fn);
+    plan.charge(t);
+    return plan.known;
+  }
 
   /// Process-wide dispatcher used by the runtime entry points.
   static Dispatcher& global();
 
  private:
+  [[nodiscard]] DispatchPlan lookupLocked(const void* fn) const;
+
   mutable std::shared_mutex mutex_;
   std::vector<const void*> known_;
+  /// Bumped by clear() so the per-thread position caches drop entries
+  /// from a previous registry incarnation (tests clear between cases).
+  std::atomic<uint64_t> generation_{1};
 };
 
 /// RAII registration for tests and outlined-region factories.

@@ -1,8 +1,10 @@
 #include "omprt/runtime.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 
+#include "omprt/convergence.h"
 #include "support/log.h"
 
 namespace simtomp::omprt::rt {
@@ -42,32 +44,51 @@ class ConstructSpan {
 
 /// Per-lane accumulate phase of a reducing simd loop (shared by the
 /// leader/SPMD path and the worker state machine so barrier counts
-/// match exactly).
-double reduceLoopLocal(OmpContext& ctx, ReduceBodyF64 fn, uint64_t trip,
-                       void** args) {
+/// match exactly). `probed` additionally runs the convergence-hazard
+/// probe around every body call (zero modeled cost) and reports the
+/// outcome to the ConvergenceCache — the dynamic half of the fast-path
+/// body classification.
+double reduceLoopLocalImpl(OmpContext& ctx, ReduceBodyF64 fn, uint64_t trip,
+                           void** args, bool probed) {
   gpusim::ThreadCtx& t = ctx.gpu();
   uint64_t iv = ctx.simdGroupId();
   t.chargeLocal();
   syncSimdGroup(ctx);
   const uint32_t stride = ctx.simdGroupSize();
-  const Dispatcher& dispatcher = Dispatcher::global();
   // Known outlined bodies: the compiler hoists the if-cascade out of
   // the loop and inlines the body (one-time cost). Unknown bodies pay
-  // an indirect call every iteration (paper section 5.5).
-  const bool inlined =
-      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
-  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  // an indirect call every iteration (paper section 5.5). prepare()
+  // resolves the cascade once; iterations charge without locking.
+  const DispatchPlan plan =
+      Dispatcher::global().prepare(reinterpret_cast<const void*>(fn));
+  if (plan.known) plan.charge(t);
   double acc = 0.0;
+  bool clean = true;
+  bool ran = false;
   while (iv < trip) {
-    if (!inlined) {
-      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+    if (!plan.known) plan.charge(t);
+    if (probed) {
+      ran = true;
+      t.beginHazardProbe();
     }
     acc += fn(ctx, iv, args);
+    if (probed) clean = t.endHazardProbe() && clean;
     t.fma();
     iv += stride;
     t.work(2);
   }
+  if (probed && ran) {
+    // Only lanes that executed the body vote; an always-empty loop must
+    // not promote a body nobody has ever actually run.
+    ConvergenceCache::global().reportProbe(reinterpret_cast<const void*>(fn),
+                                           clean, ctx.simdGroupSize());
+  }
   return acc;
+}
+
+double reduceLoopLocal(OmpContext& ctx, ReduceBodyF64 fn, uint64_t trip,
+                       void** args) {
+  return reduceLoopLocalImpl(ctx, fn, trip, args, /*probed=*/false);
 }
 
 /// Shared worker/leader body for executing one published simd work item
@@ -120,6 +141,273 @@ void chargeLaneUtilization(OmpContext& ctx, uint64_t trip) {
   gpusim::ThreadCtx& t = ctx.gpu();
   t.charge(Counter::kSimdLaneRounds, 0, lane_rounds);
   t.charge(Counter::kSimdIdleLaneRounds, 0, lane_rounds - trip);
+}
+
+/// Strided __simd_loop with optional convergence-hazard probing; the
+/// public workshareLoopSimd wraps the unprobed variant.
+void workshareLoopSimdImpl(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount,
+                           void** args, bool probed) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  uint64_t iv = ctx.simdGroupId();
+  t.chargeLocal();
+  syncSimdGroup(ctx);
+  const uint32_t stride = ctx.simdGroupSize();
+  const DispatchPlan plan =
+      Dispatcher::global().prepare(reinterpret_cast<const void*>(fn));
+  if (plan.known) plan.charge(t);
+  bool clean = true;
+  bool ran = false;
+  while (iv < tripCount) {
+    if (!plan.known) plan.charge(t);
+    if (probed) {
+      ran = true;
+      t.beginHazardProbe();
+    }
+    fn(ctx, iv, args);
+    if (probed) clean = t.endHazardProbe() && clean;
+    iv += stride;
+    t.work(2);  // induction update + bound check
+  }
+  if (probed && ran) {
+    ConvergenceCache::global().reportProbe(reinterpret_cast<const void*>(fn),
+                                           clean, ctx.simdGroupSize());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Convergence fast path: when every lane of a SIMD group executes the
+// same hazard-free loop body (no barrier, cross-lane op, atomic or
+// divergent branch), the group's per-lane loops are executed back to
+// back in a tight host loop on ONE fiber — the last lane to arrive at
+// the construct (the "runner") replays, for each lane in ascending
+// order, the exact charge/profile/checker event sequence the
+// lane-per-fiber path produces, so modeled cycles, counters, traces,
+// profiles and simcheck verdicts are bit-identical; only the
+// fiber-switch host cost disappears. See DESIGN.md section 3.6.
+// ---------------------------------------------------------------------
+
+/// Everything the batched runner needs about the convergent group.
+struct BatchGroup {
+  gpusim::BlockEngine* eng = nullptr;
+  TeamState* ts = nullptr;
+  gpusim::BatchPoint* bp = nullptr;
+  LaneMask mask = 0;
+  uint32_t groupSize = 0;
+  uint32_t firstTid = 0;   ///< thread id of the group's lane 0
+  uint32_t laneBase = 0;   ///< warp lane of the group's lane 0
+  uint32_t warpId = 0;
+  uint32_t warpBase = 0;
+  simcheck::BlockChecker* checker = nullptr;
+
+  [[nodiscard]] gpusim::ThreadCtx& lane(uint32_t i) const {
+    return eng->thread(firstTid + i);
+  }
+};
+
+BatchGroup makeBatchGroup(OmpContext& ctx) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  BatchGroup g;
+  g.eng = &t.block();
+  g.ts = &ctx.team();
+  g.mask = ctx.simdMask();
+  g.bp = &g.eng->convergentBatchPoint(t, g.mask);
+  g.groupSize = ctx.simdGroupSize();
+  g.firstTid = ctx.simdGroup() * g.groupSize;
+  g.laneBase = (t.laneId() / g.groupSize) * g.groupSize;
+  g.warpId = t.warpId();
+  g.warpBase = g.warpId * t.warpSize();
+  g.checker = t.checker();
+  return g;
+}
+
+/// Close a barrier the group is collectively inside: align every lane
+/// to the max arrival time (the slow path's SyncPoint release rule)
+/// and pop its kBarrier span, in ascending lane order.
+void batchAlignAndExit(const BatchGroup& g) {
+  uint64_t release = 0;
+  for (uint32_t i = 0; i < g.groupSize; ++i) {
+    release = std::max(release, g.lane(i).time());
+  }
+  for (uint32_t i = 0; i < g.groupSize; ++i) {
+    g.lane(i).alignTimeTo(release);
+    g.lane(i).noteExit();
+  }
+}
+
+/// Replay, for every lane in ascending order, the exact event sequence
+/// BlockEngine::warpBarrier produces: enter span, kWarpSync charge,
+/// checker arrival, release-time alignment, exit span.
+void emulateGroupBarrier(const BatchGroup& g, bool charged) {
+  for (uint32_t i = 0; i < g.groupSize; ++i) {
+    gpusim::ThreadCtx& lane = g.lane(i);
+    lane.noteEnter(simprof::Construct::kBarrier);
+    lane.charge(Counter::kWarpSync, charged ? lane.cost().warpSync : 0);
+    if (g.checker != nullptr) {
+      g.checker->onSyncArrive(lane.threadId(), g.bp, g.warpBase, g.mask,
+                              g.warpId, /*is_block=*/false);
+    }
+  }
+  batchAlignAndExit(g);
+}
+
+/// Per-lane entry of a batched simd construct, on the lane's own fiber:
+/// charge exactly what the slow path charges up to and including the
+/// prologue group barrier's *arrival*, then rendezvous at the batch
+/// point. Returns true for the runner (the last arrival); every other
+/// lane blocks here and wakes only after the runner replayed the whole
+/// construct on its behalf.
+bool arriveAtBatch(OmpContext& ctx, const BatchGroup& g) {
+  gpusim::ThreadCtx& t = ctx.gpu();
+  t.chargeLocal();  // iv = simdGroupId()
+  t.noteEnter(simprof::Construct::kBarrier);
+  t.charge(Counter::kWarpSync,
+           g.ts->archHasWarpBarrier ? t.cost().warpSync : 0);
+  if (g.checker != nullptr) {
+    g.checker->onSyncArrive(t.threadId(), g.bp, g.warpBase, g.mask, g.warpId,
+                            /*is_block=*/false);
+  }
+  return g.eng->convergentBatchArrive(*g.bp);
+}
+
+/// Runner core: finish the prologue barrier, then execute `perLane`
+/// (the lane's whole share of the iteration space) for each lane in
+/// ascending order under the kForbid hazard guard, with simcheck's
+/// convergent-batch read dedupe active.
+template <typename PerLane>
+void runLanesBatched(OmpContext& ctx, const BatchGroup& g,
+                     const void* fn_key, const PerLane& perLane) {
+  batchAlignAndExit(g);  // prologue barrier release (T0)
+  const DispatchPlan plan = Dispatcher::global().prepare(fn_key);
+  if (g.checker != nullptr) g.checker->beginConvergentBatch();
+  for (uint32_t i = 0; i < g.groupSize; ++i) {
+    gpusim::ThreadCtx& lane = g.lane(i);
+    OmpContext lane_ctx(lane, *g.ts);
+    lane_ctx.enterParallel(ctx.parallelConfig(), ctx.numThreads());
+    if (plan.known) plan.charge(lane);
+    lane.setHazardGuard(true);
+    perLane(lane_ctx, lane, plan);
+    lane.setHazardGuard(false);
+  }
+  if (g.checker != nullptr) g.checker->endConvergentBatch();
+}
+
+/// Batched __simd_loop: bit-identical stats to
+/// workshareLoopSimd + syncSimdGroup on the lane-per-fiber path.
+void runSimdLoopBatched(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount,
+                        void** args) {
+  const BatchGroup g = makeBatchGroup(ctx);
+  if (!arriveAtBatch(ctx, g)) return;  // runner did our share
+  runLanesBatched(
+      ctx, g, reinterpret_cast<const void*>(fn),
+      [&](OmpContext& lane_ctx, gpusim::ThreadCtx& lane,
+          const DispatchPlan& plan) {
+        uint64_t iv = lane_ctx.simdGroupId();
+        while (iv < tripCount) {
+          if (!plan.known) plan.charge(lane);
+          fn(lane_ctx, iv, args);
+          iv += g.groupSize;
+          lane.work(2);  // induction update + bound check
+        }
+      });
+  // rt::simd's closing syncSimdGroup.
+  emulateGroupBarrier(g, g.ts->archHasWarpBarrier);
+  g.eng->convergentBatchRelease(*g.bp);
+}
+
+/// Batched reducing simd loop: accumulate per lane, then replay the
+/// simdReduceAdd butterfly stage by stage (shuffle charge + two charged
+/// barriers + fma per lane per stage). Every lane's total lands in the
+/// batch point's result slot; woken lanes pick theirs up on return.
+double runSimdReduceBatched(OmpContext& ctx, ReduceBodyF64 fn,
+                            uint64_t tripCount, void** args) {
+  const BatchGroup g = makeBatchGroup(ctx);
+  gpusim::ThreadCtx& t = ctx.gpu();
+  if (!arriveAtBatch(ctx, g)) return g.bp->result[t.laneId()];
+  std::array<double, 64> values{};
+  runLanesBatched(
+      ctx, g, reinterpret_cast<const void*>(fn),
+      [&](OmpContext& lane_ctx, gpusim::ThreadCtx& lane,
+          const DispatchPlan& plan) {
+        uint64_t iv = lane_ctx.simdGroupId();
+        double acc = 0.0;
+        while (iv < tripCount) {
+          if (!plan.known) plan.charge(lane);
+          acc += fn(lane_ctx, iv, args);
+          lane.fma();
+          iv += g.groupSize;
+          lane.work(2);
+        }
+        values[lane.laneId()] = acc;
+      });
+  // Butterfly all-reduce. Group masks are power-of-two aligned, so
+  // lane ^ offset stays inside the group for every stage.
+  for (uint32_t offset = g.groupSize / 2; offset > 0; offset /= 2) {
+    for (uint32_t i = 0; i < g.groupSize; ++i) {
+      gpusim::ThreadCtx& lane = g.lane(i);
+      lane.charge(Counter::kShuffle, lane.cost().aluOp);
+    }
+    emulateGroupBarrier(g, /*charged=*/true);  // publish exchange slots
+    std::array<double, 64> fetched{};
+    for (uint32_t i = 0; i < g.groupSize; ++i) {
+      const uint32_t lane_id = g.laneBase + i;
+      fetched[lane_id] = values[lane_id ^ offset];
+    }
+    emulateGroupBarrier(g, /*charged=*/true);  // keep slots stable
+    for (uint32_t i = 0; i < g.groupSize; ++i) {
+      values[g.laneBase + i] += fetched[g.laneBase + i];
+      g.lane(i).fma();
+    }
+  }
+  for (uint32_t i = 0; i < g.groupSize; ++i) {
+    g.bp->result[g.laneBase + i] = values[g.laneBase + i];
+  }
+  // rt::simdLoopReduceAdd's closing syncSimdGroup.
+  emulateGroupBarrier(g, g.ts->archHasWarpBarrier);
+  g.eng->convergentBatchRelease(*g.bp);
+  return values[t.laneId()];
+}
+
+/// Launch/region/group-shape gate for the fast path. Every input is
+/// identical across the lanes of one group, so the whole group always
+/// agrees — a split decision would deadlock the rendezvous.
+bool fastPathEligible(OmpContext& ctx) {
+  const TeamState& ts = ctx.team();
+  if (!ts.fastPathEnabled) return false;
+  // Generic mode routes bodies through the worker state machine; the
+  // batch protocol only models the SPMD "all lanes call" shape.
+  if (!ctx.parallelIsSPMD()) return false;
+  const uint32_t group_size = ctx.simdGroupSize();
+  if (group_size <= 1) return false;
+  gpusim::ThreadCtx& t = ctx.gpu();
+  const LaneMask mask = ctx.simdMask();
+  // Full convergence: every lane of the group must exist in the block.
+  return (mask & t.block().warpMemberMask(t.warpId())) == mask;
+}
+
+/// Resolve the global ConvergenceCache verdict for `fn` once per block
+/// and pin it in the TeamState memo: the global verdict may flip
+/// mid-kernel (another block's probe promotes the body), and two lanes
+/// of one group reading different verdicts would rendezvous at
+/// different sync objects and deadlock. All of a block's fibers share
+/// one host thread, so the memo needs no lock.
+TeamState::FastDecision resolveFastDecision(TeamState& ts, const void* fn) {
+  const auto it = ts.fastPathMemo.find(fn);
+  if (it != ts.fastPathMemo.end()) return it->second;
+  TeamState::FastDecision decision = TeamState::FastDecision::kSlow;
+  switch (ConvergenceCache::global().lookup(fn)) {
+    case ConvergenceCache::Verdict::kDeclared:
+    case ConvergenceCache::Verdict::kEligible:
+      decision = TeamState::FastDecision::kFast;
+      break;
+    case ConvergenceCache::Verdict::kRejected:
+      decision = TeamState::FastDecision::kSlow;
+      break;
+    case ConvergenceCache::Verdict::kUnknown:
+      decision = TeamState::FastDecision::kProbe;
+      break;
+  }
+  ts.fastPathMemo.emplace(fn, decision);
+  return decision;
 }
 
 /// Fig. 3 core: how one worker-capable thread executes a parallel
@@ -258,6 +546,19 @@ void simd(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount, void** args,
 
   if (ctx.parallelIsSPMD()) {
     // All lanes hold the loop description locally: no communication.
+    if (fastPathEligible(ctx)) {
+      switch (resolveFastDecision(ts, reinterpret_cast<const void*>(fn))) {
+        case TeamState::FastDecision::kFast:
+          runSimdLoopBatched(ctx, fn, tripCount, args);
+          return;
+        case TeamState::FastDecision::kProbe:
+          workshareLoopSimdImpl(ctx, fn, tripCount, args, /*probed=*/true);
+          syncSimdGroup(ctx);
+          return;
+        case TeamState::FastDecision::kSlow:
+          break;
+      }
+    }
     workshareLoopSimd(ctx, fn, tripCount, args);
     syncSimdGroup(ctx);
     return;
@@ -296,14 +597,11 @@ void workshareFor(OmpContext& ctx, uint64_t tripCount, LoopBodyFn fn,
   if (ctx.isSimdGroupLeader()) t.charge(Counter::kWorkshareLoop, 0);
   const uint64_t id = ctx.threadNum();
   const uint64_t n = ctx.numThreads();
-  const Dispatcher& dispatcher = Dispatcher::global();
-  const bool inlined =
-      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
-  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  const DispatchPlan plan =
+      Dispatcher::global().prepare(reinterpret_cast<const void*>(fn));
+  if (plan.known) plan.charge(t);
   for (uint64_t iv = id; iv < tripCount; iv += n) {
-    if (!inlined) {
-      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
-    }
+    if (!plan.known) plan.charge(t);
     fn(ctx, iv, args);
     t.work(2);  // induction update + bound check
   }
@@ -318,14 +616,11 @@ void workshareForScheduled(OmpContext& ctx, uint64_t tripCount,
   const ConstructSpan ws_span(t, simprof::Construct::kWorkshare);
   if (ctx.isSimdGroupLeader()) t.charge(Counter::kWorkshareLoop, 0);
 
-  const Dispatcher& dispatcher = Dispatcher::global();
-  const bool inlined =
-      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
-  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  const DispatchPlan plan =
+      Dispatcher::global().prepare(reinterpret_cast<const void*>(fn));
+  if (plan.known) plan.charge(t);
   auto call = [&](uint64_t iv) {
-    if (!inlined) {
-      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
-    }
+    if (!plan.known) plan.charge(t);
     fn(ctx, iv, args);
     t.work(2);
   };
@@ -439,17 +734,14 @@ void distributeStaticChunked(OmpContext& ctx, uint64_t tripCount,
   const ConstructSpan dist_span(t, simprof::Construct::kDistribute);
   const uint64_t team = ctx.teamNum();
   const uint64_t stride = static_cast<uint64_t>(ctx.numTeams()) * chunk;
-  const Dispatcher& dispatcher = Dispatcher::global();
-  const bool inlined =
-      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
-  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
+  const DispatchPlan plan =
+      Dispatcher::global().prepare(reinterpret_cast<const void*>(fn));
+  if (plan.known) plan.charge(t);
   for (uint64_t base = team * chunk; base < tripCount; base += stride) {
     const uint64_t end = std::min(base + chunk, tripCount);
     t.work(3);  // chunk bound arithmetic
     for (uint64_t iv = base; iv < end; ++iv) {
-      if (!inlined) {
-        dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
-      }
+      if (!plan.known) plan.charge(t);
       fn(ctx, iv, args);
       t.work(2);
     }
@@ -550,23 +842,7 @@ void simdStateMachine(OmpContext& ctx) {
 
 void workshareLoopSimd(OmpContext& ctx, LoopBodyFn fn, uint64_t tripCount,
                        void** args) {
-  gpusim::ThreadCtx& t = ctx.gpu();
-  uint64_t iv = ctx.simdGroupId();
-  t.chargeLocal();
-  syncSimdGroup(ctx);
-  const uint32_t stride = ctx.simdGroupSize();
-  const Dispatcher& dispatcher = Dispatcher::global();
-  const bool inlined =
-      dispatcher.isKnown(reinterpret_cast<const void*>(fn));
-  if (inlined) dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
-  while (iv < tripCount) {
-    if (!inlined) {
-      dispatcher.chargeDispatch(t, reinterpret_cast<const void*>(fn));
-    }
-    fn(ctx, iv, args);
-    iv += stride;
-    t.work(2);  // induction update + bound check
-  }
+  workshareLoopSimdImpl(ctx, fn, tripCount, args, /*probed=*/false);
 }
 
 void invokeMicrotask(OmpContext& ctx, OutlinedFn fn, void** args) {
@@ -601,6 +877,21 @@ double simdLoopReduceAdd(OmpContext& ctx, ReduceBodyF64 fn,
   }
 
   if (ctx.parallelIsSPMD()) {
+    if (fastPathEligible(ctx)) {
+      switch (resolveFastDecision(ts, reinterpret_cast<const void*>(fn))) {
+        case TeamState::FastDecision::kFast:
+          return runSimdReduceBatched(ctx, fn, tripCount, args);
+        case TeamState::FastDecision::kProbe: {
+          const double local =
+              reduceLoopLocalImpl(ctx, fn, tripCount, args, /*probed=*/true);
+          const double total = simdReduceAdd(ctx, local);
+          syncSimdGroup(ctx);
+          return total;
+        }
+        case TeamState::FastDecision::kSlow:
+          break;
+      }
+    }
     const double local = reduceLoopLocal(ctx, fn, tripCount, args);
     const double total = simdReduceAdd(ctx, local);
     syncSimdGroup(ctx);

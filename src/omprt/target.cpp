@@ -82,20 +82,21 @@ Result<gpusim::KernelStats> launchTarget(gpusim::Device& device,
   const ParallelConfig default_parallel{config.parallelMode, config.simdlen,
                                         /*modeAuto=*/false};
 
-  // One TeamState per block, in its own slot: under host-parallel
-  // execution several blocks are alive at once, each worker touching
-  // only its block's entry (keyed by blockId).
-  std::vector<std::unique_ptr<TeamState>> states(config.numTeams);
+  const bool fast_path = resolveFastPath(config.fastPath);
+
+  // Each block's TeamState lives in that block's arena, dying with the
+  // engine: no per-launch state vector, and under host-parallel
+  // execution every worker touches only its own block's memory.
   const gpusim::BlockSetupHook setup = [&](gpusim::BlockEngine& engine) {
     auto sharing = std::make_unique<SharingSpace>(
         engine.sharedMemory(), engine.globalMemory(),
         config.sharingSpaceBytes, config.threadsPerTeam);
-    auto& state = states[engine.blockId()];
-    state = std::make_unique<TeamState>(
+    TeamState* state = engine.arena().createOwned<TeamState>(
         config.teamsMode, config.threadsPerTeam, device.arch().warpSize,
         device.arch().hasWarpLevelBarrier, std::move(sharing),
-        default_parallel, config.scheduleChunk);
-    engine.setUserState(state.get());
+        default_parallel, config.scheduleChunk,
+        fast_path && !engine.hasArmedFault());
+    engine.setUserState(state);
   };
 
   const gpusim::Kernel kernel = [&region](gpusim::ThreadCtx& t) {

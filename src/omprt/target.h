@@ -13,6 +13,7 @@
 
 #include "gpusim/device.h"
 #include "omprt/context.h"
+#include "omprt/convergence.h"
 #include "omprt/modes.h"
 #include "support/status.h"
 
@@ -69,6 +70,12 @@ struct TargetConfig {
   uint64_t watchdogSteps = 0;
   /// Hierarchical profiling (simprof); see gpusim::LaunchConfig::profile.
   simprof::ProfileConfig profile{};
+  /// Convergence fast path (batched lane execution for hazard-free SIMD
+  /// bodies). Affects host wall-time only: modeled cycles, counters,
+  /// traces, profiles and simcheck verdicts are bit-identical either
+  /// way. kAuto consults SIMTOMP_FAST (default on). Fault-armed blocks
+  /// always take the lane-per-fiber path regardless of this setting.
+  FastPathMode fastPath = FastPathMode::kAuto;
 
   [[nodiscard]] Status validate(const gpusim::ArchSpec& arch) const;
 };

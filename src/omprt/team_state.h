@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/arch.h"
@@ -37,12 +38,14 @@ struct TeamState {
             uint32_t warp_size, bool arch_has_warp_barrier,
             std::unique_ptr<SharingSpace> sharing_space,
             ParallelConfig default_parallel = {},
-            uint64_t default_schedule_chunk = 0)
+            uint64_t default_schedule_chunk = 0,
+            bool fast_path_enabled = false)
       : teamsMode(teams_mode),
         numWorkerThreads(num_worker_threads),
         mainThreadId(num_worker_threads),  // lane 0 of the extra warp
         warpSize(warp_size),
         archHasWarpBarrier(arch_has_warp_barrier),
+        fastPathEnabled(fast_path_enabled),
         defaultParallel(default_parallel),
         defaultScheduleChunk(default_schedule_chunk),
         sharing(std::move(sharing_space)) {
@@ -59,6 +62,9 @@ struct TeamState {
   const uint32_t mainThreadId;
   const uint32_t warpSize;
   const bool archHasWarpBarrier;
+  /// Convergence fast path switch for this launch (resolved from
+  /// TargetConfig::fastPath; always false for fault-armed launches).
+  const bool fastPathEnabled;
   /// Launch-wide defaults a region-level ParallelConfig with auto
   /// fields (simdGroupSize == kSimdlenAuto, modeAuto) resolves against.
   /// Filled from TargetConfig::{parallelMode, simdlen} — i.e. from the
@@ -91,6 +97,18 @@ struct TeamState {
 
   // ---- Variable sharing space (paper section 5.3.1) ----
   std::unique_ptr<SharingSpace> sharing;
+
+  // ---- Convergence fast path decision memo ----
+  /// Per-block pin of the fast/probe/slow decision for each outlined
+  /// body. The *global* ConvergenceCache verdict can flip mid-kernel
+  /// (another block's probe promotes a body); if two lanes of one SIMD
+  /// group read different verdicts they rendezvous at different sync
+  /// objects and deadlock. The first lane of a block to ask about a
+  /// body resolves the global verdict once and memoizes it here; every
+  /// later query in the block (all fibers share one host thread) takes
+  /// the identical branch.
+  enum class FastDecision : uint8_t { kSlow, kProbe, kFast };
+  std::unordered_map<const void*, FastDecision> fastPathMemo;
 };
 
 }  // namespace simtomp::omprt

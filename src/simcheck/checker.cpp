@@ -154,6 +154,30 @@ void BlockChecker::touchCell(std::unordered_map<uint64_t, Cell>& cells,
   }
 }
 
+bool BlockChecker::batchDedupesAccess(std::unordered_set<uint64_t>& reads,
+                                      std::unordered_set<uint64_t>& writes,
+                                      uint64_t granule, AccessKind kind) {
+  if (!batch_active_) return false;
+  if (kind == AccessKind::kRead) {
+    if (writes.count(granule) != 0) return false;
+    // insert() returns false on a repeat: the batch already ran the
+    // representative happens-before check for this granule.
+    return !reads.insert(granule).second;
+  }
+  writes.insert(granule);
+  return false;
+}
+
+void BlockChecker::beginConvergentBatch() {
+  batch_active_ = true;
+  batch_reads_shared_.clear();
+  batch_writes_shared_.clear();
+  batch_reads_global_.clear();
+  batch_writes_global_.clear();
+}
+
+void BlockChecker::endConvergentBatch() { batch_active_ = false; }
+
 void BlockChecker::onAccess(uint32_t tid, const void* ptr, size_t bytes,
                             AccessKind kind) {
   if (bytes == 0) return;
@@ -164,6 +188,10 @@ void BlockChecker::onAccess(uint32_t tid, const void* ptr, size_t bytes,
     const uint64_t first = offset / kGranuleBytes;
     const uint64_t last = (offset + bytes - 1) / kGranuleBytes;
     for (uint64_t g = first; g <= last; ++g) {
+      if (batchDedupesAccess(batch_reads_shared_, batch_writes_shared_, g,
+                             kind)) {
+        continue;
+      }
       touchCell(shared_cells_, g, tid, kind, MemSpace::kShared,
                 /*check_uninit=*/true);
     }
@@ -179,6 +207,10 @@ void BlockChecker::onAccess(uint32_t tid, const void* ptr, size_t bytes,
                                                      : GlobalFootprint::kAtomic;
     for (uint64_t g = first; g <= last; ++g) {
       footprint_.granules[g] |= bit;
+      if (batchDedupesAccess(batch_reads_global_, batch_writes_global_, g,
+                             kind)) {
+        continue;
+      }
       touchCell(global_cells_, g, tid, kind, MemSpace::kGlobal,
                 /*check_uninit=*/false);
     }

@@ -32,6 +32,7 @@
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "simcheck/report.h"
@@ -85,6 +86,20 @@ class BlockChecker {
   /// `is_block=true` and every thread participates.
   void onSyncArrive(uint32_t tid, const void* sync_key, uint32_t base_tid,
                     LaneMask mask, uint32_t warp_id, bool is_block);
+  /// Bracket a convergent batch (the runtime's fast path replaying all
+  /// lanes of a hazard-free SIMD body on one fiber). Inside the bracket
+  /// every participating lane holds an identical vector clock — they
+  /// were all released by the same barrier join and the body contains
+  /// no further synchronization — so the happens-before verdict of a
+  /// plain read is the same for every lane. Repeat reads of a granule
+  /// already read (and not written) during the batch therefore skip the
+  /// shadow lookup: one representative check per granule. Writes and
+  /// atomics always touch shadow state, and the global footprint is
+  /// always updated, so race-free programs get byte-identical reports
+  /// with the fast path on or off.
+  void beginConvergentBatch();
+  void endConvergentBatch();
+
   /// `tid` returned from the kernel.
   void onThreadFinish(uint32_t tid);
   /// The block's fiber scheduler finished; `engine_ok` is false on
@@ -147,6 +162,12 @@ class BlockChecker {
                 uint64_t granule, const char* what);
   void releaseSync(const void* sync_key, PendingSync& sync);
   [[nodiscard]] const char* slotName(uint32_t slot) const;
+  /// True when this access can skip touchCell under the convergent
+  /// batch: a repeat plain read of a granule the batch already read and
+  /// never wrote. Non-reads mark the granule written (and never skip).
+  [[nodiscard]] bool batchDedupesAccess(std::unordered_set<uint64_t>& reads,
+                                        std::unordered_set<uint64_t>& writes,
+                                        uint64_t granule, AccessKind kind);
 
   CheckConfig config_;
   uint32_t block_id_;
@@ -172,6 +193,12 @@ class BlockChecker {
   std::map<uint32_t, SharingSlot> sharing_;  ///< ordered: leak sweep order
   GlobalFootprint footprint_;
   CheckReport report_;
+
+  bool batch_active_ = false;
+  std::unordered_set<uint64_t> batch_reads_shared_;
+  std::unordered_set<uint64_t> batch_writes_shared_;
+  std::unordered_set<uint64_t> batch_reads_global_;
+  std::unordered_set<uint64_t> batch_writes_global_;
 };
 
 /// Cross-block pass: compare per-block global footprints (in block

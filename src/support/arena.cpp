@@ -1,0 +1,120 @@
+#include "support/arena.h"
+
+#include <algorithm>
+
+#include "support/status.h"
+
+namespace simtomp::support {
+
+namespace {
+
+constexpr size_t alignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(size_t slab_bytes) : default_slab_bytes_(slab_bytes) {
+  SIMTOMP_CHECK(slab_bytes >= 4096, "arena slabs below 4KB defeat the point");
+}
+
+Arena::~Arena() { reset(); }
+
+size_t Arena::capacityBytes() const {
+  size_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.capacity;
+  return total;
+}
+
+void* Arena::allocate(size_t bytes, size_t align) {
+  SIMTOMP_CHECK(align != 0 && (align & (align - 1)) == 0,
+                "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+  if (slab_index_ < slabs_.size()) {
+    Slab& slab = slabs_[slab_index_];
+    const size_t aligned =
+        alignUp(reinterpret_cast<uintptr_t>(slab.data.get()) + offset_,
+                align) -
+        reinterpret_cast<uintptr_t>(slab.data.get());
+    if (aligned + bytes <= slab.capacity) {
+      offset_ = aligned + bytes;
+      bytes_in_use_ += bytes;
+      return slab.data.get() + aligned;
+    }
+  }
+  return refillAndAllocate(bytes, align);
+}
+
+void* Arena::refillAndAllocate(size_t bytes, size_t align) {
+  // Try the retained slabs after the current one (they were rewound by
+  // reset() and may be large enough), then grow.
+  size_t next = slab_index_ < slabs_.size() ? slab_index_ + 1 : slabs_.size();
+  for (; next < slabs_.size(); ++next) {
+    // Slab payloads come from operator new[], which aligns to
+    // __STDCPP_DEFAULT_NEW_ALIGNMENT__; over-asking by `align` keeps the
+    // fit check conservative for stricter alignments.
+    if (bytes + align <= slabs_[next].capacity) break;
+  }
+  if (next == slabs_.size()) {
+    const size_t capacity = std::max(default_slab_bytes_, bytes + align);
+    slabs_.push_back({std::unique_ptr<std::byte[]>(new std::byte[capacity]),
+                      capacity});
+  }
+  slab_index_ = next;
+  offset_ = 0;
+  Slab& slab = slabs_[slab_index_];
+  const size_t aligned =
+      alignUp(reinterpret_cast<uintptr_t>(slab.data.get()), align) -
+      reinterpret_cast<uintptr_t>(slab.data.get());
+  SIMTOMP_CHECK(aligned + bytes <= slab.capacity, "arena slab sizing bug");
+  offset_ = aligned + bytes;
+  bytes_in_use_ += bytes;
+  return slab.data.get() + aligned;
+}
+
+void Arena::reset() {
+  for (size_t i = owned_.size(); i > 0; --i) {
+    owned_[i - 1].destroy(owned_[i - 1].obj);
+  }
+  owned_.clear();
+  slab_index_ = 0;
+  offset_ = 0;
+  bytes_in_use_ = 0;
+  ++reset_count_;
+}
+
+namespace {
+
+// Per-thread free list of rewound arenas. A block acquires at engine
+// construction and releases at engine destruction, both on the worker
+// thread that runs the block, so no locking is needed.
+std::vector<std::unique_ptr<Arena>>& threadPool() {
+  thread_local std::vector<std::unique_ptr<Arena>> pool;
+  return pool;
+}
+
+}  // namespace
+
+ArenaLease::ArenaLease() {
+  auto& pool = threadPool();
+  if (!pool.empty()) {
+    arena_ = std::move(pool.back());
+    pool.pop_back();
+  } else {
+    arena_ = std::make_unique<Arena>();
+  }
+}
+
+ArenaLease::~ArenaLease() {
+  if (arena_ == nullptr) return;
+  arena_->reset();
+  if (arena_->capacityBytes() <= kMaxRetainedBytes) {
+    threadPool().push_back(std::move(arena_));
+  }
+}
+
+size_t ArenaLease::pooledCountForTest() { return threadPool().size(); }
+
+void ArenaLease::drainPoolForTest() { threadPool().clear(); }
+
+}  // namespace simtomp::support

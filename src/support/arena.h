@@ -1,0 +1,134 @@
+// Bump-pointer arena for per-block simulator state.
+//
+// Every launched block used to heap-allocate its fiber stacks, thread
+// contexts and TeamState individually and free them at block teardown —
+// per-launch churn that dominates host wall-time once the convergence
+// fast path removes the fiber-switch cost. An Arena hands out memory by
+// bumping a pointer through reusable slabs: allocation is a few
+// instructions, reset() rewinds the pointer but keeps the slabs, and a
+// thread-local pool (ArenaLease) recycles whole arenas across blocks so
+// steady-state block execution performs no heap traffic at all.
+//
+// Arenas are single-threaded by design: one arena serves one block,
+// and a block runs on exactly one host worker thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace simtomp::support {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultSlabBytes = 256 * 1024;
+
+  explicit Arena(size_t slab_bytes = kDefaultSlabBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation; `align` must be a power of two. Never returns
+  /// nullptr (allocation failure aborts via operator new).
+  void* allocate(size_t bytes, size_t align);
+
+  /// Placement-construct a T whose destructor never needs to run.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "create<T> skips the destructor; use createOwned<T>");
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Placement-construct a T and register its destructor to run at
+  /// reset() (in reverse construction order) — for objects that own
+  /// heap resources (vectors, unique_ptrs) but should live in the arena.
+  template <typename T, typename... Args>
+  T* createOwned(Args&&... args) {
+    T* obj = ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+    owned_.push_back({obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    return obj;
+  }
+
+  /// Value-initialized array of a trivially-destructible T.
+  template <typename T>
+  T* createArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "createArray<T> skips destructors");
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+    return p;
+  }
+
+  /// Run owned destructors (newest first) and rewind every slab.
+  /// Capacity is retained: the next user bumps through warm memory.
+  void reset();
+
+  // ---- Introspection (tests / sizing decisions) ----
+  [[nodiscard]] size_t slabCount() const { return slabs_.size(); }
+  [[nodiscard]] size_t capacityBytes() const;
+  [[nodiscard]] size_t bytesInUse() const { return bytes_in_use_; }
+  [[nodiscard]] uint64_t resetCount() const { return reset_count_; }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+  };
+  struct Owned {
+    void* obj;
+    void (*destroy)(void*);
+  };
+
+  /// Out-of-line refill: advance to the next retained slab that fits,
+  /// or grow by a new slab of max(default, requested) bytes.
+  void* refillAndAllocate(size_t bytes, size_t align);
+
+  size_t default_slab_bytes_;
+  std::vector<Slab> slabs_;
+  size_t slab_index_ = 0;  ///< slab currently being bumped
+  size_t offset_ = 0;      ///< bump offset within that slab
+  size_t bytes_in_use_ = 0;
+  uint64_t reset_count_ = 0;
+  std::vector<Owned> owned_;
+};
+
+/// RAII lease of a pooled arena. Acquires a recycled arena from the
+/// calling thread's pool (or builds a fresh one), and on destruction
+/// resets it and returns it to the pool — unless it grew past the
+/// retention cap, in which case it is simply freed. Acquire and release
+/// must happen on the same thread (true for block execution: a block is
+/// confined to one host worker).
+class ArenaLease {
+ public:
+  ArenaLease();
+  ~ArenaLease();
+
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  [[nodiscard]] Arena& arena() { return *arena_; }
+  Arena* operator->() { return arena_.get(); }
+  Arena& operator*() { return *arena_; }
+
+  /// Arenas larger than this are freed instead of pooled (a huge block
+  /// should not pin its footprint for the rest of the process).
+  static constexpr size_t kMaxRetainedBytes = 64 * 1024 * 1024;
+
+  /// Number of arenas parked in the calling thread's pool (tests).
+  [[nodiscard]] static size_t pooledCountForTest();
+  /// Drop the calling thread's pool (tests).
+  static void drainPoolForTest();
+
+ private:
+  std::unique_ptr<Arena> arena_;
+};
+
+}  // namespace simtomp::support

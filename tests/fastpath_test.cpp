@@ -1,0 +1,526 @@
+// Convergence fast path (DESIGN.md §3.6): body classification, batched
+// execution equivalence, the per-block arena, and the dispatcher's
+// per-thread lookup cache.
+//
+// The load-bearing contract: for ANY combination of fast path on/off,
+// host worker count, checking on/off and profiling on/off, a launch
+// produces bit-identical KernelStats, check reports and profiles — the
+// fast path buys host wall-time only. Classification must reject every
+// hazard class (divergent branch, barrier, cross-lane op, atomic), and
+// a false dsl::convergent promise must fail the launch loudly rather
+// than corrupt modeled results.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+#include "apps/csr.h"
+#include "apps/ideal_kernel.h"
+#include "apps/sparse_matvec.h"
+#include "dsl/dsl.h"
+#include "omprt/convergence.h"
+#include "omprt/dispatcher.h"
+#include "omprt/runtime.h"
+#include "omprt/target.h"
+#include "support/arena.h"
+
+namespace simtomp {
+namespace {
+
+using gpusim::ArchSpec;
+using gpusim::Device;
+using gpusim::GlobalSpan;
+using gpusim::KernelStats;
+using omprt::ConvergenceCache;
+using omprt::ExecMode;
+using omprt::FastPathMode;
+using omprt::OmpContext;
+using Verdict = ConvergenceCache::Verdict;
+
+// ---------------------------------------------------------------------
+// ConvergenceCache unit tests
+// ---------------------------------------------------------------------
+
+TEST(ConvergenceCacheTest, ProbePromotionNeedsFullGroup) {
+  ConvergenceCache& cache = ConvergenceCache::global();
+  cache.clearForTest();
+  const void* fn = reinterpret_cast<const void*>(uintptr_t{0x1000});
+  EXPECT_EQ(cache.lookup(fn), Verdict::kUnknown);
+  for (uint32_t lane = 0; lane < 7; ++lane) {
+    cache.reportProbe(fn, /*clean=*/true, /*group_size=*/8);
+    EXPECT_EQ(cache.lookup(fn), Verdict::kUnknown) << "lane " << lane;
+  }
+  cache.reportProbe(fn, /*clean=*/true, /*group_size=*/8);
+  EXPECT_EQ(cache.lookup(fn), Verdict::kEligible);
+  cache.clearForTest();
+}
+
+TEST(ConvergenceCacheTest, OneDirtyReportRejectsForever) {
+  ConvergenceCache& cache = ConvergenceCache::global();
+  cache.clearForTest();
+  const void* fn = reinterpret_cast<const void*>(uintptr_t{0x2000});
+  cache.reportProbe(fn, /*clean=*/true, /*group_size=*/4);
+  cache.reportProbe(fn, /*clean=*/false, /*group_size=*/4);
+  EXPECT_EQ(cache.lookup(fn), Verdict::kRejected);
+  // Clean reports and declarations cannot resurrect a rejected body.
+  for (uint32_t i = 0; i < 8; ++i) {
+    cache.reportProbe(fn, /*clean=*/true, /*group_size=*/4);
+  }
+  cache.declareConvergent(fn);
+  EXPECT_EQ(cache.lookup(fn), Verdict::kRejected);
+  cache.clearForTest();
+}
+
+TEST(ConvergenceCacheTest, DeclarationTrustedImmediately) {
+  ConvergenceCache& cache = ConvergenceCache::global();
+  cache.clearForTest();
+  const void* fn = reinterpret_cast<const void*>(uintptr_t{0x3000});
+  cache.declareConvergent(fn);
+  EXPECT_EQ(cache.lookup(fn), Verdict::kDeclared);
+  cache.clearForTest();
+}
+
+// ---------------------------------------------------------------------
+// Body classification: every hazard class must reject
+// ---------------------------------------------------------------------
+
+constexpr uint32_t kGroup = 8;
+constexpr uint64_t kTrip = kGroup;  // one iteration per lane: barrier and
+                                    // cross-lane bodies stay convergent
+                                    // on the lane-per-fiber path
+
+void cleanBody(OmpContext& ctx, uint64_t, void**) { ctx.gpu().fma(); }
+
+void divergentBody(OmpContext& ctx, uint64_t, void**) {
+  ctx.gpu().branch();
+  ctx.gpu().fma();
+}
+
+void atomicBody(OmpContext& ctx, uint64_t, void**) {
+  ctx.gpu().chargeAtomic();
+}
+
+void barrierBody(OmpContext& ctx, uint64_t, void**) {
+  omprt::rt::syncSimdGroup(ctx);
+  ctx.gpu().fma();
+}
+
+void crossLaneBody(OmpContext& ctx, uint64_t, void**) {
+  (void)omprt::rt::simdReduceAdd(ctx, 1.0);
+}
+
+omprt::LoopBodyFn g_body = nullptr;
+
+void simdRegion(OmpContext& ctx, void** args) {
+  omprt::rt::simd(ctx, g_body, kTrip, args, 0);
+}
+
+KernelStats runBodyKernel(omprt::LoopBodyFn body, FastPathMode fast) {
+  g_body = body;
+  Device dev(ArchSpec::testTiny());
+  omprt::TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = 2;
+  config.threadsPerTeam = 32;
+  config.fastPath = fast;
+  void* args[] = {nullptr};
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    omprt::rt::parallel(ctx, &simdRegion, args, 1, {ExecMode::kSPMD, kGroup});
+  });
+  EXPECT_TRUE(stats.isOk()) << stats.status().toString();
+  return stats.isOk() ? stats.value() : KernelStats{};
+}
+
+void expectRejectedAndIdentical(omprt::LoopBodyFn body, const char* what) {
+  ConvergenceCache::global().clearForTest();
+  const KernelStats off = runBodyKernel(body, FastPathMode::kOff);
+  // First fast-enabled launch probes; the hazard must reject the body.
+  const KernelStats probed = runBodyKernel(body, FastPathMode::kOn);
+  EXPECT_EQ(ConvergenceCache::global().lookup(
+                reinterpret_cast<const void*>(body)),
+            Verdict::kRejected)
+      << what;
+  // Later fast-enabled launches take the slow path; stats never move.
+  const KernelStats after = runBodyKernel(body, FastPathMode::kOn);
+  EXPECT_EQ(probed.toJson(), off.toJson()) << what << " (probe launch)";
+  EXPECT_EQ(after.toJson(), off.toJson()) << what << " (rejected launch)";
+  ConvergenceCache::global().clearForTest();
+}
+
+TEST(BodyClassificationTest, DivergentBranchRejects) {
+  expectRejectedAndIdentical(&divergentBody, "divergent branch");
+}
+
+TEST(BodyClassificationTest, AtomicRejects) {
+  expectRejectedAndIdentical(&atomicBody, "atomic RMW");
+}
+
+TEST(BodyClassificationTest, BarrierRejects) {
+  expectRejectedAndIdentical(&barrierBody, "simd-group barrier");
+}
+
+TEST(BodyClassificationTest, CrossLaneOpRejects) {
+  expectRejectedAndIdentical(&crossLaneBody, "cross-lane reduce");
+}
+
+TEST(BodyClassificationTest, CleanBodyProbePromotes) {
+  ConvergenceCache::global().clearForTest();
+  const KernelStats off = runBodyKernel(&cleanBody, FastPathMode::kOff);
+  const KernelStats probed = runBodyKernel(&cleanBody, FastPathMode::kOn);
+  EXPECT_EQ(ConvergenceCache::global().lookup(
+                reinterpret_cast<const void*>(&cleanBody)),
+            Verdict::kEligible);
+  const KernelStats batched = runBodyKernel(&cleanBody, FastPathMode::kOn);
+  EXPECT_EQ(probed.toJson(), off.toJson());
+  EXPECT_EQ(batched.toJson(), off.toJson());
+  ConvergenceCache::global().clearForTest();
+}
+
+TEST(BodyClassificationTest, FalseConvergentPromiseFailsLoudly) {
+  ConvergenceCache::global().clearForTest();
+  // Off-path launch works: the body is merely slow, not wrong.
+  (void)runBodyKernel(&atomicBody, FastPathMode::kOff);
+
+  // Declaring it convergent is a lie; the batched runner's hazard guard
+  // must fail the launch rather than silently skew modeled results.
+  ConvergenceCache::global().declareConvergent(
+      reinterpret_cast<const void*>(&atomicBody));
+  g_body = &atomicBody;
+  Device dev(ArchSpec::testTiny());
+  omprt::TargetConfig config;
+  config.teamsMode = ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = 32;
+  config.fastPath = FastPathMode::kOn;
+  void* args[] = {nullptr};
+  auto stats = launchTarget(dev, config, [&](OmpContext& ctx) {
+    omprt::rt::parallel(ctx, &simdRegion, args, 1, {ExecMode::kSPMD, kGroup});
+  });
+  ASSERT_FALSE(stats.isOk());
+  EXPECT_NE(stats.status().toString().find("hazard"), std::string::npos)
+      << stats.status().toString();
+  ConvergenceCache::global().clearForTest();
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity matrix: fast x workers x check x profile
+// ---------------------------------------------------------------------
+
+struct LaunchArtifacts {
+  KernelStats stats;
+  std::string checkSummary;
+  uint64_t checkTotal = 0;
+  std::string profileTable;
+  std::vector<double> result;
+};
+
+constexpr uint64_t kRows = 192;
+constexpr uint64_t kInner = 8;
+
+/// The bench/host_throughput reduce kernel at test size: full-SPMD,
+/// dsl::convergent body, fast path engaged whenever enabled.
+LaunchArtifacts runConvergentReduce(FastPathMode fast, uint32_t workers,
+                                    bool check, bool profile) {
+  Device dev(ArchSpec::testTiny());
+  const std::vector<double> host_in(kRows * kInner, 0.75);
+  auto in_up = apps::toDevice<double>(dev, host_in);
+  auto out_up = apps::zeroDevice<double>(dev, kRows);
+  EXPECT_TRUE(in_up.isOk() && out_up.isOk());
+  const GlobalSpan<double> in = in_up.value();
+  const GlobalSpan<double> out = out_up.value();
+
+  dsl::LaunchSpec spec;
+  spec.numTeams = 2;
+  spec.threadsPerTeam = 64;
+  spec.teamsMode = ExecMode::kSPMD;
+  spec.parallelMode = ExecMode::kSPMD;
+  spec.simdlen = kInner;
+  spec.hostWorkers = workers;
+  spec.fastPath = fast;
+  spec.check.mode = check ? simcheck::CheckMode::kReport
+                          : simcheck::CheckMode::kOff;
+  spec.profile.mode =
+      profile ? simprof::ProfileMode::kOn : simprof::ProfileMode::kOff;
+
+  auto stats = dsl::targetTeamsDistributeParallelFor(
+      dev, spec, kRows, [&](OmpContext& ctx, uint64_t row) {
+        const double sum = dsl::simdReduceAdd(
+            ctx, kInner,
+            dsl::convergent([in, row](OmpContext& inner,
+                                      uint64_t k) -> double {
+              gpusim::ThreadCtx& it = inner.gpu();
+              const double v = in.get(it, row * kInner + k);
+              it.fma();
+              return v * 3.0 + 1.0;
+            }));
+        if (ctx.simdGroupId() == 0) out.set(ctx.gpu(), row, sum);
+      });
+  EXPECT_TRUE(stats.isOk()) << stats.status().toString();
+
+  LaunchArtifacts a;
+  if (stats.isOk()) a.stats = stats.value();
+  if (check) {
+    a.checkSummary = dev.lastCheckReport().summary();
+    a.checkTotal = dev.lastCheckReport().total();
+  }
+  if (profile) a.profileTable = dev.lastProfile().table();
+  a.result = apps::toHost(out);
+  return a;
+}
+
+TEST(FastPathIdentityTest, ReduceMatrixBitIdentical) {
+  ConvergenceCache::global().clearForTest();
+  const LaunchArtifacts ref = runConvergentReduce(
+      FastPathMode::kOff, /*workers=*/1, /*check=*/true, /*profile=*/true);
+  EXPECT_EQ(ref.checkTotal, 0u) << ref.checkSummary;
+
+  for (FastPathMode fast : {FastPathMode::kOff, FastPathMode::kOn}) {
+    for (uint32_t workers : {1u, 8u}) {
+      for (bool check : {false, true}) {
+        for (bool profile : {false, true}) {
+          const LaunchArtifacts got =
+              runConvergentReduce(fast, workers, check, profile);
+          const std::string tag =
+              std::string("fast=") +
+              (fast == FastPathMode::kOn ? "on" : "off") + " workers=" +
+              std::to_string(workers) + " check=" + std::to_string(check) +
+              " profile=" + std::to_string(profile);
+          EXPECT_EQ(got.stats.toJson(), ref.stats.toJson()) << tag;
+          EXPECT_EQ(got.result, ref.result) << tag;
+          if (check) {
+            EXPECT_EQ(got.checkSummary, ref.checkSummary) << tag;
+            EXPECT_EQ(got.checkTotal, ref.checkTotal) << tag;
+          }
+          if (profile) {
+            EXPECT_EQ(got.profileTable, ref.profileTable) << tag;
+          }
+        }
+      }
+    }
+  }
+  ConvergenceCache::global().clearForTest();
+}
+
+// ---------------------------------------------------------------------
+// Apps corpus identity (fig9 kernels), fast path via SIMTOMP_FAST
+// ---------------------------------------------------------------------
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+apps::CsrMatrix smallMatrix() {
+  apps::CsrGenConfig gen;
+  gen.numRows = 384;
+  gen.numCols = 384;
+  gen.meanRowLength = 8;
+  gen.maxRowLength = 48;
+  gen.seed = 5;
+  return apps::generateCsr(gen);
+}
+
+TEST(FastPathIdentityTest, SpmvCorpusIdenticalAcrossFastAndWorkers) {
+  ConvergenceCache::global().clearForTest();
+  const apps::CsrMatrix A = smallMatrix();
+
+  for (apps::SpmvVariant variant : {apps::SpmvVariant::kThreeLevelAtomic,
+                                    apps::SpmvVariant::kThreeLevelReduction}) {
+    for (ExecMode parallel_mode : {ExecMode::kGeneric, ExecMode::kSPMD}) {
+      apps::SpmvOptions options;
+      options.variant = variant;
+      options.numTeams = 8;
+      options.threadsPerTeam = 64;
+      options.simdlen = 8;
+      options.parallelMode = parallel_mode;
+      options.hostWorkers = 1;
+
+      KernelStats ref;
+      bool have_ref = false;
+      for (const char* fast : {"0", "1"}) {
+        for (uint32_t workers : {1u, 8u}) {
+          ScopedEnv env("SIMTOMP_FAST", fast);
+          options.hostWorkers = workers;
+          Device dev;
+          auto run = apps::runSpmv(dev, A, options);
+          ASSERT_TRUE(run.isOk()) << run.status().toString();
+          EXPECT_TRUE(run.value().verified);
+          if (!have_ref) {
+            ref = run.value().stats;
+            have_ref = true;
+          } else {
+            EXPECT_EQ(run.value().stats.toJson(), ref.toJson())
+                << "variant " << static_cast<int>(variant) << " mode "
+                << static_cast<int>(parallel_mode) << " fast " << fast
+                << " workers " << workers;
+          }
+        }
+      }
+    }
+  }
+  ConvergenceCache::global().clearForTest();
+}
+
+TEST(FastPathIdentityTest, IdealKernelIdenticalAcrossFast) {
+  ConvergenceCache::global().clearForTest();
+  const apps::IdealWorkload w = apps::generateIdeal(64, 32, 5);
+  apps::IdealOptions options;
+  options.numTeams = 4;
+  options.threadsPerTeam = 64;
+  options.simdlen = 8;
+
+  KernelStats ref;
+  bool have_ref = false;
+  for (const char* fast : {"0", "1"}) {
+    ScopedEnv env("SIMTOMP_FAST", fast);
+    Device dev(ArchSpec::testTiny());
+    auto run = apps::runIdeal(dev, w, options);
+    ASSERT_TRUE(run.isOk()) << run.status().toString();
+    EXPECT_TRUE(run.value().verified);
+    if (!have_ref) {
+      ref = run.value().stats;
+      have_ref = true;
+    } else {
+      EXPECT_EQ(run.value().stats.toJson(), ref.toJson()) << "fast " << fast;
+    }
+  }
+  ConvergenceCache::global().clearForTest();
+}
+
+// ---------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------
+
+TEST(ArenaTest, BumpAllocationAndAlignment) {
+  support::Arena arena;
+  auto* a = static_cast<char*>(arena.allocate(3, 1));
+  auto* b = static_cast<char*>(arena.allocate(64, 64));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(arena.slabCount(), 1u);
+  EXPECT_GT(arena.bytesInUse(), 0u);
+}
+
+TEST(ArenaTest, ResetRetainsCapacityAndRewinds) {
+  support::Arena arena(/*slab_bytes=*/4096);
+  (void)arena.allocate(3000, 8);
+  (void)arena.allocate(3000, 8);  // forces a second slab
+  EXPECT_GE(arena.slabCount(), 2u);
+  const size_t capacity = arena.capacityBytes();
+  arena.reset();
+  EXPECT_EQ(arena.bytesInUse(), 0u);
+  EXPECT_EQ(arena.capacityBytes(), capacity);  // slabs retained
+  EXPECT_EQ(arena.resetCount(), 1u);
+  // The retained slabs satisfy the same allocations without growing.
+  (void)arena.allocate(3000, 8);
+  (void)arena.allocate(3000, 8);
+  EXPECT_EQ(arena.capacityBytes(), capacity);
+}
+
+TEST(ArenaTest, OversizedAllocationGrowsDedicatedSlab) {
+  support::Arena arena(/*slab_bytes=*/4096);
+  auto* p = arena.allocate(1 << 20, 16);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.capacityBytes(), size_t{1} << 20);
+}
+
+TEST(ArenaTest, OwnedDestructorsRunOnResetNewestFirst) {
+  support::Arena arena;
+  std::vector<int> order;
+  struct Probe {
+    std::vector<int>* order;
+    int id;
+    ~Probe() { order->push_back(id); }
+  };
+  (void)arena.createOwned<Probe>(&order, 1);
+  (void)arena.createOwned<Probe>(&order, 2);
+  arena.reset();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // newest first
+  EXPECT_EQ(order[1], 1);
+  // reset() must not re-run destructors.
+  arena.reset();
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(ArenaTest, CreateArrayValueInitializes) {
+  support::Arena arena;
+  uint64_t* xs = arena.createArray<uint64_t>(257);
+  for (size_t i = 0; i < 257; ++i) EXPECT_EQ(xs[i], 0u) << i;
+}
+
+TEST(ArenaTest, LeasePoolRecyclesOnSameThread) {
+  support::ArenaLease::drainPoolForTest();
+  support::Arena* first = nullptr;
+  {
+    support::ArenaLease lease;
+    first = &lease.arena();
+    (void)lease->allocate(1024, 8);
+  }
+  EXPECT_EQ(support::ArenaLease::pooledCountForTest(), 1u);
+  {
+    support::ArenaLease lease;
+    EXPECT_EQ(&lease.arena(), first);       // recycled, not rebuilt
+    EXPECT_EQ(lease->bytesInUse(), 0u);     // and reset
+  }
+  support::ArenaLease::drainPoolForTest();
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher prepare() cache
+// ---------------------------------------------------------------------
+
+TEST(DispatchPlanTest, PrepareResolvesStablePositions) {
+  omprt::Dispatcher dispatcher;
+  int a = 0, b = 0;
+  dispatcher.registerOutlined(&a);
+  dispatcher.registerOutlined(&b);
+  const omprt::DispatchPlan pa = dispatcher.prepare(&a);
+  const omprt::DispatchPlan pb = dispatcher.prepare(&b);
+  EXPECT_TRUE(pa.known);
+  EXPECT_TRUE(pb.known);
+  EXPECT_EQ(pa.position, 0u);
+  EXPECT_EQ(pb.position, 1u);
+  // Cached lookups agree with fresh ones.
+  EXPECT_EQ(dispatcher.prepare(&a).position, 0u);
+  int c = 0;
+  EXPECT_FALSE(dispatcher.prepare(&c).known);  // misses are not cached...
+  dispatcher.registerOutlined(&c);
+  EXPECT_TRUE(dispatcher.prepare(&c).known);  // ...so late hits appear
+  EXPECT_EQ(dispatcher.prepare(&c).position, 2u);
+}
+
+TEST(DispatchPlanTest, ClearInvalidatesThreadCache) {
+  omprt::Dispatcher dispatcher;
+  int a = 0;
+  dispatcher.registerOutlined(&a);
+  EXPECT_TRUE(dispatcher.prepare(&a).known);  // primes the TLS cache
+  dispatcher.clear();
+  EXPECT_FALSE(dispatcher.prepare(&a).known)
+      << "stale cache entry survived clear()";
+  dispatcher.registerOutlined(&a);
+  EXPECT_TRUE(dispatcher.prepare(&a).known);
+}
+
+}  // namespace
+}  // namespace simtomp

@@ -32,6 +32,11 @@
 #          dumps must be byte-identical; the deep trace must be valid
 #          JSON; the observability_overhead bench asserts profiling
 #          never perturbs KernelStats.
+# Stage 8: convergence fast-path guard; bench/host_throughput runs the
+#          convergent map+reduce kernels with the fast path off and on,
+#          the dumped KernelStats must be byte-identical, and the
+#          barrier-bound reduce series must clear a 3x
+#          modeled-cycles-per-host-second gate.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -52,7 +57,7 @@ cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${prefix}-tsan" -j "${jobs}"
 SIMTOMP_HOST_WORKERS=8 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j 1 \
-  -R '^(gpusim|omprt|simfault)_'
+  -R '^(gpusim|omprt|simfault|fastpath)_'
 
 echo "=== stage 3: simcheck gate (SIMTOMP_CHECK=1 over simulator suites) ==="
 SIMTOMP_CHECK=1 \
@@ -154,5 +159,32 @@ echo "deep trace is valid JSON"
 # The overhead bench aborts if profiling perturbs KernelStats.
 (cd "${prefix}/bench" && ./observability_overhead >/dev/null)
 echo "profiling zero-perturbation guard passed"
+
+echo "=== stage 8: convergence fast-path guard ==="
+# host_throughput aborts by itself if the fast path perturbs modeled
+# stats between reps or across off/on; the dumps make the identity
+# visible in CI logs and the python gate enforces the throughput win.
+(cd "${prefix}/bench" && ./host_throughput)
+if ! cmp "${prefix}/bench/HOST_THROUGHPUT_STATS_off.json" \
+         "${prefix}/bench/HOST_THROUGHPUT_STATS_on.json"; then
+  echo "ci.sh: fast path perturbed modeled stats (dumps differ)" >&2
+  exit 1
+fi
+echo "modeled stats byte-identical with the fast path off vs on"
+python3 - "${prefix}/bench/BENCH_host_throughput.json" <<'EOF'
+import json, sys
+series = json.load(open(sys.argv[1]))["series"]
+reduce_series = [s for s in series if "reduce" in s["title"]]
+assert len(reduce_series) == 1, "expected exactly one reduce series"
+by_label = {r["label"]: r["cycles_per_host_s"] for r in reduce_series[0]["rows"]}
+off = by_label["fast path off"]
+on = by_label["fast path on"]
+ratio = on / off if off else 0.0
+print(f"reduce modeled-cycles/host-second: off={off:.0f} on={on:.0f} "
+      f"ratio={ratio:.2f}x (gate: >= 3x)")
+if ratio < 3.0:
+    sys.exit("ci.sh: fast path reduce throughput below the 3x gate")
+EOF
+echo "fast-path throughput gate passed"
 
 echo "=== ci.sh: all stages passed ==="
