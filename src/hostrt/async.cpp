@@ -21,6 +21,7 @@ std::future<Result<gpusim::KernelStats>> TargetTaskQueue::enqueue(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    ++enqueued_;
   }
   cv_.notify_one();
   return future;
@@ -28,7 +29,18 @@ std::future<Result<gpusim::KernelStats>> TargetTaskQueue::enqueue(
 
 void TargetTaskQueue::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  // Snapshot the enqueue counter: drain owes completion only to tasks
+  // submitted before it. Waiting for "queue empty and idle" instead
+  // would never return under a producer that keeps the queue non-empty.
+  const uint64_t target = enqueued_;
+  idle_cv_.wait(lock, [this, target] {
+    return completed_.load(std::memory_order_relaxed) >= target;
+  });
+}
+
+uint64_t TargetTaskQueue::enqueuedTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enqueued_;
 }
 
 size_t TargetTaskQueue::pendingTasks() const {
@@ -69,7 +81,7 @@ void TargetTaskQueue::helperLoop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       busy_ = false;
-      ++completed_;
+      completed_.fetch_add(1, std::memory_order_release);
     }
     idle_cv_.notify_all();
   }

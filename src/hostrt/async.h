@@ -7,6 +7,7 @@
 // drain() gives taskwait semantics.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -29,10 +30,21 @@ class TargetTaskQueue {
   TargetTaskQueue& operator=(const TargetTaskQueue&) = delete;
 
   /// Enqueue a deferred target region (`target nowait`).
+  ///
+  /// Producer contract: enqueue() is safe from any number of threads
+  /// concurrently (the queue mutex serializes submissions; FIFO order
+  /// is the mutex acquisition order). simserve's LaunchService relies
+  /// on this — it feeds one device queue from its pump path while the
+  /// owning host thread may still be enqueueing `target nowait` tasks.
   std::future<Result<gpusim::KernelStats>> enqueue(
       omprt::TargetConfig config, omprt::TargetRegionFn region);
 
-  /// Block until every enqueued task has completed (`taskwait`).
+  /// Block until every task enqueued *before this call* has completed
+  /// (`taskwait`). Tasks enqueued concurrently with — or after — the
+  /// drain are not waited for: drain snapshots the enqueue counter
+  /// under the queue mutex and waits for the retire counter to reach
+  /// it, so a racing producer can neither wedge the drain forever nor
+  /// make it return while a pre-drain task is still in flight.
   void drain();
 
   /// Tasks not yet retired: the queued tasks *plus* the one the helper
@@ -43,7 +55,11 @@ class TargetTaskQueue {
   /// retirement. Use completedTasks() to observe task completion, and
   /// the returned future to observe a specific task's result.
   [[nodiscard]] size_t pendingTasks() const;
-  [[nodiscard]] uint64_t completedTasks() const { return completed_; }
+  [[nodiscard]] uint64_t completedTasks() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  /// Tasks ever submitted (monotonic; enqueued - completed = pending).
+  [[nodiscard]] uint64_t enqueuedTasks() const;
 
  private:
   struct Task {
@@ -61,7 +77,8 @@ class TargetTaskQueue {
   std::deque<Task> queue_;
   bool shutdown_ = false;
   bool busy_ = false;
-  uint64_t completed_ = 0;
+  uint64_t enqueued_ = 0;                 ///< guarded by mutex_
+  std::atomic<uint64_t> completed_{0};    ///< written under mutex_
   std::thread helper_;
 };
 

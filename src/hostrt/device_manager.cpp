@@ -48,6 +48,7 @@ DeviceManager::DeviceManager(std::vector<gpusim::ArchSpec> specs,
 }
 
 void DeviceManager::applyDefaults(omprt::TargetConfig& config) const {
+  std::shared_lock lock(defaults_mutex_);
   if (config.hostWorkers == 0) config.hostWorkers = default_host_workers_;
   if (config.check.mode == simcheck::CheckMode::kAuto) {
     config.check = default_check_;
@@ -63,14 +64,27 @@ Status DeviceManager::resolveTuning(size_t n, omprt::TargetConfig& config,
   if (config.tuneKey.empty() || !omprt::hasAutoLaunchFields(config)) {
     return Status::ok();
   }
+  simtune::TuneMode requested_mode;
+  std::shared_ptr<simtune::Tuner> tuner;
+  {
+    std::shared_lock lock(defaults_mutex_);
+    requested_mode = default_tune_mode_;
+    tuner = default_tuner_;
+  }
   const simtune::TuneResolution resolution =
-      simtune::resolveTuneMode(default_tune_mode_);
+      simtune::resolveTuneMode(requested_mode);
   if (resolution.effective == simtune::TuneMode::kOff) return Status::ok();
-  if (default_tuner_ == nullptr) {
-    default_tuner_ = std::make_shared<simtune::Tuner>();
+  if (tuner == nullptr) {
+    // Lazy default-tuner creation: re-check under the exclusive lock so
+    // concurrent launches agree on one instance.
+    std::unique_lock lock(defaults_mutex_);
+    if (default_tuner_ == nullptr) {
+      default_tuner_ = std::make_shared<simtune::Tuner>();
+    }
+    tuner = default_tuner_;
   }
   gpusim::Device& dev = *devices_[n];
-  if (default_tuner_->resolveConfig(dev.arch(), dev.costModel(), config)) {
+  if (tuner->resolveConfig(dev.arch(), dev.costModel(), config)) {
     if (device != nullptr && device->traceRecorder() != nullptr) {
       device->traceRecorder()->recordInstant(
           "tune cache hit: " + config.tuneKey, 0);
@@ -88,7 +102,7 @@ Status DeviceManager::resolveTuning(size_t n, omprt::TargetConfig& config,
     request.maxTrials = 64;
     request.check = config.check;
     const Result<simtune::TuneOutcome> tuned =
-        default_tuner_->tuneTarget(*device, config, *region, request);
+        tuner->tuneTarget(*device, config, *region, request);
     if (!tuned.isOk()) return tuned.status();
   }
   return Status::ok();
@@ -119,7 +133,7 @@ Result<gpusim::KernelStats> DeviceManager::launchOn(
   const Status tuned = resolveTuning(n, effective, devices_[n].get(), &region);
   if (!tuned.isOk()) return tuned;
   const simfault::ResilienceResolution resilience =
-      simfault::resolveResilienceMode(resilience_mode_);
+      simfault::resolveResilienceMode(defaultResilienceMode());
   if (resilience.effective == simfault::ResilienceMode::kOff) {
     return omprt::launchTarget(*devices_[n], effective, region);
   }
@@ -174,7 +188,7 @@ Result<gpusim::KernelStats> DeviceManager::launchResilient(
     return result.isOk();
   };
 
-  const simfault::ResiliencePolicy& policy = default_resilience_;
+  const simfault::ResiliencePolicy policy = defaultResiliencePolicy();
   auto& metrics = simprof::MetricsRegistry::global();
   // Recovery-rung instants on the device trace (when one is attached),
   // timestamped by attempt ordinal: recovery happens between launches,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -37,22 +38,34 @@ class DeviceManager {
   [[nodiscard]] DataEnvironment& dataEnv(size_t n) { return *envs_.at(n); }
   [[nodiscard]] TargetTaskQueue& taskQueue(size_t n) { return *queues_.at(n); }
 
+  // The setDefault* family may be called while launches are running on
+  // other threads (simserve reconfigures the manager it fronts), so the
+  // default fields are guarded by a shared_mutex: launches read them
+  // under a shared lock, setters write under an exclusive one, and the
+  // getters return copies taken under the shared lock.
+
   /// Default hostWorkers applied to launches whose config leaves it 0
   /// (auto). All devices share the process-wide BlockExecutor pool, so
   /// concurrent `device(n)` launches (sync from different host threads,
   /// or nowait tasks from the per-device helper threads) interleave
   /// their blocks over the same workers instead of serializing.
   void setDefaultHostWorkers(uint32_t workers) {
+    std::unique_lock lock(defaults_mutex_);
     default_host_workers_ = workers;
   }
   [[nodiscard]] uint32_t defaultHostWorkers() const {
+    std::shared_lock lock(defaults_mutex_);
     return default_host_workers_;
   }
 
   /// Default simcheck config applied to launches whose config leaves
   /// the mode kAuto (mirrors setDefaultHostWorkers).
-  void setDefaultCheck(simcheck::CheckConfig check) { default_check_ = check; }
-  [[nodiscard]] const simcheck::CheckConfig& defaultCheck() const {
+  void setDefaultCheck(simcheck::CheckConfig check) {
+    std::unique_lock lock(defaults_mutex_);
+    default_check_ = check;
+  }
+  [[nodiscard]] simcheck::CheckConfig defaultCheck() const {
+    std::shared_lock lock(defaults_mutex_);
     return default_check_;
   }
 
@@ -60,9 +73,11 @@ class DeviceManager {
   /// mode kAuto (mirrors setDefaultCheck). An unset default stays
   /// kAuto, so SIMTOMP_PROF still decides per launch.
   void setDefaultProfile(simprof::ProfileConfig profile) {
+    std::unique_lock lock(defaults_mutex_);
     default_profile_ = profile;
   }
-  [[nodiscard]] const simprof::ProfileConfig& defaultProfile() const {
+  [[nodiscard]] simprof::ProfileConfig defaultProfile() const {
+    std::shared_lock lock(defaults_mutex_);
     return default_profile_;
   }
 
@@ -75,13 +90,16 @@ class DeviceManager {
   /// first use, so `SIMTOMP_TUNE=1` works with zero code changes.
   void setDefaultTuner(std::shared_ptr<simtune::Tuner> tuner,
                        simtune::TuneMode mode = simtune::TuneMode::kAuto) {
+    std::unique_lock lock(defaults_mutex_);
     default_tuner_ = std::move(tuner);
     default_tune_mode_ = mode;
   }
-  [[nodiscard]] const std::shared_ptr<simtune::Tuner>& defaultTuner() const {
+  [[nodiscard]] std::shared_ptr<simtune::Tuner> defaultTuner() const {
+    std::shared_lock lock(defaults_mutex_);
     return default_tuner_;
   }
   [[nodiscard]] simtune::TuneMode defaultTuneMode() const {
+    std::shared_lock lock(defaults_mutex_);
     return default_tune_mode_;
   }
 
@@ -96,14 +114,16 @@ class DeviceManager {
   void setDefaultResilience(
       simfault::ResiliencePolicy policy,
       simfault::ResilienceMode mode = simfault::ResilienceMode::kAuto) {
+    std::unique_lock lock(defaults_mutex_);
     default_resilience_ = policy;
     resilience_mode_ = mode;
   }
-  [[nodiscard]] const simfault::ResiliencePolicy& defaultResiliencePolicy()
-      const {
+  [[nodiscard]] simfault::ResiliencePolicy defaultResiliencePolicy() const {
+    std::shared_lock lock(defaults_mutex_);
     return default_resilience_;
   }
   [[nodiscard]] simfault::ResilienceMode defaultResilienceMode() const {
+    std::shared_lock lock(defaults_mutex_);
     return resilience_mode_;
   }
 
@@ -171,6 +191,9 @@ class DeviceManager {
   std::vector<std::unique_ptr<gpusim::Device>> devices_;
   std::vector<std::unique_ptr<DataEnvironment>> envs_;
   std::vector<std::unique_ptr<TargetTaskQueue>> queues_;
+  /// Guards every default_* field (and resilience_mode_) below: shared
+  /// on the launch paths, exclusive in the setters.
+  mutable std::shared_mutex defaults_mutex_;
   uint32_t default_host_workers_ = 0;  ///< 0 = auto (env / hardware)
   simcheck::CheckConfig default_check_{};  ///< kAuto = env / off
   simprof::ProfileConfig default_profile_{};  ///< kAuto = env / off

@@ -42,6 +42,22 @@ constexpr MetricDef kCatalog[] = {
      "High-water mark of bytes staged through any sharing space"},
     {metric::kSharingOverflowsTotal, MetricType::kCounter,
      "Sharing-space overflows to global memory"},
+    {metric::kServeRequestsTotal, MetricType::kCounter,
+     "Launch requests submitted to any simserve LaunchService"},
+    {metric::kServeAcceptedTotal, MetricType::kCounter,
+     "Launch requests admitted past quota and queue bounds"},
+    {metric::kServeShedTotal, MetricType::kCounter,
+     "Launch requests shed (RESOURCE_EXHAUSTED) by admission control"},
+    {metric::kServeBatchesTotal, MetricType::kCounter,
+     "Same-kernel batches dispatched by the launch service"},
+    {metric::kServeMigrationsTotal, MetricType::kCounter,
+     "Requests migrated off a faulted device to a healthy shard"},
+    {metric::kServeQueueDepthPeak, MetricType::kGauge,
+     "High-water mark of the launch service's logical queue depth"},
+    {metric::kServeInFlightPeak, MetricType::kGauge,
+     "High-water mark of dispatched-not-retired launch requests"},
+    {metric::kServeLatencyCycles, MetricType::kHistogram,
+     "Modeled request latency (queue model + execution cycles)"},
 };
 
 static_assert(std::size(kCatalog) == MetricsRegistry::kNumMetrics,

@@ -68,6 +68,24 @@ inline constexpr std::string_view kSharingHighWaterBytes =
     "simtomp_sharing_space_high_water_bytes";
 inline constexpr std::string_view kSharingOverflowsTotal =
     "simtomp_sharing_overflows_total";
+// simserve launch-service metrics (service-level; per-tenant breakdowns
+// live in simserve::TenantStats, which the fixed catalog cannot hold).
+inline constexpr std::string_view kServeRequestsTotal =
+    "simtomp_serve_requests_total";
+inline constexpr std::string_view kServeAcceptedTotal =
+    "simtomp_serve_accepted_total";
+inline constexpr std::string_view kServeShedTotal =
+    "simtomp_serve_shed_total";
+inline constexpr std::string_view kServeBatchesTotal =
+    "simtomp_serve_batches_total";
+inline constexpr std::string_view kServeMigrationsTotal =
+    "simtomp_serve_migrations_total";
+inline constexpr std::string_view kServeQueueDepthPeak =
+    "simtomp_serve_queue_depth_peak";
+inline constexpr std::string_view kServeInFlightPeak =
+    "simtomp_serve_inflight_peak";
+inline constexpr std::string_view kServeLatencyCycles =
+    "simtomp_serve_latency_cycles";
 }  // namespace metric
 
 /// Process-wide registry over the fixed catalog. Thread-safe: counters
@@ -77,7 +95,7 @@ class MetricsRegistry {
   /// Histogram buckets: upper bounds 4^1 .. 4^14 cycles, plus +Inf.
   static constexpr size_t kHistogramBuckets = 15;
   /// Catalog size (static_asserted against allMetricDefs()).
-  static constexpr size_t kNumMetrics = 14;
+  static constexpr size_t kNumMetrics = 22;
 
   static MetricsRegistry& global();
 

@@ -1,0 +1,584 @@
+#include "simserve/service.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "simprof/metrics.h"
+
+namespace simtomp::simserve {
+
+namespace {
+
+constexpr size_t kNpos = std::numeric_limits<size_t>::max();
+
+/// Histogram bucket upper bound: 4^(i+1) (mirrors simprof's registry).
+uint64_t bucketBound(size_t i) { return uint64_t{1} << (2 * (i + 1)); }
+
+size_t bucketFor(uint64_t value) {
+  for (size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    if (value <= bucketBound(i)) return i;
+  }
+  return LatencyHistogram::kBuckets - 1;
+}
+
+std::string boundText(uint64_t bound) {
+  if (bound == std::numeric_limits<uint64_t>::max()) return "inf";
+  return std::to_string(bound);
+}
+
+}  // namespace
+
+std::string_view requestStateName(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kShed: return "shed";
+    case RequestState::kDispatched: return "dispatched";
+    case RequestState::kDone: return "done";
+    case RequestState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+uint64_t fingerprintHash(std::string_view fingerprint) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : fingerprint) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void LatencyHistogram::observe(uint64_t value) {
+  ++buckets_[bucketFor(value)];
+  ++count_;
+  sum_ += value;
+}
+
+uint64_t LatencyHistogram::quantileUpperBound(double q) const {
+  if (count_ == 0) return 0;
+  const auto rank = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      return i + 1 < kBuckets ? bucketBound(i)
+                              : std::numeric_limits<uint64_t>::max();
+    }
+  }
+  return std::numeric_limits<uint64_t>::max();
+}
+
+std::string LatencyHistogram::toString() const {
+  std::string out = "count=" + std::to_string(count_) +
+                    " sum=" + std::to_string(sum_) +
+                    " p50<=" + boundText(quantileUpperBound(0.5)) +
+                    " p99<=" + boundText(quantileUpperBound(0.99));
+  return out;
+}
+
+std::string TenantStats::toString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "submitted=%" PRIu64 " accepted=%" PRIu64 " shed=%" PRIu64
+                " evicted=%" PRIu64 " completed=%" PRIu64 " failed=%" PRIu64
+                " migrated=%" PRIu64 " batch_followers=%" PRIu64,
+                submitted, accepted, shed, evicted, completed, failed,
+                migrated, batchFollowers);
+  return std::string(buf) + " latency " + latency.toString();
+}
+
+LaunchService::LaunchService(hostrt::DeviceManager& manager,
+                             ServiceConfig config)
+    : mgr_(&manager), config_(config) {
+  if (config_.shardCount == 0) {
+    config_.shardCount = static_cast<uint32_t>(mgr_->numDevices());
+  }
+  if (config_.maxBatch == 0) config_.maxBatch = 1;
+  shardDevice_.assign(config_.shardCount, 0);
+  deviceServing_.assign(mgr_->numDevices(), true);
+  rebuildShardMapLocked();
+}
+
+Status LaunchService::registerTenant(TenantSpec spec) {
+  if (spec.name.empty()) {
+    return Status::invalidArgument("tenant name must not be empty");
+  }
+  if (spec.priority == 0) {
+    return Status::invalidArgument("tenant priority must be >= 1");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenantByName_.count(spec.name) != 0) {
+    return Status::invalidArgument("tenant already registered: " + spec.name);
+  }
+  const auto id = static_cast<uint32_t>(tenants_.size());
+  tenantByName_.emplace(spec.name, id);
+  tenants_.push_back(Tenant{std::move(spec), {}, 0, 0});
+  return Status::ok();
+}
+
+Result<uint64_t> LaunchService::submit(std::string_view tenant,
+                                       omprt::TargetConfig config,
+                                       omprt::TargetRegionFn region,
+                                       std::string fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenantByName_.find(tenant);
+  if (it == tenantByName_.end()) {
+    return Status::invalidArgument("unknown tenant: " + std::string(tenant));
+  }
+  Tenant& t = tenants_[it->second];
+  auto& metrics = simprof::MetricsRegistry::global();
+  ++t.stats.submitted;
+  metrics.add(simprof::metric::kServeRequestsTotal);
+
+  // Admission control. Every decision below reads logical state only,
+  // so the same submission sequence sheds the same requests for any
+  // worker count or shard count.
+  if (t.spec.maxQueued == 0 || t.spec.maxInFlight == 0) {
+    ++t.stats.shed;
+    metrics.add(simprof::metric::kServeShedTotal);
+    return Status::resourceExhausted("tenant '" + t.spec.name +
+                                     "' is suspended (zero quota)");
+  }
+  if (t.queued >= t.spec.maxQueued) {
+    ++t.stats.shed;
+    metrics.add(simprof::metric::kServeShedTotal);
+    return Status::resourceExhausted("tenant '" + t.spec.name +
+                                     "' queue quota exceeded");
+  }
+  if (queuedCount_ >= config_.maxQueued) {
+    // The global queue is full: RESOURCE_EXHAUSTED goes to the
+    // lowest-priority newest request — the incoming one unless it
+    // outranks the lowest queued priority class, in which case that
+    // class's newest request is evicted to make room.
+    auto lowest = classes_.rbegin();
+    while (lowest != classes_.rend() && lowest->second.fifo.empty()) {
+      ++lowest;
+    }
+    SIMTOMP_CHECK(lowest != classes_.rend(),
+                  "full queue must have a nonempty priority class");
+    if (t.spec.priority <= lowest->first) {
+      ++t.stats.shed;
+      metrics.add(simprof::metric::kServeShedTotal);
+      return Status::resourceExhausted("service queue full (" +
+                                       std::to_string(config_.maxQueued) +
+                                       "); lowest-priority newest shed");
+    }
+    const uint64_t victim_id = lowest->second.fifo.back();
+    lowest->second.fifo.pop_back();
+    shedRequest(requests_[victim_id], /*evicted=*/true,
+                "evicted by higher-priority arrival");
+  }
+
+  const uint64_t id = requests_.size();
+  if (fingerprint.empty()) {
+    if (!config.tuneKey.empty()) {
+      fingerprint = config.tuneKey + "/t" + std::to_string(config.tripCount);
+    } else {
+      fingerprint = "anon/" + std::to_string(config.numTeams) + "x" +
+                    std::to_string(config.threadsPerTeam) + "/s" +
+                    std::to_string(config.simdlen) + "/t" +
+                    std::to_string(config.tripCount);
+    }
+  }
+  Request request;
+  request.id = id;
+  request.tenant = it->second;
+  request.shard = static_cast<uint32_t>(fingerprintHash(fingerprint) %
+                                        shardDevice_.size());
+  request.fingerprint = std::move(fingerprint);
+  request.config = std::move(config);
+  request.region = std::move(region);
+  request.aheadAtAdmission = queuedCount_;
+  requests_.push_back(std::move(request));
+  classes_[t.spec.priority].fifo.push_back(id);
+  ++queuedCount_;
+  ++t.queued;
+  ++t.stats.accepted;
+  metrics.add(simprof::metric::kServeAcceptedTotal);
+  peakQueueDepth_ = std::max(peakQueueDepth_, queuedCount_);
+  metrics.gaugeMax(simprof::metric::kServeQueueDepthPeak, peakQueueDepth_);
+  return id;
+}
+
+void LaunchService::shedRequest(Request& request, bool evicted,
+                                std::string why) {
+  request.state = RequestState::kShed;
+  request.status = Status::resourceExhausted(std::move(why));
+  Tenant& t = tenants_[request.tenant];
+  ++t.stats.shed;
+  if (evicted) ++t.stats.evicted;
+  SIMTOMP_CHECK(queuedCount_ > 0 && t.queued > 0,
+                "evicting a request that was not queued");
+  --queuedCount_;
+  --t.queued;
+  auto& metrics = simprof::MetricsRegistry::global();
+  metrics.add(simprof::metric::kServeShedTotal);
+}
+
+size_t LaunchService::firstEligible(const PriorityClass& cls) const {
+  for (size_t pos = 0; pos < cls.fifo.size(); ++pos) {
+    if (tenantHasBudget(tenants_[requests_[cls.fifo[pos]].tenant])) {
+      return pos;
+    }
+  }
+  return kNpos;
+}
+
+void LaunchService::dispatchLocked(Request& request, size_t device,
+                                   const omprt::TargetConfig& resolved,
+                                   bool batch_follower) {
+  omprt::TargetConfig cfg = resolved;
+  // Per-request knobs survive batch resolution: the fault plan and
+  // watchdog budget belong to the request, not the kernel fingerprint.
+  cfg.fault = request.config.fault;
+  cfg.watchdogSteps = request.config.watchdogSteps;
+  request.future = mgr_->taskQueue(device).enqueue(cfg, request.region);
+  request.state = RequestState::kDispatched;
+  request.device = static_cast<uint32_t>(device);
+  request.batchFollower = batch_follower;
+  request.modeledLatency =
+      request.aheadAtAdmission * kQueueSlotCycles +
+      (batch_follower ? kBatchFollowCycles : kDispatchCycles);
+  Tenant& t = tenants_[request.tenant];
+  SIMTOMP_CHECK(queuedCount_ > 0 && t.queued > 0,
+                "dispatching a request that was not queued");
+  --queuedCount_;
+  --t.queued;
+  ++t.dispatchedSinceDrain;
+  if (batch_follower) ++t.stats.batchFollowers;
+  ++dispatchedTotal_;
+  dispatchOrder_.push_back(request.id);
+}
+
+void LaunchService::notePumpWatermarksLocked() {
+  peakInFlight_ = std::max(peakInFlight_, dispatchedTotal_ - retiredTotal_);
+  simprof::MetricsRegistry::global().gaugeMax(
+      simprof::metric::kServeInFlightPeak, peakInFlight_);
+}
+
+size_t LaunchService::pump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dispatched = 0;
+  const bool any_serving =
+      std::any_of(deviceServing_.begin(), deviceServing_.end(),
+                  [](bool serving) { return serving; });
+  if (!any_serving) {
+    notePumpWatermarksLocked();
+    return 0;
+  }
+  auto& metrics = simprof::MetricsRegistry::global();
+  for (;;) {
+    // Pick the highest-priority class that has round credits and an
+    // eligible request (one whose tenant still has dispatch budget).
+    auto pick = classes_.end();
+    size_t pick_pos = 0;
+    bool any_eligible = false;
+    for (auto it = classes_.begin(); it != classes_.end(); ++it) {
+      PriorityClass& cls = it->second;
+      if (cls.fifo.empty()) continue;
+      const size_t pos = firstEligible(cls);
+      if (pos == kNpos) continue;
+      any_eligible = true;
+      if (cls.credits > 0) {
+        pick = it;
+        pick_pos = pos;
+        break;
+      }
+    }
+    if (!any_eligible) break;
+    if (pick == classes_.end()) {
+      // Every eligible class exhausted its round: replenish credits
+      // proportionally to priority — the "weighted" in the round robin.
+      for (auto& [priority, cls] : classes_) {
+        if (!cls.fifo.empty() && firstEligible(cls) != kNpos) {
+          cls.credits = priority;
+        }
+      }
+      continue;
+    }
+
+    PriorityClass& cls = pick->second;
+    Request& leader = requests_[cls.fifo[pick_pos]];
+    const size_t device = shardDevice_[leader.shard];
+    // One effective-config resolution (manager defaults, tune cache,
+    // auto shape) serves the whole batch — the amortization batching
+    // exists for.
+    const omprt::TargetConfig resolved =
+        mgr_->effectiveConfig(device, leader.config);
+    cls.fifo.erase(cls.fifo.begin() + static_cast<ptrdiff_t>(pick_pos));
+    --cls.credits;
+    dispatchLocked(leader, device, resolved, /*batch_follower=*/false);
+    ++dispatched;
+    // Followers ride the leader's credit: a batch is one dispatch plan,
+    // so it costs one scheduling slot however many requests it carries.
+    uint32_t batch = 1;
+    while (batch < config_.maxBatch && pick_pos < cls.fifo.size()) {
+      Request& next = requests_[cls.fifo[pick_pos]];
+      if (next.fingerprint != leader.fingerprint) break;
+      if (!tenantHasBudget(tenants_[next.tenant])) break;
+      cls.fifo.erase(cls.fifo.begin() + static_cast<ptrdiff_t>(pick_pos));
+      dispatchLocked(next, device, resolved, /*batch_follower=*/true);
+      ++batch;
+      ++dispatched;
+    }
+    ++batches_;
+    amortized_ += batch - 1;
+    metrics.add(simprof::metric::kServeBatchesTotal);
+  }
+  notePumpWatermarksLocked();
+  return dispatched;
+}
+
+Status LaunchService::drain() {
+  for (;;) {
+    std::vector<uint64_t> to_retire;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      to_retire.assign(
+          dispatchOrder_.begin() + static_cast<ptrdiff_t>(retireCursor_),
+          dispatchOrder_.end());
+      retireCursor_ = dispatchOrder_.size();
+    }
+    if (to_retire.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Tenant& t : tenants_) t.dispatchedSinceDrain = 0;
+      return Status::ok();
+    }
+    std::vector<uint64_t> migrate;
+    for (const uint64_t id : to_retire) {
+      Request* request = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        request = &requests_[id];  // deque references are stable
+      }
+      // Blocking wait outside the service lock: submitters must stay
+      // free while the device queues run down.
+      const Result<gpusim::KernelStats> result = request->future.get();
+      std::lock_guard<std::mutex> lock(mu_);
+      auto& metrics = simprof::MetricsRegistry::global();
+      Tenant& t = tenants_[request->tenant];
+      if (result.isOk()) {
+        request->cycles = result.value().cycles;
+        request->modeledLatency += request->cycles;
+        request->state = RequestState::kDone;
+        ++t.stats.completed;
+        t.stats.latency.observe(request->modeledLatency);
+        metrics.observe(simprof::metric::kServeLatencyCycles,
+                        request->modeledLatency);
+        ++retiredTotal_;
+      } else if (result.status().code() == StatusCode::kUnavailable) {
+        // Device lost: quiesce it now; migration happens once this
+        // wave's futures are all in, so ordering is preserved.
+        deviceServing_[request->device] = false;
+        migrate.push_back(id);
+      } else {
+        request->status = result.status();
+        request->state = RequestState::kFailed;
+        ++t.stats.failed;
+        ++retiredTotal_;
+      }
+    }
+    if (!migrate.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const Status migrated = migrateLocked(migrate);
+      if (!migrated.isOk()) return migrated;
+    }
+    // Loop: the migrated re-dispatches appended to dispatchOrder_ and
+    // are retired by the next pass.
+  }
+}
+
+Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
+  // Reset every quiesced device that still reports non-reset health:
+  // all of its in-flight work was retired above, so this is the
+  // drain -> quiesce -> reset step of the health machine.
+  for (size_t d = 0; d < deviceServing_.size(); ++d) {
+    if (!deviceServing_[d] &&
+        mgr_->deviceHealth(d) != simfault::DeviceHealth::kReset) {
+      mgr_->resetDevice(d);
+    }
+  }
+  rebuildShardMapLocked();
+  const bool any_serving =
+      std::any_of(deviceServing_.begin(), deviceServing_.end(),
+                  [](bool serving) { return serving; });
+  auto& metrics = simprof::MetricsRegistry::global();
+  if (!any_serving) {
+    for (const uint64_t id : ids) {
+      Request& request = requests_[id];
+      request.status =
+          Status::unavailable("no healthy device left for migration");
+      request.state = RequestState::kFailed;
+      ++tenants_[request.tenant].stats.failed;
+      ++retiredTotal_;
+    }
+    return Status::unavailable("launch service lost every device");
+  }
+  for (const uint64_t id : ids) {
+    Request& request = requests_[id];
+    Tenant& t = tenants_[request.tenant];
+    request.migrated = true;
+    ++t.stats.migrated;
+    ++migratedTotal_;
+    metrics.add(simprof::metric::kServeMigrationsTotal);
+    // The fault modeled the *device* dying, not the request being
+    // poisonous — the migrated copy must not re-arm device loss on the
+    // healthy device.
+    request.config.fault.spec = "off";
+    request.modeledLatency += kDispatchCycles;
+    const size_t device = shardDevice_[request.shard];
+    const omprt::TargetConfig resolved =
+        mgr_->effectiveConfig(device, request.config);
+    omprt::TargetConfig cfg = resolved;
+    cfg.fault = request.config.fault;
+    cfg.watchdogSteps = request.config.watchdogSteps;
+    request.future = mgr_->taskQueue(device).enqueue(cfg, request.region);
+    request.device = static_cast<uint32_t>(device);
+    request.state = RequestState::kDispatched;
+    dispatchOrder_.push_back(id);
+  }
+  return Status::ok();
+}
+
+void LaunchService::rebuildShardMapLocked() {
+  std::vector<size_t> serving;
+  for (size_t d = 0; d < deviceServing_.size(); ++d) {
+    if (deviceServing_[d]) serving.push_back(d);
+  }
+  if (serving.empty()) return;  // pump()/migrateLocked() guard on this
+  for (size_t s = 0; s < shardDevice_.size(); ++s) {
+    shardDevice_[s] = serving[s % serving.size()];
+  }
+}
+
+Status LaunchService::runToCompletion() {
+  for (;;) {
+    const size_t pumped = pump();
+    size_t retired_before = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      retired_before = retireCursor_;
+    }
+    const Status drained = drain();
+    if (!drained.isOk()) return drained;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queuedCount_ == 0 && retireCursor_ == dispatchOrder_.size()) {
+      return Status::ok();
+    }
+    // Retiring counts as progress: it resets in-flight budgets, so the
+    // next pump can dispatch work this one could not.
+    if (pumped == 0 && retireCursor_ == retired_before) {
+      return Status::unavailable(
+          "launch service stalled: queued work but nothing dispatchable");
+    }
+  }
+}
+
+void LaunchService::reviveDevice(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIMTOMP_CHECK(n < deviceServing_.size(), "device number out of range");
+  deviceServing_[n] = true;
+  rebuildShardMapLocked();
+}
+
+size_t LaunchService::queuedRequests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queuedCount_;
+}
+
+uint64_t LaunchService::dispatchedOutstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatchedTotal_ - retiredTotal_;
+}
+
+uint64_t LaunchService::peakInFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peakInFlight_;
+}
+
+uint64_t LaunchService::batchesDispatched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+uint64_t LaunchService::amortizedResolutions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return amortized_;
+}
+
+RequestOutcome LaunchService::outcome(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIMTOMP_CHECK(id < requests_.size(), "request id out of range");
+  const Request& request = requests_[id];
+  RequestOutcome out;
+  out.state = request.state;
+  out.status = request.status;
+  out.cycles = request.cycles;
+  out.modeledLatencyCycles = request.modeledLatency;
+  out.device = request.device;
+  out.shard = request.shard;
+  out.batchFollower = request.batchFollower;
+  out.migrated = request.migrated;
+  return out;
+}
+
+std::vector<uint64_t> LaunchService::dispatchOrder() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dispatchOrder_;
+}
+
+size_t LaunchService::shardCount() const { return shardDevice_.size(); }
+
+size_t LaunchService::shardDevice(size_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIMTOMP_CHECK(shard < shardDevice_.size(), "shard out of range");
+  return shardDevice_[shard];
+}
+
+bool LaunchService::deviceServing(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIMTOMP_CHECK(n < deviceServing_.size(), "device number out of range");
+  return deviceServing_[n];
+}
+
+TenantStats LaunchService::tenantStats(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenantByName_.find(name);
+  SIMTOMP_CHECK(it != tenantByName_.end(), "unknown tenant");
+  return tenants_[it->second].stats;
+}
+
+void LaunchService::dumpStats(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantStats totals;
+  for (const Tenant& t : tenants_) {
+    totals.submitted += t.stats.submitted;
+    totals.accepted += t.stats.accepted;
+    totals.shed += t.stats.shed;
+    totals.evicted += t.stats.evicted;
+    totals.completed += t.stats.completed;
+    totals.failed += t.stats.failed;
+    totals.migrated += t.stats.migrated;
+    totals.batchFollowers += t.stats.batchFollowers;
+  }
+  out << "simserve stats v1\n";
+  out << "service: submitted=" << totals.submitted
+      << " accepted=" << totals.accepted << " shed=" << totals.shed
+      << " completed=" << totals.completed << " failed=" << totals.failed
+      << " migrated=" << totals.migrated << " batches=" << batches_
+      << " amortized_resolutions=" << amortized_
+      << " peak_queue_depth=" << peakQueueDepth_
+      << " peak_inflight=" << peakInFlight_ << "\n";
+  // tenantByName_ is name-sorted, which makes the dump order stable.
+  for (const auto& [name, id] : tenantByName_) {
+    const Tenant& t = tenants_[id];
+    out << "tenant " << name << ": priority=" << t.spec.priority << " "
+        << t.stats.toString() << "\n";
+  }
+}
+
+}  // namespace simtomp::simserve

@@ -1,0 +1,291 @@
+// simserve: a multi-tenant launch service in front of DeviceManager.
+//
+// The runtime below this layer executes one launch per call; simserve
+// treats launches as *requests* from named tenants and serves many of
+// them across the manager's simulated devices:
+//
+//   - sharded submission: requests are hashed by kernel fingerprint
+//     onto shards, and each shard maps to a device, so same-kernel
+//     requests co-locate (tune-cache and dispatch-plan reuse).
+//   - admission control: per-tenant quotas (maxQueued, maxInFlight)
+//     and a global queue bound, with deterministic shedding — on
+//     overflow the lowest-priority newest queued request (possibly the
+//     incoming one) gets RESOURCE_EXHAUSTED.
+//   - deterministic weighted scheduling: requests are queued in
+//     priority classes; classes are served by deficit-weighted round
+//     robin (a class with priority p gets p dispatches per round) and
+//     *within* a class strictly by arrival sequence — so all-equal
+//     priorities degrade to global arrival order.
+//   - same-kernel batching: adjacent queued requests with one
+//     fingerprint dispatch as a batch that resolves the effective
+//     config (defaults, tune cache, auto shape) once.
+//   - fault handling: a launch failing with UNAVAILABLE quiesces its
+//     device (simfault health machine: faulted -> reset), reassigns
+//     the device's shards to healthy devices, and re-dispatches the
+//     failed requests in their original dispatch order — accepted
+//     requests are never lost or reordered within their shard.
+//
+// Determinism contract: given the same submission sequence and the
+// same pump()/drain() call structure, every published statistic —
+// per-tenant counts and modeled-latency histograms, batch and
+// migration counters — is byte-identical for any SIMTOMP_HOST_WORKERS
+// and any shard count (over homogeneous devices). This holds because
+// every decision that feeds a statistic is a pure function of logical
+// state (arrival sequence, tenant, priority, queue contents) and of
+// modeled cycles, never of wall-clock or thread interleaving. The
+// physical interleaving of executions varies freely; the stats do not.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hostrt/device_manager.h"
+#include "omprt/target.h"
+#include "support/status.h"
+
+namespace simtomp::simserve {
+
+/// A named client of the launch service.
+struct TenantSpec {
+  std::string name;
+  /// Scheduling weight: a priority-p class receives p dispatches per
+  /// round for each 1 a priority-1 class receives. Must be >= 1.
+  uint32_t priority = 1;
+  /// Dispatch budget between drains (caps device-queue occupancy per
+  /// wave). 0 suspends the tenant: every submission is shed.
+  uint32_t maxInFlight = 64;
+  /// Admitted-but-undispatched cap. 0 suspends the tenant.
+  uint32_t maxQueued = 256;
+};
+
+struct ServiceConfig {
+  /// Submission shards (kernel fingerprints hash onto shards, shards
+  /// map onto devices). 0 = one shard per device.
+  uint32_t shardCount = 0;
+  /// Global logical-queue bound; beyond it the shedding rule applies.
+  uint64_t maxQueued = 4096;
+  /// Same-fingerprint coalescing bound per dispatch (1 disables
+  /// batching).
+  uint32_t maxBatch = 16;
+};
+
+enum class RequestState : uint8_t {
+  kQueued = 0,  ///< admitted, awaiting dispatch
+  kShed,        ///< refused (or evicted) by admission control
+  kDispatched,  ///< handed to a device task queue
+  kDone,        ///< completed successfully
+  kFailed,      ///< completed with a non-ok status
+};
+
+[[nodiscard]] std::string_view requestStateName(RequestState state);
+
+// Modeled-latency constants (cycles). A request's modeled latency is
+//   aheadAtAdmission * kQueueSlotCycles        (queueing model)
+// + kDispatchCycles or kBatchFollowCycles      (dispatch; followers
+//                                               amortize the batch
+//                                               leader's resolution)
+// + kDispatchCycles per migration              (re-dispatch overhead)
+// + its own KernelStats.cycles                 (execution).
+// Every term is logical or modeled, hence reproducible.
+inline constexpr uint64_t kQueueSlotCycles = 16;
+inline constexpr uint64_t kDispatchCycles = 256;
+inline constexpr uint64_t kBatchFollowCycles = 32;
+
+/// Power-of-4 bucket histogram (4^1 .. 4^14, +Inf) mirroring the
+/// simprof registry's layout, with deterministic quantile bounds.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 15;
+
+  void observe(uint64_t value);
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+  [[nodiscard]] uint64_t sum() const { return sum_; }
+  /// Upper bound of the bucket containing the q-quantile observation
+  /// (0 when empty; UINT64_MAX for the +Inf bucket).
+  [[nodiscard]] uint64_t quantileUpperBound(double q) const;
+  /// "count=N sum=S p50<=X p99<=Y" (X/Y print "inf" for +Inf).
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+/// Per-tenant service counters; toString() is a byte-identity surface.
+struct TenantStats {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;      ///< refused at submit or evicted later
+  uint64_t evicted = 0;   ///< subset of shed: displaced after admission
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t migrated = 0;  ///< re-dispatched off a faulted device
+  uint64_t batchFollowers = 0;
+  LatencyHistogram latency;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Snapshot of one request's lifecycle.
+struct RequestOutcome {
+  RequestState state = RequestState::kQueued;
+  Status status;
+  uint64_t cycles = 0;                ///< KernelStats.cycles when done
+  uint64_t modeledLatencyCycles = 0;  ///< final only when done
+  uint32_t device = 0;                ///< last device dispatched to
+  uint32_t shard = 0;
+  bool batchFollower = false;
+  bool migrated = false;
+};
+
+/// The launch service. submit() is safe from any thread; pump(),
+/// drain() and runToCompletion() must be driven by one service thread
+/// (they are the scheduler, and the deterministic dispatch order is
+/// defined by that single consumer).
+class LaunchService {
+ public:
+  explicit LaunchService(hostrt::DeviceManager& manager,
+                         ServiceConfig config = {});
+
+  LaunchService(const LaunchService&) = delete;
+  LaunchService& operator=(const LaunchService&) = delete;
+
+  /// Register a tenant before it submits. Rejects duplicates, empty
+  /// names and priority 0.
+  Status registerTenant(TenantSpec spec);
+
+  /// Admit (or deterministically shed) one launch request. Returns the
+  /// request id on admission; RESOURCE_EXHAUSTED when this request was
+  /// shed; INVALID_ARGUMENT for unknown tenants. `fingerprint` keys
+  /// sharding and batching ("" derives one from tuneKey/shape —
+  /// callers wanting co-location should pass a stable kernel name).
+  Result<uint64_t> submit(std::string_view tenant,
+                          omprt::TargetConfig config,
+                          omprt::TargetRegionFn region,
+                          std::string fingerprint = "");
+
+  /// Dispatch every eligible queued request into the device task
+  /// queues, in the deterministic weighted order, forming same-kernel
+  /// batches. Returns the number dispatched.
+  size_t pump();
+
+  /// Retire every dispatched request (blocking on the device queues),
+  /// migrating UNAVAILABLE failures to healthy devices. Resets the
+  /// per-tenant in-flight budgets. Non-ok only when no healthy device
+  /// remains for work that still needs one.
+  Status drain();
+
+  /// pump()/drain() cycles until the logical queue is empty and every
+  /// dispatched request retired.
+  Status runToCompletion();
+
+  /// Re-admit a quiesced device (after drain() reset it) and restore
+  /// the canonical shard mapping over the serving devices.
+  void reviveDevice(size_t n);
+
+  [[nodiscard]] size_t queuedRequests() const;
+  [[nodiscard]] uint64_t dispatchedOutstanding() const;
+  /// High-water mark of dispatched-not-retired requests, measured at
+  /// pump boundaries (logical, hence deterministic).
+  [[nodiscard]] uint64_t peakInFlight() const;
+  [[nodiscard]] uint64_t batchesDispatched() const;
+  /// Tune-cache/config resolutions saved by batching (batch sizes - 1).
+  [[nodiscard]] uint64_t amortizedResolutions() const;
+  [[nodiscard]] RequestOutcome outcome(uint64_t id) const;
+  /// Request ids in dispatch order (re-dispatches append again).
+  [[nodiscard]] std::vector<uint64_t> dispatchOrder() const;
+  [[nodiscard]] size_t shardCount() const;
+  [[nodiscard]] size_t shardDevice(size_t shard) const;
+  [[nodiscard]] bool deviceServing(size_t n) const;
+  /// Copy of a tenant's stats (aborts on unknown name).
+  [[nodiscard]] TenantStats tenantStats(std::string_view name) const;
+
+  /// Deterministic stats dump: service totals plus per-tenant lines,
+  /// tenants sorted by name. The byte-compare surface for CI.
+  void dumpStats(std::ostream& out) const;
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    TenantStats stats;
+    uint64_t queued = 0;
+    uint64_t dispatchedSinceDrain = 0;
+  };
+
+  struct Request {
+    uint64_t id = 0;
+    uint32_t tenant = 0;
+    uint32_t shard = 0;
+    std::string fingerprint;
+    omprt::TargetConfig config;
+    omprt::TargetRegionFn region;
+    RequestState state = RequestState::kQueued;
+    uint64_t aheadAtAdmission = 0;
+    uint64_t modeledLatency = 0;
+    uint64_t cycles = 0;
+    uint32_t device = 0;
+    bool batchFollower = false;
+    bool migrated = false;
+    Status status;
+    std::future<Result<gpusim::KernelStats>> future;
+  };
+
+  /// One priority class: a global-FIFO deque of request ids plus the
+  /// class's remaining round credits.
+  struct PriorityClass {
+    std::deque<uint64_t> fifo;
+    uint32_t credits = 0;
+  };
+
+  [[nodiscard]] bool tenantHasBudget(const Tenant& t) const {
+    return t.dispatchedSinceDrain < t.spec.maxInFlight;
+  }
+  /// First fifo position whose tenant still has dispatch budget, or
+  /// npos.
+  [[nodiscard]] size_t firstEligible(const PriorityClass& cls) const;
+  void shedRequest(Request& request, bool evicted, std::string why);
+  void dispatchLocked(Request& request, size_t device,
+                      const omprt::TargetConfig& resolved,
+                      bool batch_follower);
+  void rebuildShardMapLocked();
+  [[nodiscard]] Status migrateLocked(const std::vector<uint64_t>& ids);
+  void notePumpWatermarksLocked();
+
+  hostrt::DeviceManager* mgr_;
+  ServiceConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<Tenant> tenants_;
+  std::map<std::string, uint32_t, std::less<>> tenantByName_;
+  std::deque<Request> requests_;  ///< id == index; references stable
+  /// Priority classes, highest priority first.
+  std::map<uint32_t, PriorityClass, std::greater<uint32_t>> classes_;
+  std::vector<uint64_t> dispatchOrder_;
+  size_t retireCursor_ = 0;  ///< next dispatchOrder_ entry to retire
+  std::vector<size_t> shardDevice_;
+  std::vector<bool> deviceServing_;
+  uint64_t queuedCount_ = 0;
+  uint64_t dispatchedTotal_ = 0;
+  uint64_t retiredTotal_ = 0;
+  uint64_t peakInFlight_ = 0;
+  uint64_t peakQueueDepth_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t amortized_ = 0;
+  uint64_t migratedTotal_ = 0;
+};
+
+/// FNV-1a over the fingerprint — stable across platforms (std::hash is
+/// not), so shard placement is part of the reproducibility contract.
+[[nodiscard]] uint64_t fingerprintHash(std::string_view fingerprint);
+
+}  // namespace simtomp::simserve

@@ -9,9 +9,11 @@
 // kernel is launched.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <thread>
 #include <memory>
 #include <optional>
 #include <string>
@@ -243,6 +245,47 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Channel>& param_info) {
       return std::string(param_info.param.name);
     });
+
+// The setDefault* family is documented safe against concurrent
+// launches (simserve reconfigures the manager it fronts while tenants
+// keep submitting): every default field sits behind a shared_mutex.
+// This test hammers every setter from one thread while another
+// launches; it is part of the TSan suite (hostrt_ matches the stage-2
+// regex in tools/ci.sh), where a missing lock shows up as a reported
+// race rather than a flaky value.
+TEST(DefaultsConcurrencyTest, SettersDoNotRaceLaunches) {
+  DeviceManager mgr({ArchSpec::testTiny()});
+  std::atomic<bool> stop{false};
+  std::thread setter([&] {
+    uint32_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      mgr.setDefaultHostWorkers(1 + (i % 4));
+      mgr.setDefaultCheck(simcheck::CheckConfig{
+          (i % 2) != 0u ? simcheck::CheckMode::kReport
+                        : simcheck::CheckMode::kOff,
+          16});
+      mgr.setDefaultProfile({});
+      mgr.setDefaultTuner(std::make_shared<simtune::Tuner>(),
+                          simtune::TuneMode::kOff);
+      mgr.setDefaultResilience({}, simfault::ResilienceMode::kOff);
+      ++i;
+    }
+  });
+  omprt::TargetConfig config;
+  config.teamsMode = omprt::ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = 64;
+  config.hostWorkers = 0;  // force the default_host_workers_ read path
+  config.check.mode = simcheck::CheckMode::kAuto;  // default_check_ read
+  config.fault.spec = "off";
+  for (int i = 0; i < 50; ++i) {
+    const auto stats = mgr.launchOn(0, config, [](omprt::OmpContext&) {});
+    EXPECT_TRUE(stats.isOk());
+    (void)mgr.effectiveConfig(0, config);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  setter.join();
+}
 
 }  // namespace
 }  // namespace simtomp::hostrt

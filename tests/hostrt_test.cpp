@@ -228,6 +228,77 @@ TEST(AsyncTest, InvalidConfigSurfacesThroughFuture) {
   EXPECT_FALSE(result.isOk());
 }
 
+TEST(AsyncTest, DrainIsSafeAgainstConcurrentEnqueue) {
+  // The multi-producer contract simserve relies on: drain() waits for
+  // everything enqueued before it, and returns even while another
+  // thread keeps pumping new tasks into the queue.
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  std::atomic<int> pre_drain_runs{0};
+  constexpr int kPreDrain = 8;
+  for (int i = 0; i < kPreDrain; ++i) {
+    (void)queue.enqueue(tinyConfig(), [&](omprt::OmpContext& ctx) {
+      if (ctx.gpu().threadId() == 0) pre_drain_runs++;
+    });
+  }
+  // Bounded producer: an unbounded enqueue loop can outpace the worker
+  // by orders of magnitude (especially under TSan), leaving the final
+  // drain with an arbitrarily large backlog to retire.
+  constexpr int kRacing = 64;
+  std::thread producer([&] {
+    for (int i = 0; i < kRacing; ++i) {
+      (void)queue.enqueue(tinyConfig(), [](omprt::OmpContext&) {});
+    }
+  });
+  queue.drain();  // must not hang despite the racing producer
+  EXPECT_GE(pre_drain_runs.load(), kPreDrain);
+  producer.join();
+  queue.drain();  // no producer left: retires everything submitted
+  EXPECT_EQ(queue.completedTasks(), queue.enqueuedTasks());
+  EXPECT_EQ(queue.pendingTasks(), 0u);
+}
+
+TEST(AsyncTest, DrainWaitsForTasksEnqueuedBeforeIt) {
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 6; ++i) {
+    (void)queue.enqueue(tinyConfig(), [&](omprt::OmpContext& ctx) {
+      ctx.gpu().work(5);
+      if (ctx.gpu().threadId() == 0) runs++;
+    });
+  }
+  queue.drain();
+  // Every pre-drain task retired, not merely resolved.
+  EXPECT_EQ(runs.load(), 6);
+  EXPECT_EQ(queue.completedTasks(), 6u);
+  EXPECT_EQ(queue.enqueuedTasks(), 6u);
+}
+
+TEST(AsyncTest, ConcurrentEnqueueFromManyProducers) {
+  Device dev(ArchSpec::testTiny());
+  TargetTaskQueue queue(dev);
+  std::atomic<int> runs{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 8;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        (void)queue.enqueue(tinyConfig(), [&](omprt::OmpContext& ctx) {
+          if (ctx.gpu().threadId() == 0) runs++;
+        });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.drain();
+  EXPECT_EQ(runs.load(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.completedTasks(),
+            static_cast<uint64_t>(kProducers * kPerProducer));
+}
+
 TEST(AsyncTest, ShutdownDrainsOutstandingTasks) {
   Device dev(ArchSpec::testTiny());
   std::atomic<int> runs{0};

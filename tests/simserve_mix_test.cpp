@@ -1,0 +1,104 @@
+// Mix grammar, seeded generation and replay tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hostrt/device_manager.h"
+#include "simserve/mix.h"
+
+namespace simtomp::simserve {
+namespace {
+
+using gpusim::ArchSpec;
+
+TEST(MixTest, GeneratorIsDeterministic) {
+  MixProfile profile;
+  profile.seed = 7;
+  profile.requests = 48;
+  profile.tenants = 3;
+  profile.pumpEvery = 16;
+  profile.faultPermille = 50;
+  const std::string a = generateMix(profile).toString();
+  const std::string b = generateMix(profile).toString();
+  EXPECT_EQ(a, b);
+  profile.seed = 8;
+  EXPECT_NE(a, generateMix(profile).toString());
+}
+
+TEST(MixTest, TextRoundTrips) {
+  MixProfile profile;
+  profile.requests = 32;
+  profile.faultPermille = 100;
+  const Mix mix = generateMix(profile);
+  const std::string text = mix.toString();
+  const Result<Mix> parsed = parseMixText(text);
+  ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+  EXPECT_EQ(parsed.value().toString(), text);
+  EXPECT_EQ(parsed.value().requestCount(), mix.requestCount());
+}
+
+TEST(MixTest, ParserRejectsBadInput) {
+  const char* bad[] = {
+      "launch t0 axpy trip=64",            // unknown directive
+      "req t0 warp trip=64",               // unknown kernel
+      "req t0 axpy trip=64 color=red",     // unknown key
+      "req t0 axpy trip=sixty",            // non-numeric value
+      "req t0 axpy simdlen=4",             // missing trip
+      "req t0 axpy trip=64 simdlen=0",     // zero simdlen
+      "tenant",                            // missing name
+      "tenant t0 priority",                // not key=value
+  };
+  for (const char* text : bad) {
+    const Result<Mix> parsed = parseMixText(text);
+    EXPECT_FALSE(parsed.isOk()) << text;
+    if (!parsed.isOk()) {
+      EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+          << text;
+    }
+  }
+  EXPECT_TRUE(parseMixText("# only a comment\n\n").isOk());
+}
+
+TEST(MixTest, ReplayCompletesAndVerifies) {
+  MixProfile profile;
+  profile.seed = 3;
+  profile.requests = 24;
+  profile.tenants = 2;
+  profile.pumpEvery = 8;
+  const Mix mix = generateMix(profile);
+
+  hostrt::DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::testTiny()});
+  LaunchService service(mgr);
+  const Result<ReplayReport> report = replayMix(service, mix);
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_EQ(report.value().submitted, 24u);
+  EXPECT_EQ(report.value().admitted, 24u);
+  EXPECT_EQ(report.value().verified, 24u);
+  EXPECT_EQ(report.value().verifyFailures, 0u);
+  EXPECT_EQ(service.queuedRequests(), 0u);
+}
+
+TEST(MixTest, ReplayMigratesInjectedDeviceLoss) {
+  const char* text =
+      "tenant a priority=1 inflight=64 queued=64\n"
+      "req a axpy trip=64 simdlen=4\n"
+      "req a axpy trip=64 simdlen=4 fault=device_lost_post:count=1\n"
+      "req a stencil trip=64 simdlen=2\n"
+      "pump\n"
+      "drain\n";
+  const Result<Mix> mix = parseMixText(text);
+  ASSERT_TRUE(mix.isOk()) << mix.status().toString();
+
+  hostrt::DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::testTiny()});
+  LaunchService service(mgr);
+  const Result<ReplayReport> report = replayMix(service, mix.value());
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_EQ(report.value().verified, 3u);
+  const TenantStats stats = service.tenantStats("a");
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.migrated, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+}  // namespace
+}  // namespace simtomp::simserve

@@ -37,6 +37,13 @@
 #          the dumped KernelStats must be byte-identical, and the
 #          barrier-bound reduce series must clear a 3x
 #          modeled-cycles-per-host-second gate.
+# Stage 9: launch-service determinism + throughput guard; a seeded
+#          request mix replays through simtomp_serve twice at 1 host
+#          worker and once each at 8 workers and a prime shard count,
+#          and all per-tenant stat dumps must be byte-identical; the
+#          serve_throughput bench then gates >= 1000 concurrent
+#          in-flight launches across 4 devices and emits
+#          BENCH_serving.json.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -57,7 +64,7 @@ cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${prefix}-tsan" -j "${jobs}"
 SIMTOMP_HOST_WORKERS=8 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j 1 \
-  -R '^(gpusim|omprt|simfault|fastpath)_'
+  -R '^(gpusim|omprt|simfault|fastpath|hostrt|simserve)_'
 
 echo "=== stage 3: simcheck gate (SIMTOMP_CHECK=1 over simulator suites) ==="
 SIMTOMP_CHECK=1 \
@@ -186,5 +193,49 @@ if ratio < 3.0:
     sys.exit("ci.sh: fast path reduce throughput below the 3x gate")
 EOF
 echo "fast-path throughput gate passed"
+
+echo "=== stage 9: launch-service determinism + throughput guard ==="
+serve_mix="${prefix}/serve-guard.mix"
+serve_a="${prefix}/serve-guard-a.txt"
+serve_b="${prefix}/serve-guard-b.txt"
+serve_c="${prefix}/serve-guard-c.txt"
+serve_d="${prefix}/serve-guard-d.txt"
+"${prefix}/tools/simtomp_serve" gen --seed 11 --tenants 4 --requests 96 \
+  --pump-every 32 --fault-permille 20 --out "${serve_mix}"
+"${prefix}/tools/simtomp_serve" replay "${serve_mix}" --workers 1 \
+  --stats "${serve_a}" >/dev/null
+"${prefix}/tools/simtomp_serve" replay "${serve_mix}" --workers 1 \
+  --stats "${serve_b}" >/dev/null
+"${prefix}/tools/simtomp_serve" replay "${serve_mix}" --workers 8 \
+  --stats "${serve_c}" >/dev/null
+"${prefix}/tools/simtomp_serve" replay "${serve_mix}" --workers 8 \
+  --shards 13 --stats "${serve_d}" >/dev/null
+if ! cmp "${serve_a}" "${serve_b}"; then
+  echo "ci.sh: replaying the same mix twice produced different stats" >&2
+  exit 1
+fi
+if ! cmp "${serve_a}" "${serve_c}"; then
+  echo "ci.sh: launch-service stats at 1 vs 8 host workers differ" >&2
+  exit 1
+fi
+if ! cmp "${serve_a}" "${serve_d}"; then
+  echo "ci.sh: launch-service stats differ across shard counts" >&2
+  exit 1
+fi
+echo "per-tenant stat dumps byte-identical across reruns/workers/shards"
+# The bench aborts if fewer than 1000 launches are concurrently in
+# flight across 4 devices or if per-tenant stats diverge between runs.
+(cd "${prefix}/bench" && ./serve_throughput >/dev/null)
+python3 - "${prefix}/bench/BENCH_serving.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["peak_inflight"] >= bench["peak_inflight_gate"], \
+    "ci.sh: peak in-flight below gate"
+for run in bench["runs"]:
+    print(f"workers={run['workers']}: "
+          f"{run['requests_per_host_s']:.0f} requests/host-second")
+print(f"p99 modeled latency: {bench['p99_modeled_latency_cycles']} cycles")
+EOF
+echo "serving throughput gate passed"
 
 echo "=== ci.sh: all stages passed ==="

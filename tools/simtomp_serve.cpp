@@ -1,0 +1,162 @@
+// simtomp_serve: generate and replay launch-service request mixes.
+//
+//   simtomp_serve gen [--seed S] [--tenants T] [--requests R]
+//                     [--pump-every P] [--fault-permille F] [--out FILE]
+//   simtomp_serve replay FILE [--devices D] [--shards S] [--workers N]
+//                             [--stats FILE]
+//
+// `gen` writes a deterministic mix (same flags, same bytes) in the
+// format of src/simserve/mix.h. `replay` drives it through a
+// LaunchService over D fresh tiny devices and prints the service's
+// stats dump — deterministic by contract, so CI replays one mix twice
+// and at 1 vs 8 workers and byte-compares the dumps (see docs/
+// SERVING.md). Exit codes: 0 replay ok, 1 service/verify failure,
+// 2 usage or parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hostrt/device_manager.h"
+#include "simserve/mix.h"
+#include "simserve/service.h"
+#include "support/status.h"
+
+namespace simtomp {
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: simtomp_serve gen [--seed S] [--tenants T] [--requests R]\n"
+      "                         [--pump-every P] [--fault-permille F]\n"
+      "                         [--out FILE]\n"
+      "       simtomp_serve replay FILE [--devices D] [--shards S]\n"
+      "                                 [--workers N] [--stats FILE]\n");
+  return 2;
+}
+
+bool parseFlag(int argc, char** argv, int& i, const char* name,
+               uint64_t& value) {
+  if (std::strcmp(argv[i], name) != 0) return false;
+  if (i + 1 >= argc) return false;
+  value = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+  return true;
+}
+
+int runGen(int argc, char** argv) {
+  simserve::MixProfile profile;
+  std::string out_path;
+  uint64_t v = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (parseFlag(argc, argv, i, "--seed", v)) {
+      profile.seed = v;
+    } else if (parseFlag(argc, argv, i, "--tenants", v)) {
+      profile.tenants = static_cast<uint32_t>(v);
+    } else if (parseFlag(argc, argv, i, "--requests", v)) {
+      profile.requests = static_cast<uint32_t>(v);
+    } else if (parseFlag(argc, argv, i, "--pump-every", v)) {
+      profile.pumpEvery = static_cast<uint32_t>(v);
+    } else if (parseFlag(argc, argv, i, "--fault-permille", v)) {
+      profile.faultPermille = static_cast<uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const std::string text = simserve::generateMix(profile).toString();
+  if (out_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "simtomp_serve: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << text;
+  return 0;
+}
+
+int runReplay(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mix_path = argv[2];
+  uint64_t devices = 4, shards = 0, workers = 1;
+  std::string stats_path;
+  for (int i = 3; i < argc; ++i) {
+    uint64_t v = 0;
+    if (parseFlag(argc, argv, i, "--devices", v)) {
+      devices = v;
+    } else if (parseFlag(argc, argv, i, "--shards", v)) {
+      shards = v;
+    } else if (parseFlag(argc, argv, i, "--workers", v)) {
+      workers = v;
+    } else if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
+      stats_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (devices == 0 || workers == 0) return usage();
+
+  std::ifstream in(mix_path);
+  if (!in) {
+    std::fprintf(stderr, "simtomp_serve: cannot read %s\n", mix_path.c_str());
+    return 2;
+  }
+  const Result<simserve::Mix> mix = simserve::parseMix(in);
+  if (!mix.isOk()) {
+    std::fprintf(stderr, "simtomp_serve: %s\n",
+                 mix.status().toString().c_str());
+    return 2;
+  }
+
+  std::vector<gpusim::ArchSpec> specs(devices, gpusim::ArchSpec::testTiny());
+  hostrt::DeviceManager mgr(std::move(specs));
+  simserve::ServiceConfig config;
+  config.shardCount = static_cast<uint32_t>(shards);
+  simserve::LaunchService service(mgr, config);
+
+  simserve::ReplayOptions options;
+  options.hostWorkers = static_cast<uint32_t>(workers);
+  const Result<simserve::ReplayReport> report =
+      simserve::replayMix(service, mix.value(), options);
+  if (!report.isOk()) {
+    std::fprintf(stderr, "simtomp_serve: replay failed: %s\n",
+                 report.status().toString().c_str());
+    return 1;
+  }
+  std::printf("replay %s: %s\n", mix_path.c_str(),
+              report.value().toString().c_str());
+  std::ostringstream stats;
+  service.dumpStats(stats);
+  std::fputs(stats.str().c_str(), stdout);
+  if (!stats_path.empty()) {
+    std::ofstream stats_out(stats_path);
+    if (!stats_out) {
+      std::fprintf(stderr, "simtomp_serve: cannot write %s\n",
+                   stats_path.c_str());
+      return 1;
+    }
+    stats_out << stats.str();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace simtomp
+
+int main(int argc, char** argv) {
+  if (argc < 2) return simtomp::usage();
+  if (std::strcmp(argv[1], "gen") == 0) return simtomp::runGen(argc, argv);
+  if (std::strcmp(argv[1], "replay") == 0) {
+    return simtomp::runReplay(argc, argv);
+  }
+  return simtomp::usage();
+}
