@@ -168,6 +168,17 @@ class ThreadCtx {
   void noteAccess(const void* ptr, size_t bytes, simcheck::AccessKind kind) {
     if (checker_ != nullptr) checker_->onAccess(thread_id_, ptr, bytes, kind);
   }
+  /// Like noteAccess, for runtime-owned transient allocations whose
+  /// granules the allocator may hand to other blocks after release
+  /// (sharing-space overflow staging): race-checked within the block,
+  /// excluded from the cross-block footprint.
+  void noteBlockPrivateAccess(const void* ptr, size_t bytes,
+                              simcheck::AccessKind kind) {
+    if (checker_ != nullptr) {
+      checker_->onAccess(thread_id_, ptr, bytes, kind,
+                         /*block_private=*/true);
+    }
+  }
   /// Annotate an access to a runtime protocol slot (published function
   /// pointers / termination flags that live outside the arenas).
   void noteSyntheticAccess(uint64_t key, bool is_write) {

@@ -139,7 +139,10 @@ void SharingSpace::storeArg(gpusim::ThreadCtx& t, uint32_t group, void** area,
     checker->onSharingStore(t.threadId(),
                             slotKey(area, team_slot_.area, group), index);
   }
-  t.noteAccess(&area[index], sizeof(void*), simcheck::AccessKind::kWrite);
+  // Block-private: an overflowed `area` lives in a transient global
+  // allocation whose granules other blocks may legitimately reuse.
+  t.noteBlockPrivateAccess(&area[index], sizeof(void*),
+                           simcheck::AccessKind::kWrite);
   area[index] = value;
 }
 
@@ -155,7 +158,8 @@ void** SharingSpace::fetchArgs(gpusim::ThreadCtx& t, uint32_t group) {
   if (auto* checker = t.checker()) {
     checker->onSharingFetch(t.threadId(), group);
   }
-  t.noteAccess(slot.area, sizeof(void*), simcheck::AccessKind::kRead);
+  t.noteBlockPrivateAccess(slot.area, sizeof(void*),
+                           simcheck::AccessKind::kRead);
   return slot.area;
 }
 
@@ -197,7 +201,8 @@ void** SharingSpace::fetchTeamArgs(gpusim::ThreadCtx& t) {
   if (auto* checker = t.checker()) {
     checker->onSharingFetch(t.threadId(), simcheck::BlockChecker::kTeamSlot);
   }
-  t.noteAccess(team_slot_.area, sizeof(void*), simcheck::AccessKind::kRead);
+  t.noteBlockPrivateAccess(team_slot_.area, sizeof(void*),
+                           simcheck::AccessKind::kRead);
   return team_slot_.area;
 }
 

@@ -179,7 +179,7 @@ void BlockChecker::beginConvergentBatch() {
 void BlockChecker::endConvergentBatch() { batch_active_ = false; }
 
 void BlockChecker::onAccess(uint32_t tid, const void* ptr, size_t bytes,
-                            AccessKind kind) {
+                            AccessKind kind, bool block_private) {
   if (bytes == 0) return;
   const std::byte* p = static_cast<const std::byte*>(ptr);
   if (shared_base_ != nullptr && p >= shared_base_ &&
@@ -206,7 +206,7 @@ void BlockChecker::onAccess(uint32_t tid, const void* ptr, size_t bytes,
                         : kind == AccessKind::kWrite ? GlobalFootprint::kWrite
                                                      : GlobalFootprint::kAtomic;
     for (uint64_t g = first; g <= last; ++g) {
-      footprint_.granules[g] |= bit;
+      if (!block_private) footprint_.granules[g] |= bit;
       if (batchDedupesAccess(batch_reads_global_, batch_writes_global_, g,
                              kind)) {
         continue;

@@ -71,7 +71,15 @@ class BlockChecker {
   // ---- Hooks (called from the simulated block's one OS thread) ----
 
   /// A charged span access by `tid` at host pointer `ptr`.
-  void onAccess(uint32_t tid, const void* ptr, size_t bytes, AccessKind kind);
+  /// `block_private` marks runtime-owned transient allocations (e.g.
+  /// sharing-space overflow staging): the allocator guarantees the
+  /// block exclusive ownership for the allocation's lifetime, and the
+  /// free-list may hand the same granules to another block afterwards,
+  /// so such accesses are race-checked within the block but excluded
+  /// from the cross-block footprint — address reuse across blocks is
+  /// not sharing.
+  void onAccess(uint32_t tid, const void* ptr, size_t bytes, AccessKind kind,
+                bool block_private = false);
   /// An access to a runtime-internal protocol slot (TeamState /
   /// SimdGroupState publication fields), identified by a small key.
   void onSyntheticAccess(uint32_t tid, uint64_t key, bool is_write);

@@ -1,0 +1,93 @@
+#include "simfuzz/generator.h"
+
+#include <array>
+#include <cstddef>
+
+#include "support/rng.h"
+
+namespace simtomp::simfuzz {
+
+namespace {
+
+using omprt::ExecMode;
+using omprt::ForSchedule;
+
+/// Weighted pick: `weights` parallel to 0..N-1, total > 0.
+template <size_t N>
+size_t pickWeighted(Rng& rng, const std::array<uint32_t, N>& weights) {
+  uint32_t total = 0;
+  for (const uint32_t w : weights) total += w;
+  uint64_t roll = rng.nextBelow(total);
+  for (size_t i = 0; i < N; ++i) {
+    if (roll < weights[i]) return i;
+    roll -= weights[i];
+  }
+  return N - 1;
+}
+
+/// Adversarial outer trip counts: primes, warp-size neighbours, exact
+/// multiples, and a 1-iteration degenerate.
+constexpr uint64_t kOuterPool[] = {1,  2,  3,  5,  7,   13,  17,  31, 32,
+                                   33, 61, 63, 64, 65,  97,  127, 128, 131,
+                                   191, 193, 251};
+/// Inner trips: 0 (empty simd loop), sub-simdlen values, primes,
+/// warp-size neighbours.
+constexpr uint64_t kInnerPool[] = {0, 1, 2, 3, 5, 7, 11, 16, 17,
+                                   31, 32, 33, 63, 64, 67, 89};
+
+}  // namespace
+
+FuzzProgram Generator::generate(uint64_t seed) const {
+  // One independent stream per axis group: adding draws to one group
+  // never reshuffles another, so corpus seeds stay stable under
+  // grammar growth that only touches one axis.
+  Rng root(seed * 0x9e3779b97f4a7c15ULL + 0x6a09e667f3bcc909ULL + salt_);
+  Rng shape = root.fork(1);
+  Rng trips = root.fork(2);
+  Rng coeff = root.fork(3);
+
+  FuzzProgram p;
+  p.seed = seed;
+
+  p.construct = static_cast<Construct>(
+      pickWeighted<3>(shape, {50, 30, 20}));  // dpf / sched / barrier
+  p.body = static_cast<BodyKind>(
+      pickWeighted<5>(shape, {25, 25, 20, 15, 15}));
+
+  p.numTeams = 1 + static_cast<uint32_t>(shape.nextBelow(4));
+  p.threadsPerTeam = 64 * (1 + static_cast<uint32_t>(shape.nextBelow(3)));
+  p.teamsMode =
+      shape.nextBelow(2) ? ExecMode::kGeneric : ExecMode::kSPMD;
+  p.parallelMode =
+      shape.nextBelow(2) ? ExecMode::kGeneric : ExecMode::kSPMD;
+  // simdlen 1..32 uniformly in the exponent, plus an occasional 64
+  // that the 32-lane archs clamp (a specified repair worth fuzzing).
+  p.simdlen = 1u << shape.nextBelow(6);
+  if (shape.nextBelow(8) == 0) p.simdlen = 64;
+
+  p.schedKind = static_cast<ForSchedule>(
+      pickWeighted<3>(shape, {40, 30, 30}));  // cyclic / chunked / dynamic
+  p.schedChunk = shape.nextBelow(9);
+
+  p.pressure = static_cast<uint32_t>(
+      pickWeighted<3>(shape, {50, 25, 25}));
+  p.sharingSpaceBytes =
+      std::array<uint32_t, 3>{2048, 1024, 256}[pickWeighted<3>(
+          shape, {60, 20, 20})];
+
+  // Trip counts: adversarial pool half the time, uniform otherwise.
+  p.outerTrip = trips.nextBelow(2) != 0
+                    ? kOuterPool[trips.nextBelow(std::size(kOuterPool))]
+                    : 1 + trips.nextBelow(200);
+  p.innerTrip = trips.nextBelow(2) != 0
+                    ? kInnerPool[trips.nextBelow(std::size(kInnerPool))]
+                    : trips.nextBelow(80);
+
+  p.a = coeff.nextInRange(-3, 3);
+  p.b = coeff.nextInRange(-5, 5);
+
+  p.normalize();
+  return p;
+}
+
+}  // namespace simtomp::simfuzz

@@ -1,0 +1,31 @@
+// simfuzz generator: seed -> FuzzProgram, deterministically.
+//
+// A weighted grammar over every launch axis the runtime exposes.
+// generate(seed) is a pure function — no wall clock, no global state,
+// every draw derives from support/rng.h streams forked off the seed —
+// so the same seed yields byte-identical programs on every platform,
+// worker count and rerun. Trip counts mix uniform draws with a pool of
+// adversarial values (primes, warp-size neighbours, simdlen-sized and
+// sub-simdlen trips) that real-runtime experience reports single out.
+#pragma once
+
+#include <cstdint>
+
+#include "simfuzz/program.h"
+
+namespace simtomp::simfuzz {
+
+class Generator {
+ public:
+  /// `salt` shifts the whole program stream (campaign namespacing);
+  /// the default stream is the one CI and the regression corpus pin.
+  explicit Generator(uint64_t salt = 0) : salt_(salt) {}
+
+  /// The program for `seed`: pure, total, already normalize()d.
+  [[nodiscard]] FuzzProgram generate(uint64_t seed) const;
+
+ private:
+  uint64_t salt_;
+};
+
+}  // namespace simtomp::simfuzz

@@ -1,0 +1,171 @@
+#include "simfuzz/minimize.h"
+
+#include <vector>
+
+namespace simtomp::simfuzz {
+
+namespace {
+
+using omprt::ExecMode;
+using omprt::ForSchedule;
+
+/// Simplicity order for body shrinks: lower is simpler. map carries no
+/// inner loop at all; nest is the plainest body that still has one;
+/// reduce/atomic/conv add a reduction, contention, or convergence on
+/// top of nest.
+int bodyRank(BodyKind body) {
+  switch (body) {
+    case BodyKind::kAffineMap:
+      return 0;
+    case BodyKind::kSimdNest:
+      return 1;
+    case BodyKind::kSimdReduce:
+    case BodyKind::kAtomicSum:
+    case BodyKind::kConvergentMap:
+      return 2;
+  }
+  return 2;
+}
+
+/// The ordered shrink ladder for one step. Cost-ordered: launch shape
+/// and trip counts first (they dominate the wall-clock of every later
+/// oracle call — fiber setup scales with teams × threads, simulation
+/// with trips), then simdlen, then structure (simpler body/construct/
+/// schedule/modes/pressure), coefficients last. Each shrink's
+/// acceptance is independent of the others, so the fixpoint does not
+/// depend on this order — only the path cost does. Candidates equal
+/// to the input (after normalize()) are dropped.
+std::vector<FuzzProgram> shrinkCandidates(const FuzzProgram& p) {
+  std::vector<FuzzProgram> out;
+  auto push = [&](FuzzProgram q) {
+    q.normalize();
+    if (!(q == p)) out.push_back(q);
+  };
+
+  {
+    FuzzProgram q = p;
+    q.numTeams = 1;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.threadsPerTeam = 64;
+    push(q);
+  }
+  if (p.outerTrip > 1) {
+    {
+      FuzzProgram q = p;
+      q.outerTrip = p.outerTrip / 2;
+      push(q);
+    }
+    {
+      FuzzProgram q = p;
+      q.outerTrip = p.outerTrip - 1;
+      push(q);
+    }
+  }
+  if (p.innerTrip > 0) {
+    {
+      FuzzProgram q = p;
+      q.innerTrip = p.innerTrip / 2;
+      push(q);
+    }
+    {
+      FuzzProgram q = p;
+      q.innerTrip = p.innerTrip - 1;
+      push(q);
+    }
+  }
+  if (p.simdlen > 2) {
+    FuzzProgram q = p;
+    q.simdlen = p.simdlen / 2;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.simdlen = 1;
+    push(q);
+  }
+  // Body shrinks move strictly down a simplicity order (map < nest <
+  // everything else) — both directions being acceptable would let the
+  // ladder alternate map <-> nest forever on a bug that diverges under
+  // either body, burning the whole kMaxTested budget.
+  if (bodyRank(BodyKind::kAffineMap) < bodyRank(p.body)) {
+    FuzzProgram q = p;
+    q.body = BodyKind::kAffineMap;
+    push(q);
+  }
+  if (bodyRank(BodyKind::kSimdNest) < bodyRank(p.body)) {
+    FuzzProgram q = p;
+    q.body = BodyKind::kSimdNest;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.construct = Construct::kDistributeParallelFor;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.schedKind = ForSchedule::kStaticCyclic;
+    q.schedChunk = 0;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.teamsMode = ExecMode::kSPMD;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.parallelMode = ExecMode::kSPMD;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.pressure = 0;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.sharingSpaceBytes = omprt::kDefaultSharingSpaceBytes;
+    push(q);
+  }
+  {
+    FuzzProgram q = p;
+    q.a = 1;
+    q.b = 0;
+    push(q);
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimizeProgram(const FuzzProgram& failing,
+                               const FailPredicate& stillFails) {
+  MinimizeResult result;
+  result.program = failing;
+
+  // Bound: each accepted step strictly simplifies a bounded grammar,
+  // so the fixpoint terminates; the guard only caps pathological
+  // predicates (e.g. nondeterministic oracles) from spinning forever.
+  constexpr uint32_t kMaxTested = 4096;
+  bool progress = true;
+  while (progress && result.tested < kMaxTested) {
+    progress = false;
+    for (const FuzzProgram& candidate : shrinkCandidates(result.program)) {
+      ++result.tested;
+      if (stillFails(candidate)) {
+        result.program = candidate;
+        ++result.steps;
+        progress = true;
+        break;  // restart the ladder from the simplified program
+      }
+      if (result.tested >= kMaxTested) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace simtomp::simfuzz

@@ -1,0 +1,42 @@
+// simfuzz minimizer: grammar-aware greedy shrinking.
+//
+// Given a failing program and a predicate that re-runs the full
+// differential matrix, repeatedly try a fixed, ordered list of
+// simplification candidates (simpler body, neutral schedule, SPMD
+// modes, smaller launch, halved/decremented trips, unit coefficients)
+// and keep the first candidate that still fails. Every accepted step
+// re-verified the failure, so the final program is a true
+// counterexample; because the candidate order is fixed and every
+// candidate derives from the current program by pure field edits +
+// normalize(), minimization is deterministic — the same input shrinks
+// to the same output on every rerun and worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simfuzz/program.h"
+
+namespace simtomp::simfuzz {
+
+/// Re-runs the oracle for a candidate: true = still fails (the bug is
+/// preserved), false = the candidate lost the bug and is rejected.
+using FailPredicate = std::function<bool(const FuzzProgram&)>;
+
+struct MinimizeResult {
+  /// The shrunk program (== the input when nothing could be removed).
+  FuzzProgram program;
+  /// Accepted shrink steps.
+  uint32_t steps = 0;
+  /// Candidates tried (each one predicate evaluation).
+  uint32_t tested = 0;
+};
+
+/// Greedy fixpoint: restart the candidate ladder after every accepted
+/// step until no candidate still fails. `failing` must satisfy
+/// `stillFails` on entry; if it does not, the input is returned with
+/// zero steps.
+[[nodiscard]] MinimizeResult minimizeProgram(const FuzzProgram& failing,
+                                             const FailPredicate& stillFails);
+
+}  // namespace simtomp::simfuzz

@@ -58,6 +58,14 @@ constexpr MetricDef kCatalog[] = {
      "High-water mark of dispatched-not-retired launch requests"},
     {metric::kServeLatencyCycles, MetricType::kHistogram,
      "Modeled request latency (queue model + execution cycles)"},
+    {metric::kFuzzProgramsTotal, MetricType::kCounter,
+     "Random kernel programs produced by the simfuzz generator"},
+    {metric::kFuzzRunsTotal, MetricType::kCounter,
+     "Simulator executions performed by the simfuzz differential matrix"},
+    {metric::kFuzzDivergencesTotal, MetricType::kCounter,
+     "Generated programs whose differential matrix flagged a divergence"},
+    {metric::kFuzzMinimizeStepsTotal, MetricType::kCounter,
+     "Accepted shrink steps across all simfuzz minimizations"},
 };
 
 static_assert(std::size(kCatalog) == MetricsRegistry::kNumMetrics,

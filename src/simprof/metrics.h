@@ -86,6 +86,14 @@ inline constexpr std::string_view kServeInFlightPeak =
     "simtomp_serve_inflight_peak";
 inline constexpr std::string_view kServeLatencyCycles =
     "simtomp_serve_latency_cycles";
+// simfuzz differential-fuzzing metrics.
+inline constexpr std::string_view kFuzzProgramsTotal =
+    "simtomp_fuzz_programs_total";
+inline constexpr std::string_view kFuzzRunsTotal = "simtomp_fuzz_runs_total";
+inline constexpr std::string_view kFuzzDivergencesTotal =
+    "simtomp_fuzz_divergences_total";
+inline constexpr std::string_view kFuzzMinimizeStepsTotal =
+    "simtomp_fuzz_minimize_steps_total";
 }  // namespace metric
 
 /// Process-wide registry over the fixed catalog. Thread-safe: counters
@@ -95,7 +103,7 @@ class MetricsRegistry {
   /// Histogram buckets: upper bounds 4^1 .. 4^14 cycles, plus +Inf.
   static constexpr size_t kHistogramBuckets = 15;
   /// Catalog size (static_asserted against allMetricDefs()).
-  static constexpr size_t kNumMetrics = 22;
+  static constexpr size_t kNumMetrics = 26;
 
   static MetricsRegistry& global();
 

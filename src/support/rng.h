@@ -80,6 +80,17 @@ class Rng {
     return static_cast<uint32_t>(v);
   }
 
+  /// Derive an independent deterministic sub-stream. The child depends
+  /// only on the parent's current state and `stream`, so callers can
+  /// fork one stream per axis (or per fuzz seed) without the draws of
+  /// one axis perturbing another's.
+  [[nodiscard]] Rng fork(uint64_t stream) const {
+    Rng child(0);
+    child.reseed(state_[0] ^ rotl(state_[2], 17) ^
+                 (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+    return child;
+  }
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& values) {

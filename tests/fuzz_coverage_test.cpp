@@ -2,13 +2,19 @@
 // execution modes, team/thread shapes, group sizes, schedules and trip
 // counts, every loop iteration must execute exactly once per owning
 // unit, and the kernel must terminate cleanly.
+//
+// Launch shapes come from the simfuzz generator — the same weighted
+// grammar the differential fuzzer explores — so there is one source of
+// truth for "random but legal" programs; this test then checks the
+// coverage property directly with host-side hit counters instead of
+// simfuzz's output oracles.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <vector>
 
 #include "dsl/dsl.h"
-#include "support/rng.h"
+#include "simfuzz/generator.h"
 
 namespace simtomp::dsl {
 namespace {
@@ -16,33 +22,20 @@ namespace {
 using gpusim::ArchSpec;
 using gpusim::Device;
 
-struct FuzzCase {
-  uint64_t seed;
-};
-
 class FuzzCoverage : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzCoverage, RandomConfigurationsCoverAllIterations) {
-  Rng rng(GetParam());
+  const simfuzz::Generator gen;
   Device dev(ArchSpec::testTiny());
 
   for (int round = 0; round < 6; ++round) {
-    LaunchSpec spec;
-    spec.numTeams = 1 + static_cast<uint32_t>(rng.nextBelow(4));
-    spec.threadsPerTeam = 32 * (1 + static_cast<uint32_t>(rng.nextBelow(4)));
-    spec.teamsMode =
-        rng.nextBelow(2) ? omprt::ExecMode::kGeneric : omprt::ExecMode::kSPMD;
-    spec.parallelMode =
-        rng.nextBelow(2) ? omprt::ExecMode::kGeneric : omprt::ExecMode::kSPMD;
-    spec.simdlen = 1u << rng.nextBelow(6);  // 1..32
-    // Generic teams mode adds an extra warp; keep under testTiny's cap.
-    if (spec.teamsMode == omprt::ExecMode::kGeneric &&
-        spec.threadsPerTeam + 32 > 256) {
-      spec.threadsPerTeam = 224;
-    }
-
-    const uint64_t outer_trip = 1 + rng.nextBelow(100);
-    const uint64_t inner_trip = rng.nextBelow(70);
+    // Six distinct programs per instantiated seed; the stride keeps the
+    // per-round sub-seeds disjoint across the instantiations below.
+    const simfuzz::FuzzProgram p =
+        gen.generate(GetParam() * 1000 + static_cast<uint64_t>(round));
+    const LaunchSpec spec = p.launchSpec();
+    const uint64_t outer_trip = p.outerTrip;
+    const uint64_t inner_trip = p.innerTrip;
 
     std::vector<std::atomic<int>> outer_hits(outer_trip);
     std::vector<std::atomic<int>> inner_hits(outer_trip * (inner_trip + 1));
@@ -57,16 +50,14 @@ TEST_P(FuzzCoverage, RandomConfigurationsCoverAllIterations) {
         });
     ASSERT_TRUE(stats.isOk())
         << stats.status().toString() << " seed=" << GetParam()
-        << " round=" << round;
+        << " round=" << round << " program=" << p.serialize();
 
     for (uint64_t row = 0; row < outer_trip; ++row) {
       EXPECT_EQ(outer_hits[row].load(), 1)
-          << "row " << row << " teams=" << spec.numTeams
-          << " threads=" << spec.threadsPerTeam
-          << " simdlen=" << spec.simdlen;
+          << "row " << row << " program=" << p.serialize();
       for (uint64_t k = 0; k < inner_trip; ++k) {
         EXPECT_EQ(inner_hits[row * (inner_trip + 1) + k].load(), 1)
-            << "row " << row << " k " << k;
+            << "row " << row << " k " << k << " program=" << p.serialize();
       }
     }
   }
@@ -79,18 +70,21 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCoverage,
 class FuzzSchedules : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzSchedules, RandomScheduleConfigurationsCover) {
-  Rng rng(GetParam());
+  const simfuzz::Generator gen;
   Device dev(ArchSpec::testTiny());
 
   for (int round = 0; round < 6; ++round) {
-    LaunchSpec spec;
-    spec.numTeams = 1;
-    spec.threadsPerTeam = 32 * (1 + static_cast<uint32_t>(rng.nextBelow(4)));
-    spec.simdlen = 1u << rng.nextBelow(6);
-    const auto kind =
-        static_cast<omprt::ForSchedule>(rng.nextBelow(3));
-    const uint64_t chunk = rng.nextBelow(9);
-    const uint64_t trip = rng.nextBelow(200);
+    simfuzz::FuzzProgram p =
+        gen.generate(GetParam() * 1000 + static_cast<uint64_t>(round) + 500);
+    // Single-team override: this property isolates the worksharing
+    // schedule, so the distribute split must not mask holes. Forcing
+    // the sched construct keeps normalize() from neutralizing the
+    // drawn schedule clause.
+    p.construct = simfuzz::Construct::kScheduledFor;
+    p.numTeams = 1;
+    p.normalize();
+    const LaunchSpec spec = p.launchSpec();
+    const uint64_t trip = p.outerTrip;
 
     std::vector<std::atomic<int>> hits(trip + 1);
     auto stats = target(dev, spec, [&](OmpContext& ctx) {
@@ -99,14 +93,14 @@ TEST_P(FuzzSchedules, RandomScheduleConfigurationsCover) {
           [&hits](OmpContext& c, uint64_t iv) {
             if (c.simdGroupId() == 0) hits[iv]++;
           },
-          omprt::ScheduleClause{kind, chunk},
+          omprt::ScheduleClause{p.schedKind, p.schedChunk},
           omprt::ParallelConfig{omprt::ExecMode::kSPMD, spec.simdlen});
     });
-    ASSERT_TRUE(stats.isOk()) << "seed=" << GetParam();
+    ASSERT_TRUE(stats.isOk())
+        << "seed=" << GetParam() << " program=" << p.serialize();
     for (uint64_t iv = 0; iv < trip; ++iv) {
       EXPECT_EQ(hits[iv].load(), 1)
-          << "iv=" << iv << " kind=" << static_cast<int>(kind)
-          << " chunk=" << chunk << " simdlen=" << spec.simdlen;
+          << "iv=" << iv << " program=" << p.serialize();
     }
   }
 }

@@ -1,0 +1,138 @@
+// Minimizer properties: a deliberately planted bug shrinks to a known
+// minimal form, deterministically across independent minimizations;
+// every accepted step preserves the failure; clean programs shrink to
+// themselves with zero steps.
+#include <gtest/gtest.h>
+
+#include "simfuzz/generator.h"
+#include "simfuzz/harness.h"
+#include "simfuzz/minimize.h"
+
+namespace simtomp::simfuzz {
+namespace {
+
+/// The oracle under minimization: the tiny-arch differential matrix,
+/// fail-fast (the planted mutations diverge identically on every arch
+/// and in every cell, so the cross-arch cells and post-first-note
+/// cells add nothing but wall-time here).
+bool diverges(const FuzzProgram& p) {
+  DiffOptions opt;
+  opt.crossArch = false;
+  opt.failFast = true;
+  return diffProgram(p, opt).diverged();
+}
+
+TEST(FuzzMinimizeTest, OffByOneShrinksToKnownMinimalForm) {
+  // A deliberately big, messy failing program.
+  FuzzProgram p;
+  p.construct = Construct::kScheduledFor;
+  p.body = BodyKind::kSimdReduce;
+  p.numTeams = 4;
+  p.threadsPerTeam = 128;
+  p.teamsMode = omprt::ExecMode::kGeneric;
+  p.parallelMode = omprt::ExecMode::kGeneric;
+  p.simdlen = 16;
+  p.schedKind = omprt::ForSchedule::kDynamic;
+  p.schedChunk = 5;
+  p.outerTrip = 37;
+  p.innerTrip = 9;
+  p.pressure = 1;
+  p.sharingSpaceBytes = 256;
+  p.a = -3;
+  p.b = 4;
+  p.inject = InjectKind::kOffByOne;
+  p.normalize();
+  ASSERT_TRUE(diverges(p)) << p.serialize();
+
+  const MinimizeResult mini = minimizeProgram(p, diverges);
+  EXPECT_GT(mini.steps, 0u);
+  ASSERT_TRUE(diverges(mini.program)) << "minimized program lost the bug";
+
+  // The known minimal form: the bug needs simdlen > 1 and a row with
+  // row % 7 == 3, everything else is noise the minimizer must strip.
+  const FuzzProgram& m = mini.program;
+  EXPECT_EQ(m.construct, Construct::kDistributeParallelFor);
+  EXPECT_EQ(m.body, BodyKind::kAffineMap);
+  EXPECT_EQ(m.numTeams, 1u);
+  EXPECT_EQ(m.threadsPerTeam, 64u);
+  EXPECT_EQ(m.teamsMode, omprt::ExecMode::kSPMD);
+  EXPECT_EQ(m.parallelMode, omprt::ExecMode::kSPMD);
+  EXPECT_EQ(m.simdlen, 2u);
+  EXPECT_EQ(m.outerTrip, 4u);
+  EXPECT_EQ(m.innerTrip, 0u);
+  EXPECT_EQ(m.pressure, 0u);
+  EXPECT_EQ(m.a, 1);
+  EXPECT_EQ(m.b, 0);
+  EXPECT_EQ(m.inject, InjectKind::kOffByOne);
+
+  // Deterministic: an independent minimization agrees byte-for-byte.
+  const MinimizeResult again = minimizeProgram(p, diverges);
+  EXPECT_EQ(again.program, mini.program);
+  EXPECT_EQ(again.steps, mini.steps);
+  EXPECT_EQ(again.tested, mini.tested);
+  EXPECT_EQ(again.program.serialize(), mini.program.serialize());
+}
+
+TEST(FuzzMinimizeTest, DropIterationKeepsTheInnerLoop) {
+  FuzzProgram p;
+  p.body = BodyKind::kAtomicSum;
+  p.numTeams = 3;
+  p.threadsPerTeam = 192;
+  p.simdlen = 8;
+  p.outerTrip = 23;
+  p.innerTrip = 9;
+  p.inject = InjectKind::kDropIteration;
+  p.normalize();
+  ASSERT_TRUE(diverges(p)) << p.serialize();
+
+  const MinimizeResult mini = minimizeProgram(p, diverges);
+  const FuzzProgram& m = mini.program;
+  ASSERT_TRUE(diverges(m));
+  // The dropped iteration is the *last inner iteration of row 1*: the
+  // minimal program must keep row 1 and one inner iteration, and the
+  // body switch to the simplest kind that still has an inner loop.
+  EXPECT_EQ(m.body, BodyKind::kSimdNest);
+  EXPECT_EQ(m.outerTrip, 2u);
+  EXPECT_EQ(m.innerTrip, 1u);
+  EXPECT_EQ(m.simdlen, 1u);
+  EXPECT_EQ(m.numTeams, 1u);
+
+  const MinimizeResult again = minimizeProgram(p, diverges);
+  EXPECT_EQ(again.program, mini.program);
+}
+
+TEST(FuzzMinimizeTest, CleanProgramShrinksToItselfWithZeroSteps) {
+  const Generator gen;
+  const FuzzProgram p = gen.generate(2);
+  const MinimizeResult mini = minimizeProgram(p, diverges);
+  EXPECT_EQ(mini.steps, 0u);
+  EXPECT_EQ(mini.program, p);
+  EXPECT_GT(mini.tested, 0u);  // the ladder ran and rejected everything
+}
+
+TEST(FuzzMinimizeTest, GeneratedSeedMinimizesDeterministically) {
+  // End-to-end: generator -> inject -> campaign-style minimization.
+  const Generator gen;
+  FuzzProgram p;
+  bool found = false;
+  for (uint64_t seed = 0; seed < 64 && !found; ++seed) {
+    p = gen.generate(seed);
+    // The trip bounds just keep the test fast; any qualifying seed
+    // minimizes to the same form.
+    found = p.simdlen > 1 && p.outerTrip > 3 && p.outerTrip <= 64 &&
+            p.innerTrip <= 16;
+  }
+  ASSERT_TRUE(found);
+  p.inject = InjectKind::kOffByOne;
+  ASSERT_TRUE(diverges(p)) << p.serialize();
+
+  const MinimizeResult a = minimizeProgram(p, diverges);
+  const MinimizeResult b = minimizeProgram(p, diverges);
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.program.outerTrip, 4u);
+  EXPECT_EQ(a.program.simdlen, 2u);
+  EXPECT_EQ(a.program.body, BodyKind::kAffineMap);
+}
+
+}  // namespace
+}  // namespace simtomp::simfuzz

@@ -1,0 +1,236 @@
+// simfuzz core properties: generator determinism, grammar invariants,
+// canonical-text round-trips, differential cleanliness of generated
+// programs, and byte-identity of the campaign findings log.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "simfuzz/generator.h"
+#include "simfuzz/harness.h"
+#include "simprof/metrics.h"
+
+namespace simtomp::simfuzz {
+namespace {
+
+// ---------------- Generator determinism ----------------
+
+TEST(FuzzGeneratorTest, SameSeedSameProgram) {
+  const Generator gen;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    EXPECT_EQ(gen.generate(seed), gen.generate(seed)) << "seed=" << seed;
+  }
+}
+
+TEST(FuzzGeneratorTest, DifferentSeedsDiffer) {
+  const Generator gen;
+  int distinct = 0;
+  const FuzzProgram base = gen.generate(0);
+  for (uint64_t seed = 1; seed < 32; ++seed) {
+    if (!(gen.generate(seed) == base)) ++distinct;
+  }
+  EXPECT_GE(distinct, 30);  // the grammar space is large; collisions rare
+}
+
+TEST(FuzzGeneratorTest, SaltShiftsTheStream) {
+  const Generator a(0);
+  const Generator b(1);
+  int differing = 0;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FuzzProgram pa = a.generate(seed);
+    FuzzProgram pb = b.generate(seed);
+    pa.seed = pb.seed = 0;  // compare shapes, not provenance
+    if (!(pa == pb)) ++differing;
+  }
+  EXPECT_GE(differing, 12);
+}
+
+// ---------------- Grammar invariants ----------------
+
+TEST(FuzzGeneratorTest, GeneratedProgramsAreNormalized) {
+  const Generator gen;
+  for (uint64_t seed = 0; seed < 256; ++seed) {
+    const FuzzProgram p = gen.generate(seed);
+    FuzzProgram renorm = p;
+    renorm.normalize();
+    EXPECT_EQ(p, renorm) << "seed=" << seed;  // normalize is idempotent
+
+    // Legal on every arch profile: warp-64 divisibility and the
+    // testTiny block cap with the generic-mode extra warp.
+    EXPECT_EQ(p.threadsPerTeam % 64, 0u);
+    EXPECT_LE(p.threadsPerTeam + 64, 256u);
+    EXPECT_GE(p.numTeams, 1u);
+    EXPECT_LE(p.numTeams, 4u);
+    // simdlen is a power of two <= 64.
+    EXPECT_EQ(p.simdlen & (p.simdlen - 1), 0u);
+    EXPECT_LE(p.simdlen, 64u);
+    EXPECT_GE(p.outerTrip, 1u);
+    EXPECT_LE(p.outerTrip, 256u);
+    EXPECT_LE(p.innerTrip, 96u);
+    if (p.construct == Construct::kBarrierParallel) {
+      EXPECT_EQ(p.teamsMode, omprt::ExecMode::kSPMD);
+      EXPECT_EQ(p.parallelMode, omprt::ExecMode::kSPMD);
+      EXPECT_EQ(p.body, BodyKind::kAffineMap);
+    }
+    if (p.construct != Construct::kScheduledFor) {
+      EXPECT_EQ(p.schedKind, omprt::ForSchedule::kStaticCyclic);
+      EXPECT_EQ(p.schedChunk, 0u);
+    }
+  }
+}
+
+TEST(FuzzGeneratorTest, GrammarReachesEveryConstructAndBody) {
+  const Generator gen;
+  std::vector<int> constructs(kNumConstructs, 0);
+  std::vector<int> bodies(kNumBodyKinds, 0);
+  int pressured = 0;
+  for (uint64_t seed = 0; seed < 256; ++seed) {
+    const FuzzProgram p = gen.generate(seed);
+    constructs[static_cast<size_t>(p.construct)]++;
+    bodies[static_cast<size_t>(p.body)]++;
+    if (p.pressure > 0) ++pressured;
+  }
+  for (size_t i = 0; i < constructs.size(); ++i) {
+    EXPECT_GT(constructs[i], 0) << "construct " << i << " never generated";
+  }
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    EXPECT_GT(bodies[i], 0) << "body " << i << " never generated";
+  }
+  EXPECT_GT(pressured, 0) << "sharing pressure never generated";
+}
+
+// ---------------- Canonical text ----------------
+
+TEST(FuzzProgramTest, SerializeParseRoundTrip) {
+  const Generator gen;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    const FuzzProgram p = gen.generate(seed);
+    const auto parsed = FuzzProgram::parse(p.serialize());
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value(), p) << "seed=" << seed;
+  }
+}
+
+TEST(FuzzProgramTest, ParseSkipsCommentsAndBlankLines) {
+  const auto parsed = FuzzProgram::parse(
+      "# a landed counterexample\n"
+      "\n"
+      "fuzzprog v1 seed=9 construct=sched body=reduce teams=2 threads=128 "
+      "tmode=spmd pmode=generic simdlen=8 sched=dynamic chunk=3 outer=31 "
+      "inner=7 pressure=1 sharing=1024 a=-2 b=5 inject=none\n");
+  ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+  const FuzzProgram p = parsed.value();
+  EXPECT_EQ(p.seed, 9u);
+  EXPECT_EQ(p.construct, Construct::kScheduledFor);
+  EXPECT_EQ(p.body, BodyKind::kSimdReduce);
+  EXPECT_EQ(p.schedKind, omprt::ForSchedule::kDynamic);
+  EXPECT_EQ(p.outerTrip, 31u);
+  EXPECT_EQ(p.a, -2);
+}
+
+TEST(FuzzProgramTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(FuzzProgram::parse("").isOk());
+  EXPECT_FALSE(FuzzProgram::parse("# only a comment\n").isOk());
+  EXPECT_FALSE(FuzzProgram::parse("fuzzprog v2 seed=1").isOk());
+  EXPECT_FALSE(FuzzProgram::parse("fuzzprog v1 bogus").isOk());
+  EXPECT_FALSE(FuzzProgram::parse("fuzzprog v1 construct=quantum").isOk());
+  EXPECT_FALSE(FuzzProgram::parse("fuzzprog v1 outer=abc").isOk());
+  EXPECT_FALSE(FuzzProgram::parse("fuzzprog v1 unknown=1").isOk());
+}
+
+// ---------------- Reference semantics ----------------
+
+TEST(FuzzHarnessTest, ReferenceMatchesClosedForms) {
+  FuzzProgram p;
+  p.body = BodyKind::kSimdReduce;
+  p.outerTrip = 4;
+  p.innerTrip = 3;
+  p.a = 2;
+  p.b = 1;
+  p.normalize();
+  const std::vector<double> data = referenceRun(p);
+  ASSERT_EQ(data.size(), p.dataSize());
+  for (uint64_t row = 0; row < 4; ++row) {
+    double want = 0.0;
+    for (uint64_t k = 0; k < 3; ++k) {
+      want += static_cast<double>(2 * static_cast<int64_t>(row + k) + 1);
+    }
+    EXPECT_EQ(data[row], want) << "row " << row;
+  }
+}
+
+// ---------------- Differential matrix ----------------
+
+TEST(FuzzHarnessTest, GeneratedSeedsAreDifferentiallyClean) {
+  const Generator gen;
+  DiffOptions opt;
+  opt.crossArch = false;  // tiny-only keeps this test fast; the CI
+                          // smoke stage covers the cross-arch cells
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const FuzzProgram p = gen.generate(seed);
+    const DiffResult diff = diffProgram(p, opt);
+    EXPECT_FALSE(diff.diverged())
+        << "seed=" << seed << " program=" << p.serialize() << "\nfirst note: "
+        << (diff.notes.empty() ? "" : diff.notes.front());
+  }
+}
+
+TEST(FuzzHarnessTest, InjectedOffByOneIsDetected) {
+  const Generator gen;
+  // Seed with simdlen > 1 and outer > 3 so the planted bug can fire.
+  FuzzProgram p;
+  bool found = false;
+  for (uint64_t seed = 0; seed < 32 && !found; ++seed) {
+    p = gen.generate(seed);
+    found = p.simdlen > 1 && p.outerTrip > 3;
+  }
+  ASSERT_TRUE(found);
+  p.inject = InjectKind::kOffByOne;
+  DiffOptions opt;
+  opt.crossArch = false;
+  const DiffResult diff = diffProgram(p, opt);
+  EXPECT_TRUE(diff.diverged()) << p.serialize();
+}
+
+// ---------------- Campaign determinism + metrics ----------------
+
+TEST(FuzzCampaignTest, FindingsLogIsByteIdenticalAcrossReruns) {
+  CampaignOptions opt;
+  opt.seedBegin = 0;
+  opt.seedEnd = 4;
+  opt.diff.crossArch = false;
+  const CampaignResult first = runCampaign(opt);
+  const CampaignResult second = runCampaign(opt);
+  EXPECT_EQ(first.log, second.log);
+  EXPECT_EQ(first.programs, 4u);
+  EXPECT_EQ(first.runs, second.runs);
+  EXPECT_NE(first.log.find("summary programs=4"), std::string::npos);
+}
+
+TEST(FuzzCampaignTest, CountersFlowIntoMetricsRegistry) {
+  auto& metrics = simprof::MetricsRegistry::global();
+  const uint64_t programs0 =
+      metrics.value(simprof::metric::kFuzzProgramsTotal);
+  const uint64_t runs0 = metrics.value(simprof::metric::kFuzzRunsTotal);
+  const uint64_t div0 = metrics.value(simprof::metric::kFuzzDivergencesTotal);
+  const uint64_t steps0 =
+      metrics.value(simprof::metric::kFuzzMinimizeStepsTotal);
+
+  CampaignOptions opt;
+  opt.seedBegin = 0;
+  opt.seedEnd = 3;
+  opt.diff.crossArch = false;
+  const CampaignResult result = runCampaign(opt);
+
+  EXPECT_EQ(metrics.value(simprof::metric::kFuzzProgramsTotal) - programs0,
+            result.programs);
+  EXPECT_EQ(metrics.value(simprof::metric::kFuzzRunsTotal) - runs0,
+            result.runs);
+  EXPECT_EQ(metrics.value(simprof::metric::kFuzzDivergencesTotal) - div0,
+            result.findings.size());
+  EXPECT_EQ(metrics.value(simprof::metric::kFuzzMinimizeStepsTotal) - steps0,
+            result.minimizeSteps);
+}
+
+}  // namespace
+}  // namespace simtomp::simfuzz

@@ -44,6 +44,14 @@
 #          serve_throughput bench then gates >= 1000 concurrent
 #          in-flight launches across 4 devices and emits
 #          BENCH_serving.json.
+# Stage 10: differential-fuzz smoke; a fixed-seed simtomp_fuzz campaign
+#          runs under SIMTOMP_HOST_WORKERS=1 and =8 and the findings
+#          logs must be byte-identical with zero divergences (the
+#          campaign pins every cell's worker count explicitly, so the
+#          env var must not leak into results); a short full-matrix
+#          sweep covers the cross-arch cells; then a kernel with a
+#          deliberately planted off-by-one must be caught, auto-
+#          minimized, and the emitted repro must fail standalone.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -64,7 +72,7 @@ cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${prefix}-tsan" -j "${jobs}"
 SIMTOMP_HOST_WORKERS=8 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j 1 \
-  -R '^(gpusim|omprt|simfault|fastpath|hostrt|simserve)_'
+  -R '^(gpusim|omprt|simfault|fastpath|hostrt|simserve|simfuzz)_'
 
 echo "=== stage 3: simcheck gate (SIMTOMP_CHECK=1 over simulator suites) ==="
 SIMTOMP_CHECK=1 \
@@ -237,5 +245,65 @@ for run in bench["runs"]:
 print(f"p99 modeled latency: {bench['p99_modeled_latency_cycles']} cycles")
 EOF
 echo "serving throughput gate passed"
+
+echo "=== stage 10: differential-fuzz smoke + minimizer guard ==="
+fuzz="${prefix}/tools/simtomp_fuzz"
+fuzz_a="${prefix}/fuzz-guard-a.log"
+fuzz_b="${prefix}/fuzz-guard-b.log"
+# Clean smoke: the findings log is the determinism artifact — it must
+# be byte-identical for any SIMTOMP_HOST_WORKERS (each matrix cell pins
+# its own worker count) and must report zero divergences.
+SIMTOMP_HOST_WORKERS=1 "${fuzz}" run --seeds=0..8 --tiny-only > "${fuzz_a}"
+SIMTOMP_HOST_WORKERS=8 "${fuzz}" run --seeds=0..8 --tiny-only > "${fuzz_b}"
+if ! cmp "${fuzz_a}" "${fuzz_b}"; then
+  echo "ci.sh: fuzz findings log differs across SIMTOMP_HOST_WORKERS" >&2
+  exit 1
+fi
+grep -q 'divergences=0' "${fuzz_a}" || {
+  echo "ci.sh: clean fuzz smoke reported divergences" >&2
+  exit 1
+}
+# A short full-matrix sweep keeps the cross-arch (a100/mi100) cells and
+# the landed-corpus shapes exercised in CI.
+"${fuzz}" run --seeds=0..3 > /dev/null
+echo "fuzz findings log byte-identical across worker counts, 0 divergences"
+# Minimizer guard: a kernel with a planted off-by-one must be caught
+# and auto-minimized, and the minimized repro must fail standalone.
+fuzz_bug="${prefix}/fuzz-guard-bug.fuzzprog"
+fuzz_min="${prefix}/fuzz-guard-min.txt"
+fuzz_repro="${prefix}/fuzz-guard-min.fuzzprog"
+cat > "${fuzz_bug}" <<'EOF'
+# ci.sh stage 10: deliberately planted off-by-one (fuzzer self-test)
+fuzzprog v1 seed=999 construct=dpf body=map teams=2 threads=128 tmode=spmd pmode=spmd simdlen=4 sched=cyclic chunk=0 outer=32 inner=0 pressure=0 sharing=2048 a=3 b=1 inject=offbyone
+EOF
+set +e
+"${fuzz}" minimize "${fuzz_bug}" > "${fuzz_min}"
+fuzz_status=$?
+set -e
+if [ "${fuzz_status}" -ne 1 ]; then
+  echo "ci.sh: planted off-by-one not detected (exit ${fuzz_status})" >&2
+  cat "${fuzz_min}" >&2
+  exit 1
+fi
+sed -n 's/^minimized ([^)]*): //p' "${fuzz_min}" > "${fuzz_repro}"
+if ! [ -s "${fuzz_repro}" ]; then
+  echo "ci.sh: minimizer printed no minimized program" >&2
+  cat "${fuzz_min}" >&2
+  exit 1
+fi
+set +e
+"${fuzz}" repro "${fuzz_repro}" > /dev/null
+fuzz_status=$?
+set -e
+if [ "${fuzz_status}" -ne 1 ]; then
+  echo "ci.sh: minimized repro did not fail standalone" >&2
+  cat "${fuzz_repro}" >&2
+  exit 1
+fi
+echo "planted bug caught, minimized, and repro fails standalone"
+# The bench aborts if a fixed campaign's findings log is not
+# byte-identical across two back-to-back runs.
+(cd "${prefix}/bench" && ./fuzz_throughput >/dev/null)
+echo "fuzz campaign rerun byte-identity guard passed"
 
 echo "=== ci.sh: all stages passed ==="

@@ -1,0 +1,247 @@
+// simtomp_fuzz: the deterministic differential kernel fuzzer.
+//
+//   simtomp_fuzz run --seeds=A..B [options]
+//       Generate one program per seed in [A, B), run each through the
+//       differential matrix (host-serial reference, worker counts,
+//       fast-path modes, arch profiles, simcheck), minimize every
+//       divergence, and print the findings log. The log is
+//       byte-identical across reruns and for any SIMTOMP_HOST_WORKERS.
+//       Exit 0 when clean, 1 when any seed diverged.
+//   simtomp_fuzz show --seed=N [--salt=S]
+//       Print seed N's program in canonical text, without running it.
+//   simtomp_fuzz repro <file>
+//       Re-run the program line stored in <file> (first non-comment
+//       line; '-' reads stdin) through the matrix. Exit 1 if it still
+//       diverges — a landed counterexample regressing fails loudly.
+//   simtomp_fuzz minimize <file>
+//       Minimize the (diverging) program in <file>; prints the shrink
+//       trail and the minimized canonical line.
+//
+// Options for `run`:
+//   --seeds=A..B     seed range (default 0..16)
+//   --salt=S         generator salt (default 0; CI pins 0)
+//   --inject=KIND    none|offbyone|dropiter — compile a known bug into
+//                    every generated kernel (fuzzer self-test)
+//   --fault=SPEC     arm a simfault plan on every cell (default off)
+//   --tiny-only      skip the cross-arch (a100/mi100) cells
+//   --no-minimize    report divergences without shrinking them
+//   --emit-repro=DIR write each finding's minimized program to
+//                    DIR/seed<N>.fuzzprog
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "simfuzz/generator.h"
+#include "simfuzz/harness.h"
+#include "simfuzz/minimize.h"
+
+using namespace simtomp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simtomp_fuzz run [--seeds=A..B] [--salt=S] "
+               "[--inject=none|offbyone|dropiter] [--fault=SPEC]\n"
+               "                        [--tiny-only] [--no-minimize] "
+               "[--emit-repro=DIR]\n"
+               "       simtomp_fuzz show --seed=N [--salt=S]\n"
+               "       simtomp_fuzz repro <file|->\n"
+               "       simtomp_fuzz minimize <file|->\n");
+  return 2;
+}
+
+bool parseU64(const char* text, uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+/// --seeds=A..B (B exclusive); a bare --seeds=N means [N, N+1).
+bool parseSeedRange(const char* text, uint64_t& begin, uint64_t& end) {
+  const char* dots = std::strstr(text, "..");
+  if (dots == nullptr) {
+    if (!parseU64(text, begin)) return false;
+    end = begin + 1;
+    return true;
+  }
+  const std::string head(text, dots - text);
+  if (!parseU64(head.c_str(), begin) || !parseU64(dots + 2, end)) return false;
+  return end >= begin;
+}
+
+bool readProgramFile(const char* path, std::string& text) {
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  text = buffer.str();
+  return true;
+}
+
+void printNotes(const simfuzz::DiffResult& diff) {
+  for (const std::string& note : diff.notes) {
+    std::printf("  note %s\n", note.c_str());
+  }
+  if (diff.droppedNotes != 0) {
+    std::printf("  (+%llu more notes)\n",
+                static_cast<unsigned long long>(diff.droppedNotes));
+  }
+}
+
+int cmdRun(int argc, char** argv) {
+  simfuzz::CampaignOptions opt;
+  std::string emitDir;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seeds=", 8) == 0) {
+      if (!parseSeedRange(arg + 8, opt.seedBegin, opt.seedEnd)) return usage();
+    } else if (std::strncmp(arg, "--salt=", 7) == 0) {
+      if (!parseU64(arg + 7, opt.generatorSalt)) return usage();
+    } else if (std::strncmp(arg, "--inject=", 9) == 0) {
+      const char* kind = arg + 9;
+      if (std::strcmp(kind, "none") == 0) {
+        opt.inject = simfuzz::InjectKind::kNone;
+      } else if (std::strcmp(kind, "offbyone") == 0) {
+        opt.inject = simfuzz::InjectKind::kOffByOne;
+      } else if (std::strcmp(kind, "dropiter") == 0) {
+        opt.inject = simfuzz::InjectKind::kDropIteration;
+      } else {
+        return usage();
+      }
+    } else if (std::strncmp(arg, "--fault=", 8) == 0) {
+      opt.diff.faultSpec = arg + 8;
+    } else if (std::strcmp(arg, "--tiny-only") == 0) {
+      opt.diff.crossArch = false;
+    } else if (std::strcmp(arg, "--no-minimize") == 0) {
+      opt.minimize = false;
+    } else if (std::strncmp(arg, "--emit-repro=", 13) == 0) {
+      emitDir = arg + 13;
+    } else {
+      return usage();
+    }
+  }
+
+  const simfuzz::CampaignResult result = simfuzz::runCampaign(opt);
+  std::fputs(result.log.c_str(), stdout);
+
+  if (!emitDir.empty()) {
+    for (const simfuzz::Finding& finding : result.findings) {
+      const std::string path =
+          emitDir + "/seed" + std::to_string(finding.seed) + ".fuzzprog";
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "simtomp_fuzz: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      out << "# simtomp_fuzz finding, seed " << finding.seed << " ("
+          << finding.notes.size() << " notes)\n"
+          << finding.minimized.serialize() << "\n";
+    }
+  }
+  return result.findings.empty() ? 0 : 1;
+}
+
+int cmdShow(int argc, char** argv) {
+  uint64_t seed = 0;
+  uint64_t salt = 0;
+  bool haveSeed = false;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed=", 7) == 0) {
+      if (!parseU64(arg + 7, seed)) return usage();
+      haveSeed = true;
+    } else if (std::strncmp(arg, "--salt=", 7) == 0) {
+      if (!parseU64(arg + 7, salt)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (!haveSeed) return usage();
+  const simfuzz::Generator gen(salt);
+  std::printf("%s\n", gen.generate(seed).serialize().c_str());
+  return 0;
+}
+
+int cmdRepro(const char* path) {
+  std::string text;
+  if (!readProgramFile(path, text)) {
+    std::fprintf(stderr, "simtomp_fuzz: cannot read %s\n", path);
+    return 2;
+  }
+  const auto parsed = simfuzz::FuzzProgram::parse(text);
+  if (!parsed.isOk()) {
+    std::fprintf(stderr, "simtomp_fuzz: %s\n",
+                 parsed.status().toString().c_str());
+    return 2;
+  }
+  const simfuzz::FuzzProgram program = parsed.value();
+  std::printf("program: %s\n", program.serialize().c_str());
+  const simfuzz::DiffResult diff = simfuzz::diffProgram(program);
+  if (!diff.diverged()) {
+    std::printf("clean (%llu runs)\n",
+                static_cast<unsigned long long>(diff.runs));
+    return 0;
+  }
+  std::printf("DIVERGE notes=%zu\n", diff.notes.size());
+  printNotes(diff);
+  return 1;
+}
+
+int cmdMinimize(const char* path) {
+  std::string text;
+  if (!readProgramFile(path, text)) {
+    std::fprintf(stderr, "simtomp_fuzz: cannot read %s\n", path);
+    return 2;
+  }
+  const auto parsed = simfuzz::FuzzProgram::parse(text);
+  if (!parsed.isOk()) {
+    std::fprintf(stderr, "simtomp_fuzz: %s\n",
+                 parsed.status().toString().c_str());
+    return 2;
+  }
+  const simfuzz::FuzzProgram program = parsed.value();
+  std::printf("program: %s\n", program.serialize().c_str());
+
+  const simfuzz::DiffResult initial = simfuzz::diffProgram(program);
+  if (!initial.diverged()) {
+    std::printf("clean — nothing to minimize\n");
+    return 0;
+  }
+  printNotes(initial);
+
+  simfuzz::DiffOptions minimizeOpt;
+  minimizeOpt.failFast = true;
+  const simfuzz::MinimizeResult mini = simfuzz::minimizeProgram(
+      program, [&](const simfuzz::FuzzProgram& candidate) {
+        return simfuzz::diffProgram(candidate, minimizeOpt).diverged();
+      });
+  std::printf("minimized (%u steps, %u candidates): %s\n", mini.steps,
+              mini.tested, mini.program.serialize().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "run") == 0) return cmdRun(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "show") == 0) return cmdShow(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "repro") == 0 && argc == 3) return cmdRepro(argv[2]);
+  if (std::strcmp(cmd, "minimize") == 0 && argc == 3) {
+    return cmdMinimize(argv[2]);
+  }
+  return usage();
+}
