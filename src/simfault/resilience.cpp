@@ -1,5 +1,6 @@
 #include "simfault/resilience.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace simtomp::simfault {
@@ -9,8 +10,19 @@ std::string_view deviceHealthName(DeviceHealth health) {
     case DeviceHealth::kHealthy: return "healthy";
     case DeviceHealth::kFaulted: return "faulted";
     case DeviceHealth::kReset: return "reset";
+    case DeviceHealth::kQuarantined: return "quarantined";
   }
   return "unknown";
+}
+
+uint64_t cappedExponentialBackoff(uint64_t base, uint64_t cap,
+                                  uint32_t attempt) {
+  if (attempt == 0 || base == 0) return 0;
+  const uint32_t shift = attempt - 1;
+  // base << shift would overflow past 63 shifts (and exceeds any sane
+  // cap long before that): saturate at the cap instead.
+  if (shift >= 64 || (base << shift) >> shift != base) return cap;
+  return std::min(base << shift, cap);
 }
 
 std::string_view recoveryStageName(RecoveryStage stage) {

@@ -28,6 +28,7 @@ enum class DeviceHealth : uint8_t {
   kHealthy = 0,  ///< no fault observed since the last reset
   kFaulted,      ///< last launch failed; reset required before reuse
   kReset,        ///< reset completed; next successful launch -> healthy
+  kQuarantined,  ///< circuit breaker opened; no traffic until cool-down
 };
 
 /// Which rung of the degradation chain produced a launch attempt.
@@ -69,6 +70,15 @@ struct ResilienceResolution {
 /// "1"/"on" -> on; unset or unrecognized -> on). Explicit wins.
 [[nodiscard]] ResilienceResolution resolveResilienceMode(
     ResilienceMode requested);
+
+/// The modeled capped-exponential-backoff schedule every retry path in
+/// the repo shares: min(base << (attempt - 1), cap) for attempt >= 1
+/// (attempt 0 returns 0 — the initial try never waits). The shift
+/// saturates at the cap instead of overflowing, so any attempt count
+/// is safe. Units are the caller's (ms for the device-manager chain,
+/// modeled cycles for simserve re-dispatch).
+[[nodiscard]] uint64_t cappedExponentialBackoff(uint64_t base, uint64_t cap,
+                                                uint32_t attempt);
 
 /// One launch attempt in the chain, as recorded in the report.
 struct AttemptRecord {

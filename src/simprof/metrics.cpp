@@ -58,6 +58,23 @@ constexpr MetricDef kCatalog[] = {
      "High-water mark of dispatched-not-retired launch requests"},
     {metric::kServeLatencyCycles, MetricType::kHistogram,
      "Modeled request latency (queue model + execution cycles)"},
+    {metric::kServeDeadlineShedTotal, MetricType::kCounter,
+     "Requests shed at admission because the modeled queue-ahead cost "
+     "exceeded their deadline budget"},
+    {metric::kServeDeadlineHitTotal, MetricType::kCounter,
+     "Completed requests whose modeled latency met their deadline"},
+    {metric::kServeDeadlineMissTotal, MetricType::kCounter,
+     "Completed requests whose modeled latency exceeded their deadline"},
+    {metric::kServeRetryBackoffCycles, MetricType::kHistogram,
+     "Modeled backoff cycles charged to re-dispatched requests"},
+    {metric::kServeRetriesExhaustedTotal, MetricType::kCounter,
+     "Requests failed because their tenant retry budget ran out"},
+    {metric::kServeBreakerTripsTotal, MetricType::kCounter,
+     "Circuit-breaker trips (one per request stranded by a fault)"},
+    {metric::kServeBrownoutShedTotal, MetricType::kCounter,
+     "Requests shed by brownout (queue past its high-water mark)"},
+    {metric::kServeChaosViolationsTotal, MetricType::kCounter,
+     "Service invariant violations found by chaos campaigns"},
     {metric::kFuzzProgramsTotal, MetricType::kCounter,
      "Random kernel programs produced by the simfuzz generator"},
     {metric::kFuzzRunsTotal, MetricType::kCounter,

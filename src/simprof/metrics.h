@@ -86,6 +86,24 @@ inline constexpr std::string_view kServeInFlightPeak =
     "simtomp_serve_inflight_peak";
 inline constexpr std::string_view kServeLatencyCycles =
     "simtomp_serve_latency_cycles";
+// simserve SLO / resilience metrics (PR 9): deadline admission, retry
+// budgets, circuit breakers, brownout shedding and chaos campaigns.
+inline constexpr std::string_view kServeDeadlineShedTotal =
+    "simtomp_serve_deadline_shed_total";
+inline constexpr std::string_view kServeDeadlineHitTotal =
+    "simtomp_serve_deadline_hit_total";
+inline constexpr std::string_view kServeDeadlineMissTotal =
+    "simtomp_serve_deadline_miss_total";
+inline constexpr std::string_view kServeRetryBackoffCycles =
+    "simtomp_serve_retry_backoff_cycles";
+inline constexpr std::string_view kServeRetriesExhaustedTotal =
+    "simtomp_serve_retries_exhausted_total";
+inline constexpr std::string_view kServeBreakerTripsTotal =
+    "simtomp_serve_breaker_trips_total";
+inline constexpr std::string_view kServeBrownoutShedTotal =
+    "simtomp_serve_brownout_shed_total";
+inline constexpr std::string_view kServeChaosViolationsTotal =
+    "simtomp_serve_chaos_violations_total";
 // simfuzz differential-fuzzing metrics.
 inline constexpr std::string_view kFuzzProgramsTotal =
     "simtomp_fuzz_programs_total";
@@ -103,7 +121,7 @@ class MetricsRegistry {
   /// Histogram buckets: upper bounds 4^1 .. 4^14 cycles, plus +Inf.
   static constexpr size_t kHistogramBuckets = 15;
   /// Catalog size (static_asserted against allMetricDefs()).
-  static constexpr size_t kNumMetrics = 26;
+  static constexpr size_t kNumMetrics = 34;
 
   static MetricsRegistry& global();
 

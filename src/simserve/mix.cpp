@@ -25,45 +25,6 @@ size_t kernelIndex(std::string_view name) {
   return kNoKernel;
 }
 
-/// The value kernel k writes at index i — the verification oracle.
-/// axpy: y = 2x + 3 with x[i] = i; stencil: 3-point sum over the
-/// virtual input x[j] = j; square: i^2 + 1.
-uint64_t kernelValue(size_t kernel, uint64_t i) {
-  switch (kernel) {
-    case 0: return 2 * i + 3;
-    case 1: return (i - 1) + i + (i + 1);
-    default: return i * i + 1;
-  }
-}
-
-/// Three-level region (teams / tiles / simd lanes), the structure every
-/// driver in this repo uses; kernels differ in per-lane cost so the
-/// mix's latency histograms have spread.
-omprt::TargetRegionFn makeRegion(size_t kernel, uint64_t trip,
-                                 std::shared_ptr<std::vector<uint64_t>> out) {
-  return [kernel, trip, out](omprt::OmpContext& ctx) {
-    const uint64_t tiles = (trip + kTile - 1) / kTile;
-    const omprt::rt::Range r = omprt::rt::distributeStatic(ctx, tiles);
-    omprt::ParallelConfig pc;
-    pc.modeAuto = true;    // follow the launch-wide parallel mode
-    pc.simdGroupSize = 0;  // follow the launch-wide simdlen
-    auto tile_body = [kernel, trip, out, base = r.begin](omprt::OmpContext& c,
-                                                         uint64_t logical) {
-      const uint64_t tile = base + logical;
-      c.gpu().work(1);
-      dsl::simd(c, kTile,
-                [kernel, trip, out, tile](omprt::OmpContext& cc,
-                                          uint64_t lane) {
-                  const uint64_t i = tile * kTile + lane;
-                  if (i >= trip) return;
-                  cc.gpu().work(1 + 2 * static_cast<uint64_t>(kernel));
-                  (*out)[i] = kernelValue(kernel, i);
-                });
-    };
-    dsl::parallelFor(ctx, r.size(), tile_body, pc);
-  };
-}
-
 Status lineError(size_t lineno, const std::string& what) {
   return Status::invalidArgument("mix line " + std::to_string(lineno) + ": " +
                                  what);
@@ -89,9 +50,57 @@ bool splitKv(const std::string& token, std::string& key, std::string& value) {
   return true;
 }
 
+/// Has `key` already appeared on this line? Linear scan: lines carry a
+/// handful of keys, and the recording marks the duplicate as an error.
+bool noteKey(std::vector<std::string>& seen, const std::string& key) {
+  for (const std::string& s : seen) {
+    if (s == key) return false;
+  }
+  seen.push_back(key);
+  return true;
+}
+
 }  // namespace
 
 const std::vector<std::string>& mixKernelNames() { return kKernels; }
+
+// The verification oracle. axpy: y = 2x + 3 with x[i] = i; stencil:
+// 3-point sum over the virtual input x[j] = j; square: i^2 + 1.
+uint64_t mixKernelValue(size_t kernel, uint64_t i) {
+  switch (kernel) {
+    case 0: return 2 * i + 3;
+    case 1: return (i - 1) + i + (i + 1);
+    default: return i * i + 1;
+  }
+}
+
+// Three-level region (teams / tiles / simd lanes), the structure every
+// driver in this repo uses; kernels differ in per-lane cost so the
+// mix's latency histograms have spread.
+omprt::TargetRegionFn makeMixRegion(
+    size_t kernel, uint64_t trip, std::shared_ptr<std::vector<uint64_t>> out) {
+  return [kernel, trip, out](omprt::OmpContext& ctx) {
+    const uint64_t tiles = (trip + kTile - 1) / kTile;
+    const omprt::rt::Range r = omprt::rt::distributeStatic(ctx, tiles);
+    omprt::ParallelConfig pc;
+    pc.modeAuto = true;    // follow the launch-wide parallel mode
+    pc.simdGroupSize = 0;  // follow the launch-wide simdlen
+    auto tile_body = [kernel, trip, out, base = r.begin](omprt::OmpContext& c,
+                                                         uint64_t logical) {
+      const uint64_t tile = base + logical;
+      c.gpu().work(1);
+      dsl::simd(c, kTile,
+                [kernel, trip, out, tile](omprt::OmpContext& cc,
+                                          uint64_t lane) {
+                  const uint64_t i = tile * kTile + lane;
+                  if (i >= trip) return;
+                  cc.gpu().work(1 + 2 * static_cast<uint64_t>(kernel));
+                  (*out)[i] = mixKernelValue(kernel, i);
+                });
+    };
+    dsl::parallelFor(ctx, r.size(), tile_body, pc);
+  };
+}
 
 size_t Mix::requestCount() const {
   size_t n = 0;
@@ -109,13 +118,25 @@ std::string Mix::toString() const {
         out += "tenant " + op.tenant.name +
                " priority=" + std::to_string(op.tenant.priority) +
                " inflight=" + std::to_string(op.tenant.maxInFlight) +
-               " queued=" + std::to_string(op.tenant.maxQueued) + "\n";
+               " queued=" + std::to_string(op.tenant.maxQueued);
+        // SLO keys render only off their defaults, so mixes recorded
+        // before they existed keep their exact bytes.
+        if (op.tenant.deadlineCycles != kNoDeadline) {
+          out += " deadline=" + std::to_string(op.tenant.deadlineCycles);
+        }
+        if (op.tenant.maxRetries != TenantSpec{}.maxRetries) {
+          out += " retries=" + std::to_string(op.tenant.maxRetries);
+        }
+        out += "\n";
         break;
       case MixOp::Kind::kRequest:
         out += "req " + op.reqTenant + " " + op.kernel +
                " trip=" + std::to_string(op.trip) +
                " simdlen=" + std::to_string(op.simdlen);
         if (!op.fault.empty()) out += " fault=" + op.fault;
+        if (op.deadline != kInheritDeadline) {
+          out += " deadline=" + std::to_string(op.deadline);
+        }
         out += "\n";
         break;
       case MixOp::Kind::kPump: out += "pump\n"; break;
@@ -145,10 +166,14 @@ Result<Mix> parseMix(std::istream& in) {
         return lineError(lineno, "tenant needs a name");
       }
       std::string token, key, value;
+      std::vector<std::string> seen;
       while (tokens >> token) {
         uint64_t v = 0;
         if (!splitKv(token, key, value) || !parseU64(value, v)) {
           return lineError(lineno, "bad tenant attribute '" + token + "'");
+        }
+        if (!noteKey(seen, key)) {
+          return lineError(lineno, "duplicate tenant key '" + key + "'");
         }
         if (key == "priority") {
           op.tenant.priority = static_cast<uint32_t>(v);
@@ -156,6 +181,10 @@ Result<Mix> parseMix(std::istream& in) {
           op.tenant.maxInFlight = static_cast<uint32_t>(v);
         } else if (key == "queued") {
           op.tenant.maxQueued = static_cast<uint32_t>(v);
+        } else if (key == "deadline") {
+          op.tenant.deadlineCycles = v;
+        } else if (key == "retries") {
+          op.tenant.maxRetries = static_cast<uint32_t>(v);
         } else {
           return lineError(lineno, "unknown tenant key '" + key + "'");
         }
@@ -169,9 +198,13 @@ Result<Mix> parseMix(std::istream& in) {
         return lineError(lineno, "unknown kernel '" + op.kernel + "'");
       }
       std::string token, key, value;
+      std::vector<std::string> seen;
       while (tokens >> token) {
         if (!splitKv(token, key, value)) {
           return lineError(lineno, "bad req attribute '" + token + "'");
+        }
+        if (!noteKey(seen, key)) {
+          return lineError(lineno, "duplicate req key '" + key + "'");
         }
         if (key == "fault") {
           op.fault = value;
@@ -185,6 +218,8 @@ Result<Mix> parseMix(std::istream& in) {
           op.trip = v;
         } else if (key == "simdlen") {
           op.simdlen = static_cast<uint32_t>(v);
+        } else if (key == "deadline") {
+          op.deadline = v;
         } else {
           return lineError(lineno, "unknown req key '" + key + "'");
         }
@@ -245,6 +280,7 @@ std::string ReplayReport::toString() const {
   return "submitted=" + std::to_string(submitted) +
          " admitted=" + std::to_string(admitted) +
          " shed_at_submit=" + std::to_string(shedAtSubmit) +
+         " deadline_shed=" + std::to_string(deadlineShed) +
          " verified=" + std::to_string(verified) +
          " verify_failures=" + std::to_string(verifyFailures);
 }
@@ -296,13 +332,15 @@ Result<ReplayReport> replayMix(LaunchService& service, const Mix& mix,
             std::to_string(op.simdlen);
         ++report.submitted;
         const Result<uint64_t> admitted = service.submit(
-            op.reqTenant, std::move(config), makeRegion(kernel, op.trip, out),
-            fingerprint);
+            op.reqTenant, std::move(config),
+            makeMixRegion(kernel, op.trip, out), fingerprint, op.deadline);
         if (admitted.isOk()) {
           ++report.admitted;
           pending.push_back(Pending{admitted.value(), kernel, op.trip, out});
         } else if (admitted.status().code() == StatusCode::kResourceExhausted) {
           ++report.shedAtSubmit;  // deterministic shedding is expected
+        } else if (admitted.status().code() == StatusCode::kDeadlineExceeded) {
+          ++report.deadlineShed;  // SLO admission control, also expected
         } else {
           return admitted.status();
         }
@@ -316,7 +354,7 @@ Result<ReplayReport> replayMix(LaunchService& service, const Mix& mix,
     if (service.outcome(p.id).state != RequestState::kDone) continue;
     bool ok = true;
     for (uint64_t i = 0; i < p.trip; ++i) {
-      if ((*p.out)[i] != kernelValue(p.kernel, i)) ok = false;
+      if ((*p.out)[i] != mixKernelValue(p.kernel, i)) ok = false;
     }
     if (ok) {
       ++report.verified;

@@ -4,10 +4,17 @@
 // requests and scheduler steps:
 //
 //   # comment / blank lines ignored
-//   tenant NAME priority=P inflight=I queued=Q
-//   req TENANT KERNEL trip=N simdlen=S [fault=SPEC]
+//   tenant NAME priority=P inflight=I queued=Q [deadline=D] [retries=R]
+//   req TENANT KERNEL trip=N simdlen=S [fault=SPEC] [deadline=D]
 //   pump
 //   drain
+//
+// deadline=D is a modeled-cycle budget (tenant default, or per-request
+// override); retries=R caps re-dispatches after device loss. Both are
+// omitted from canonical text when they hold their defaults, so mixes
+// recorded before these keys existed render byte-identically. The
+// parser is strict: unknown keys, malformed values and duplicate keys
+// on one line are errors, so a typo cannot silently drop an SLO.
 //
 // KERNEL is one of the built-in regions (axpy, stencil, square) —
 // small three-level kernels (teams / tiles / simd lanes) whose results
@@ -19,6 +26,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +46,9 @@ struct MixOp {
   uint64_t trip = 0;
   uint32_t simdlen = 1;
   std::string fault;  ///< SIMTOMP_FAULT grammar; "" = no fault ("off")
+  /// Per-request deadline override (modeled cycles); the default
+  /// inherits the tenant's deadline at submit time.
+  uint64_t deadline = kInheritDeadline;
 };
 
 struct Mix {
@@ -71,6 +82,7 @@ struct ReplayReport {
   uint64_t submitted = 0;
   uint64_t admitted = 0;
   uint64_t shedAtSubmit = 0;
+  uint64_t deadlineShed = 0;  ///< DEADLINE_EXCEEDED at admission
   uint64_t verified = 0;
   uint64_t verifyFailures = 0;
 
@@ -95,5 +107,15 @@ struct ReplayOptions {
 
 /// The built-in kernel names, for tools that enumerate them.
 [[nodiscard]] const std::vector<std::string>& mixKernelNames();
+
+// The kernel oracle and region builder, exported for harnesses (the
+// chaos campaign driver) that submit requests directly instead of
+// through mix text. `kernel` indexes mixKernelNames().
+/// The value kernel `kernel` writes at index i (closed form).
+[[nodiscard]] uint64_t mixKernelValue(size_t kernel, uint64_t i);
+/// Three-level region writing mixKernelValue(kernel, i) to (*out)[i]
+/// for i < trip. `out` must have at least `trip` elements.
+[[nodiscard]] omprt::TargetRegionFn makeMixRegion(
+    size_t kernel, uint64_t trip, std::shared_ptr<std::vector<uint64_t>> out);
 
 }  // namespace simtomp::simserve

@@ -81,13 +81,19 @@ std::string LatencyHistogram::toString() const {
 }
 
 std::string TenantStats::toString() const {
-  char buf[320];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "submitted=%" PRIu64 " accepted=%" PRIu64 " shed=%" PRIu64
-                " evicted=%" PRIu64 " completed=%" PRIu64 " failed=%" PRIu64
-                " migrated=%" PRIu64 " batch_followers=%" PRIu64,
-                submitted, accepted, shed, evicted, completed, failed,
-                migrated, batchFollowers);
+                " evicted=%" PRIu64 " brownout_shed=%" PRIu64
+                " deadline_shed=%" PRIu64 " completed=%" PRIu64
+                " failed=%" PRIu64 " migrated=%" PRIu64
+                " batch_followers=%" PRIu64 " deadline_hit=%" PRIu64
+                " deadline_miss=%" PRIu64 " retries_exhausted=%" PRIu64
+                " retry_backoff_cycles=%" PRIu64 " breaker_trips=%" PRIu64,
+                submitted, accepted, shed, evicted, brownoutShed,
+                deadlineShed, completed, failed, migrated, batchFollowers,
+                deadlineHit, deadlineMiss, retriesExhausted,
+                retryBackoffCycles, breakerTrips);
   return std::string(buf) + " latency " + latency.toString();
 }
 
@@ -98,8 +104,14 @@ LaunchService::LaunchService(hostrt::DeviceManager& manager,
     config_.shardCount = static_cast<uint32_t>(mgr_->numDevices());
   }
   if (config_.maxBatch == 0) config_.maxBatch = 1;
+  if (config_.brownoutHighWater == 0) {
+    config_.brownoutHighWater = (config_.maxQueued * 3) / 4;
+  }
   shardDevice_.assign(config_.shardCount, 0);
   deviceServing_.assign(mgr_->numDevices(), true);
+  breakers_.assign(mgr_->numDevices(),
+                   simfault::CircuitBreaker(config_.breaker));
+  probing_.assign(mgr_->numDevices(), false);
   rebuildShardMapLocked();
 }
 
@@ -115,6 +127,7 @@ Status LaunchService::registerTenant(TenantSpec spec) {
     return Status::invalidArgument("tenant already registered: " + spec.name);
   }
   const auto id = static_cast<uint32_t>(tenants_.size());
+  minPriority_ = std::min(minPriority_, spec.priority);
   tenantByName_.emplace(spec.name, id);
   tenants_.push_back(Tenant{std::move(spec), {}, 0, 0});
   return Status::ok();
@@ -123,7 +136,8 @@ Status LaunchService::registerTenant(TenantSpec spec) {
 Result<uint64_t> LaunchService::submit(std::string_view tenant,
                                        omprt::TargetConfig config,
                                        omprt::TargetRegionFn region,
-                                       std::string fingerprint) {
+                                       std::string fingerprint,
+                                       uint64_t deadlineCycles) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = tenantByName_.find(tenant);
   if (it == tenantByName_.end()) {
@@ -143,11 +157,42 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
     return Status::resourceExhausted("tenant '" + t.spec.name +
                                      "' is suspended (zero quota)");
   }
+  // Deadline admission: if the modeled cost of just reaching a device
+  // (everything queued ahead plus one dispatch) already blows the
+  // budget, shed now instead of wasting the dispatch. A zero budget
+  // can never be met (dispatch alone costs kDispatchCycles).
+  const uint64_t deadline = deadlineCycles == kInheritDeadline
+                                ? t.spec.deadlineCycles
+                                : deadlineCycles;
+  if (deadline != kNoDeadline) {
+    const uint64_t ahead_cost =
+        queuedCount_ * kQueueSlotCycles + kDispatchCycles;
+    if (ahead_cost > deadline) {
+      ++t.stats.deadlineShed;
+      metrics.add(simprof::metric::kServeDeadlineShedTotal);
+      return Status::deadlineExceeded(
+          "tenant '" + t.spec.name + "' deadline budget " +
+          std::to_string(deadline) + " < modeled queue-ahead cost " +
+          std::to_string(ahead_cost));
+    }
+  }
   if (t.queued >= t.spec.maxQueued) {
     ++t.stats.shed;
     metrics.add(simprof::metric::kServeShedTotal);
     return Status::resourceExhausted("tenant '" + t.spec.name +
                                      "' queue quota exceeded");
+  }
+  // Brownout: past the high-water mark, lowest-priority arrivals are
+  // shed outright — graceful degradation ahead of the hard bound.
+  if (brownoutActiveLocked() && t.spec.priority <= minPriority_) {
+    ++t.stats.shed;
+    ++t.stats.brownoutShed;
+    metrics.add(simprof::metric::kServeShedTotal);
+    metrics.add(simprof::metric::kServeBrownoutShedTotal);
+    return Status::resourceExhausted(
+        "brownout: queue at " + std::to_string(queuedCount_) + " >= " +
+        std::to_string(config_.brownoutHighWater) +
+        "; lowest-priority arrival shed");
   }
   if (queuedCount_ >= config_.maxQueued) {
     // The global queue is full: RESOURCE_EXHAUSTED goes to the
@@ -193,6 +238,7 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
   request.config = std::move(config);
   request.region = std::move(region);
   request.aheadAtAdmission = queuedCount_;
+  request.deadline = deadline;
   requests_.push_back(std::move(request));
   classes_[t.spec.priority].fifo.push_back(id);
   ++queuedCount_;
@@ -315,8 +361,14 @@ size_t LaunchService::pump() {
     ++dispatched;
     // Followers ride the leader's credit: a batch is one dispatch plan,
     // so it costs one scheduling slot however many requests it carries.
+    // Brownout disables coalescing — a batch is one failure domain, and
+    // under pressure stranding many requests on one faulting dispatch
+    // costs more than the amortized resolution saves. Re-evaluated per
+    // leader, so batching resumes as the pump works the queue down.
+    const uint32_t max_batch =
+        brownoutActiveLocked() ? 1 : config_.maxBatch;
     uint32_t batch = 1;
-    while (batch < config_.maxBatch && pick_pos < cls.fifo.size()) {
+    while (batch < max_batch && pick_pos < cls.fifo.size()) {
       Request& next = requests_[cls.fifo[pick_pos]];
       if (next.fingerprint != leader.fingerprint) break;
       if (!tenantHasBudget(tenants_[next.tenant])) break;
@@ -346,6 +398,11 @@ Status LaunchService::drain() {
     if (to_retire.empty()) {
       std::lock_guard<std::mutex> lock(mu_);
       for (Tenant& t : tenants_) t.dispatchedSinceDrain = 0;
+      // A completed drain is one tick of the logical clock the
+      // breakers run on: cool-downs elapse here, and devices whose
+      // breaker went half-open rejoin the shard map as probes.
+      ++epoch_;
+      advanceBreakersLocked();
       return Status::ok();
     }
     std::vector<uint64_t> migrate;
@@ -369,6 +426,22 @@ Status LaunchService::drain() {
         t.stats.latency.observe(request->modeledLatency);
         metrics.observe(simprof::metric::kServeLatencyCycles,
                         request->modeledLatency);
+        if (request->deadline != kNoDeadline) {
+          // SLO scoring: the final modeled latency against the budget.
+          if (request->modeledLatency <= request->deadline) {
+            ++t.stats.deadlineHit;
+            metrics.add(simprof::metric::kServeDeadlineHitTotal);
+          } else {
+            ++t.stats.deadlineMiss;
+            metrics.add(simprof::metric::kServeDeadlineMissTotal);
+          }
+        }
+        if (probing_[request->device]) {
+          // First successful retirement from a half-open device closes
+          // its breaker (the probe passed).
+          breakers_[request->device].noteProbeSuccess();
+          probing_[request->device] = false;
+        }
         ++retiredTotal_;
       } else if (result.status().code() == StatusCode::kUnavailable) {
         // Device lost: quiesce it now; migration happens once this
@@ -393,21 +466,53 @@ Status LaunchService::drain() {
 }
 
 Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
-  // Reset every quiesced device that still reports non-reset health:
-  // all of its in-flight work was retired above, so this is the
-  // drain -> quiesce -> reset step of the health machine.
+  auto& metrics = simprof::MetricsRegistry::global();
+  // Charge one breaker trip per stranded request, attributed to the
+  // request's tenant — a shard-invariant count (how many requests hit
+  // faults never depends on which physical device served the shard).
+  // A breaker that crosses its threshold quarantines its device: out
+  // of the shard map and fast-failed by the manager until cool-down.
+  for (const uint64_t id : ids) {
+    Request& request = requests_[id];
+    ++tenants_[request.tenant].stats.breakerTrips;
+    metrics.add(simprof::metric::kServeBreakerTripsTotal);
+    const size_t d = request.device;
+    if (breakers_[d].noteTrip(epoch_)) {
+      mgr_->setQuarantined(d, true);
+      probing_[d] = false;
+    }
+  }
+  // Reset every quiesced device — its in-flight work was all retired
+  // above, so this is the drain -> quiesce -> reset step of the health
+  // machine (quarantined devices too: a later half-open probe must
+  // start from a clean device). Devices whose breaker stayed closed
+  // rejoin the serving set immediately: the loss was transient.
   for (size_t d = 0; d < deviceServing_.size(); ++d) {
-    if (!deviceServing_[d] &&
-        mgr_->deviceHealth(d) != simfault::DeviceHealth::kReset) {
-      mgr_->resetDevice(d);
+    if (deviceServing_[d]) continue;
+    mgr_->resetDevice(d);
+    if (!mgr_->isQuarantined(d)) deviceServing_[d] = true;
+  }
+  // Panic revival: never leave the serving set empty. The breaker
+  // nearest its reopen epoch (ties to the lowest device number) is
+  // forced half-open so traffic keeps flowing.
+  if (config_.panicRevival && !anyServingLocked()) {
+    size_t pick = deviceServing_.size();
+    for (size_t d = 0; d < deviceServing_.size(); ++d) {
+      if (breakers_[d].state() != simfault::BreakerState::kOpen) continue;
+      if (pick == deviceServing_.size() ||
+          breakers_[d].reopenEpoch() < breakers_[pick].reopenEpoch()) {
+        pick = d;
+      }
+    }
+    if (pick != deviceServing_.size()) {
+      breakers_[pick].forceHalfOpen();
+      mgr_->setQuarantined(pick, false);
+      deviceServing_[pick] = true;
+      probing_[pick] = true;
     }
   }
   rebuildShardMapLocked();
-  const bool any_serving =
-      std::any_of(deviceServing_.begin(), deviceServing_.end(),
-                  [](bool serving) { return serving; });
-  auto& metrics = simprof::MetricsRegistry::global();
-  if (!any_serving) {
+  if (!anyServingLocked()) {
     for (const uint64_t id : ids) {
       Request& request = requests_[id];
       request.status =
@@ -421,6 +526,23 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
   for (const uint64_t id : ids) {
     Request& request = requests_[id];
     Tenant& t = tenants_[request.tenant];
+    // Retry budget: hop h is re-dispatch number h. A tenant's budget
+    // caps hops per request; past it the request fails for good with a
+    // definite status instead of bouncing between dying devices.
+    ++request.retries;
+    if (request.retries > t.spec.maxRetries) {
+      request.status = Status::unavailable(
+          "retry budget exhausted after " +
+          std::to_string(request.retries - 1) + " re-dispatches (tenant '" +
+          t.spec.name + "' allows " + std::to_string(t.spec.maxRetries) +
+          ")");
+      request.state = RequestState::kFailed;
+      ++t.stats.failed;
+      ++t.stats.retriesExhausted;
+      metrics.add(simprof::metric::kServeRetriesExhaustedTotal);
+      ++retiredTotal_;
+      continue;
+    }
     request.migrated = true;
     ++t.stats.migrated;
     ++migratedTotal_;
@@ -429,7 +551,13 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
     // poisonous — the migrated copy must not re-arm device loss on the
     // healthy device.
     request.config.fault.spec = "off";
-    request.modeledLatency += kDispatchCycles;
+    // Each hop is charged a dispatch plus capped exponential backoff —
+    // modeled cycles, never slept, so latency stays reproducible.
+    const uint64_t backoff = simfault::cappedExponentialBackoff(
+        kRetryBackoffBaseCycles, kRetryBackoffCapCycles, request.retries);
+    request.modeledLatency += kDispatchCycles + backoff;
+    t.stats.retryBackoffCycles += backoff;
+    metrics.observe(simprof::metric::kServeRetryBackoffCycles, backoff);
     const size_t device = shardDevice_[request.shard];
     const omprt::TargetConfig resolved =
         mgr_->effectiveConfig(device, request.config);
@@ -442,6 +570,26 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
     dispatchOrder_.push_back(id);
   }
   return Status::ok();
+}
+
+bool LaunchService::anyServingLocked() const {
+  return std::any_of(deviceServing_.begin(), deviceServing_.end(),
+                     [](bool serving) { return serving; });
+}
+
+void LaunchService::advanceBreakersLocked() {
+  bool changed = false;
+  for (size_t d = 0; d < breakers_.size(); ++d) {
+    if (breakers_[d].state() != simfault::BreakerState::kOpen) continue;
+    breakers_[d].onEpoch(epoch_);
+    if (breakers_[d].state() == simfault::BreakerState::kHalfOpen) {
+      mgr_->setQuarantined(d, false);
+      deviceServing_[d] = true;
+      probing_[d] = true;
+      changed = true;
+    }
+  }
+  if (changed) rebuildShardMapLocked();
 }
 
 void LaunchService::rebuildShardMapLocked() {
@@ -481,8 +629,41 @@ Status LaunchService::runToCompletion() {
 void LaunchService::reviveDevice(size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   SIMTOMP_CHECK(n < deviceServing_.size(), "device number out of range");
+  // Manual revival outranks the breaker: close it, clear the
+  // quarantine and forget any outstanding probe.
+  breakers_[n].forceClose();
+  mgr_->setQuarantined(n, false);
+  probing_[n] = false;
   deviceServing_[n] = true;
   rebuildShardMapLocked();
+}
+
+uint64_t LaunchService::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+simfault::BreakerState LaunchService::breakerState(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIMTOMP_CHECK(n < breakers_.size(), "device number out of range");
+  return breakers_[n].state();
+}
+
+uint64_t LaunchService::breakerTrips(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIMTOMP_CHECK(n < breakers_.size(), "device number out of range");
+  return breakers_[n].trips();
+}
+
+uint64_t LaunchService::breakerOpens(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SIMTOMP_CHECK(n < breakers_.size(), "device number out of range");
+  return breakers_[n].opens();
+}
+
+bool LaunchService::brownoutActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return brownoutActiveLocked();
 }
 
 size_t LaunchService::queuedRequests() const {
@@ -519,8 +700,10 @@ RequestOutcome LaunchService::outcome(uint64_t id) const {
   out.status = request.status;
   out.cycles = request.cycles;
   out.modeledLatencyCycles = request.modeledLatency;
+  out.deadlineCycles = request.deadline;
   out.device = request.device;
   out.shard = request.shard;
+  out.retries = request.retries;
   out.batchFollower = request.batchFollower;
   out.migrated = request.migrated;
   return out;
@@ -560,19 +743,33 @@ void LaunchService::dumpStats(std::ostream& out) const {
     totals.accepted += t.stats.accepted;
     totals.shed += t.stats.shed;
     totals.evicted += t.stats.evicted;
+    totals.brownoutShed += t.stats.brownoutShed;
+    totals.deadlineShed += t.stats.deadlineShed;
     totals.completed += t.stats.completed;
     totals.failed += t.stats.failed;
     totals.migrated += t.stats.migrated;
     totals.batchFollowers += t.stats.batchFollowers;
+    totals.deadlineHit += t.stats.deadlineHit;
+    totals.deadlineMiss += t.stats.deadlineMiss;
+    totals.retriesExhausted += t.stats.retriesExhausted;
+    totals.retryBackoffCycles += t.stats.retryBackoffCycles;
+    totals.breakerTrips += t.stats.breakerTrips;
   }
   out << "simserve stats v1\n";
   out << "service: submitted=" << totals.submitted
       << " accepted=" << totals.accepted << " shed=" << totals.shed
+      << " deadline_shed=" << totals.deadlineShed
+      << " brownout_shed=" << totals.brownoutShed
       << " completed=" << totals.completed << " failed=" << totals.failed
       << " migrated=" << totals.migrated << " batches=" << batches_
       << " amortized_resolutions=" << amortized_
       << " peak_queue_depth=" << peakQueueDepth_
-      << " peak_inflight=" << peakInFlight_ << "\n";
+      << " peak_inflight=" << peakInFlight_
+      << " deadline_hit=" << totals.deadlineHit
+      << " deadline_miss=" << totals.deadlineMiss
+      << " retries_exhausted=" << totals.retriesExhausted
+      << " retry_backoff_cycles=" << totals.retryBackoffCycles
+      << " breaker_trips=" << totals.breakerTrips << "\n";
   // tenantByName_ is name-sorted, which makes the dump order stable.
   for (const auto& [name, id] : tenantByName_) {
     const Tenant& t = tenants_[id];

@@ -24,6 +24,17 @@
 //     the device's shards to healthy devices, and re-dispatches the
 //     failed requests in their original dispatch order — accepted
 //     requests are never lost or reordered within their shard.
+//   - SLOs: per-request modeled deadline budgets checked at admission
+//     (shed DEADLINE_EXCEEDED when the queue-ahead cost alone blows
+//     the budget) and scored at retirement (deadline hit/miss).
+//   - resilience: re-dispatch is bounded by per-tenant retry budgets
+//     with capped modeled exponential backoff; each device carries a
+//     circuit breaker (simfault::CircuitBreaker on a logical epoch
+//     clock = completed drains) that quarantines repeat offenders from
+//     the shard map until a cool-down, then probes half-open.
+//   - brownout: past a queue high-water mark the service sheds
+//     lowest-priority arrivals and disables batching before the hard
+//     bound refuses work outright.
 //
 // Determinism contract: given the same submission sequence and the
 // same pump()/drain() call structure, every published statistic —
@@ -40,6 +51,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -49,9 +61,17 @@
 
 #include "hostrt/device_manager.h"
 #include "omprt/target.h"
+#include "simfault/breaker.h"
 #include "support/status.h"
 
 namespace simtomp::simserve {
+
+/// Deadline sentinels. kNoDeadline = no budget (never shed or counted
+/// against SLOs); kInheritDeadline (submit()'s default) = use the
+/// tenant's TenantSpec::deadlineCycles.
+inline constexpr uint64_t kNoDeadline =
+    std::numeric_limits<uint64_t>::max();
+inline constexpr uint64_t kInheritDeadline = kNoDeadline - 1;
 
 /// A named client of the launch service.
 struct TenantSpec {
@@ -64,6 +84,16 @@ struct TenantSpec {
   uint32_t maxInFlight = 64;
   /// Admitted-but-undispatched cap. 0 suspends the tenant.
   uint32_t maxQueued = 256;
+  /// Default modeled-latency deadline budget (cycles) for this
+  /// tenant's requests; admission sheds a request (DEADLINE_EXCEEDED)
+  /// when the modeled queue-ahead cost alone already exceeds it, and
+  /// retirement scores the final modeled latency against it
+  /// (deadlineHit / deadlineMiss). kNoDeadline = no SLO.
+  uint64_t deadlineCycles = kNoDeadline;
+  /// Re-dispatch budget after device loss: a request may migrate at
+  /// most this many times before it fails with UNAVAILABLE ("retry
+  /// budget exhausted"). 0 = fail on the first loss.
+  uint32_t maxRetries = 3;
 };
 
 struct ServiceConfig {
@@ -75,6 +105,22 @@ struct ServiceConfig {
   /// Same-fingerprint coalescing bound per dispatch (1 disables
   /// batching).
   uint32_t maxBatch = 16;
+  /// Brownout high-water mark on the global logical queue. While
+  /// queue occupancy is at or past it, arrivals from the lowest
+  /// registered priority are shed and same-kernel batching is
+  /// disabled — graceful degradation before the hard maxQueued bound
+  /// refuses work outright. 0 derives (maxQueued * 3) / 4; any value
+  /// > maxQueued disables brownout.
+  uint64_t brownoutHighWater = 0;
+  /// Per-device circuit breaker (logical-epoch trip window; epochs are
+  /// counted drain() completions). tripThreshold 0 disables breakers,
+  /// restoring unconditional post-reset re-admission.
+  simfault::BreakerPolicy breaker{};
+  /// Never let the serving set empty: when every device is
+  /// quarantined, the breaker closest to its reopen epoch is forced
+  /// half-open so traffic keeps flowing (panic revival). Disable to
+  /// make total device loss fail pending work instead.
+  bool panicRevival = true;
 };
 
 enum class RequestState : uint8_t {
@@ -98,6 +144,11 @@ enum class RequestState : uint8_t {
 inline constexpr uint64_t kQueueSlotCycles = 16;
 inline constexpr uint64_t kDispatchCycles = 256;
 inline constexpr uint64_t kBatchFollowCycles = 32;
+// Modeled capped exponential backoff charged per re-dispatch hop
+// (shared schedule: simfault::cappedExponentialBackoff). Hop h adds
+// kDispatchCycles + min(kRetryBackoffBaseCycles << (h-1), cap).
+inline constexpr uint64_t kRetryBackoffBaseCycles = 64;
+inline constexpr uint64_t kRetryBackoffCapCycles = 4096;
 
 /// Power-of-4 bucket histogram (4^1 .. 4^14, +Inf) mirroring the
 /// simprof registry's layout, with deterministic quantile bounds.
@@ -122,15 +173,29 @@ class LatencyHistogram {
 };
 
 /// Per-tenant service counters; toString() is a byte-identity surface.
+/// Every field is a pure function of logical state and modeled cycles
+/// (never of which physical device served a shard), so the dump stays
+/// byte-identical across worker counts, shard counts and reruns.
+/// Conservation: submitted == accepted + (shed - evicted) + deadlineShed
+/// (an evicted request was accepted first, then counted shed+evicted).
 struct TenantStats {
   uint64_t submitted = 0;
   uint64_t accepted = 0;
   uint64_t shed = 0;      ///< refused at submit or evicted later
   uint64_t evicted = 0;   ///< subset of shed: displaced after admission
+  uint64_t brownoutShed = 0;  ///< subset of shed: brownout arrivals
+  uint64_t deadlineShed = 0;  ///< DEADLINE_EXCEEDED at admission
   uint64_t completed = 0;
   uint64_t failed = 0;
   uint64_t migrated = 0;  ///< re-dispatched off a faulted device
   uint64_t batchFollowers = 0;
+  // SLO surface (PR 9): deadline scoring at retirement, retry-budget
+  // accounting and breaker trips charged to the faulting request.
+  uint64_t deadlineHit = 0;   ///< completed within the deadline budget
+  uint64_t deadlineMiss = 0;  ///< completed past the deadline budget
+  uint64_t retriesExhausted = 0;  ///< failed: retry budget ran out
+  uint64_t retryBackoffCycles = 0;  ///< modeled backoff charged in total
+  uint64_t breakerTrips = 0;  ///< faults this tenant's requests hit
   LatencyHistogram latency;
 
   [[nodiscard]] std::string toString() const;
@@ -142,8 +207,10 @@ struct RequestOutcome {
   Status status;
   uint64_t cycles = 0;                ///< KernelStats.cycles when done
   uint64_t modeledLatencyCycles = 0;  ///< final only when done
+  uint64_t deadlineCycles = kNoDeadline;  ///< resolved budget
   uint32_t device = 0;                ///< last device dispatched to
   uint32_t shard = 0;
+  uint32_t retries = 0;               ///< re-dispatch hops taken
   bool batchFollower = false;
   bool migrated = false;
 };
@@ -166,13 +233,18 @@ class LaunchService {
 
   /// Admit (or deterministically shed) one launch request. Returns the
   /// request id on admission; RESOURCE_EXHAUSTED when this request was
-  /// shed; INVALID_ARGUMENT for unknown tenants. `fingerprint` keys
-  /// sharding and batching ("" derives one from tuneKey/shape —
-  /// callers wanting co-location should pass a stable kernel name).
+  /// shed (quota, brownout or global bound); DEADLINE_EXCEEDED when
+  /// the modeled queue-ahead cost already exceeds its deadline budget;
+  /// INVALID_ARGUMENT for unknown tenants. `fingerprint` keys sharding
+  /// and batching ("" derives one from tuneKey/shape — callers wanting
+  /// co-location should pass a stable kernel name). `deadlineCycles`
+  /// overrides the tenant's default budget (kInheritDeadline keeps it;
+  /// kNoDeadline opts this request out of SLO scoring).
   Result<uint64_t> submit(std::string_view tenant,
                           omprt::TargetConfig config,
                           omprt::TargetRegionFn region,
-                          std::string fingerprint = "");
+                          std::string fingerprint = "",
+                          uint64_t deadlineCycles = kInheritDeadline);
 
   /// Dispatch every eligible queued request into the device task
   /// queues, in the deterministic weighted order, forming same-kernel
@@ -189,9 +261,24 @@ class LaunchService {
   /// dispatched request retired.
   Status runToCompletion();
 
-  /// Re-admit a quiesced device (after drain() reset it) and restore
-  /// the canonical shard mapping over the serving devices.
+  /// Manually re-admit a quiesced or quarantined device: force-close
+  /// its breaker, clear the manager quarantine, and restore the
+  /// canonical shard mapping over the serving devices.
   void reviveDevice(size_t n);
+
+  /// Logical clock: completed drain() calls. Breaker windows and
+  /// cool-downs are measured in these epochs.
+  [[nodiscard]] uint64_t epoch() const;
+  /// Device n's breaker state / lifetime trip count / open count.
+  /// (Trip totals are shard-invariant; states and open counts depend
+  /// on which physical device accumulated the faults, so they stay off
+  /// the byte-identity surfaces.)
+  [[nodiscard]] simfault::BreakerState breakerState(size_t n) const;
+  [[nodiscard]] uint64_t breakerTrips(size_t n) const;
+  [[nodiscard]] uint64_t breakerOpens(size_t n) const;
+  /// True while global queue occupancy is at or past the brownout
+  /// high-water mark.
+  [[nodiscard]] bool brownoutActive() const;
 
   [[nodiscard]] size_t queuedRequests() const;
   [[nodiscard]] uint64_t dispatchedOutstanding() const;
@@ -233,7 +320,9 @@ class LaunchService {
     uint64_t aheadAtAdmission = 0;
     uint64_t modeledLatency = 0;
     uint64_t cycles = 0;
+    uint64_t deadline = kNoDeadline;  ///< resolved at admission
     uint32_t device = 0;
+    uint32_t retries = 0;  ///< re-dispatch hops taken so far
     bool batchFollower = false;
     bool migrated = false;
     Status status;
@@ -260,6 +349,13 @@ class LaunchService {
   void rebuildShardMapLocked();
   [[nodiscard]] Status migrateLocked(const std::vector<uint64_t>& ids);
   void notePumpWatermarksLocked();
+  [[nodiscard]] bool anyServingLocked() const;
+  [[nodiscard]] bool brownoutActiveLocked() const {
+    return queuedCount_ >= config_.brownoutHighWater;
+  }
+  /// Advance breakers to epoch_: open breakers whose cool-down elapsed
+  /// go half-open and their devices rejoin the shard map as probes.
+  void advanceBreakersLocked();
 
   hostrt::DeviceManager* mgr_;
   ServiceConfig config_;
@@ -274,6 +370,14 @@ class LaunchService {
   size_t retireCursor_ = 0;  ///< next dispatchOrder_ entry to retire
   std::vector<size_t> shardDevice_;
   std::vector<bool> deviceServing_;
+  /// Per-device circuit breakers driven by the logical epoch clock.
+  std::vector<simfault::CircuitBreaker> breakers_;
+  /// Device is half-open with an unresolved probe: the first ok
+  /// retirement from it closes the breaker.
+  std::vector<bool> probing_;
+  uint64_t epoch_ = 0;  ///< completed drain() calls
+  /// Lowest priority among registered tenants (brownout shed target).
+  uint32_t minPriority_ = std::numeric_limits<uint32_t>::max();
   uint64_t queuedCount_ = 0;
   uint64_t dispatchedTotal_ = 0;
   uint64_t retiredTotal_ = 0;

@@ -1,0 +1,86 @@
+// Chaos-campaign harness tests: invariants hold on small campaigns and
+// the report is a byte-identity surface across reruns, host-worker
+// counts and shard counts (the campaign only reads shard-invariant
+// stats, and fault placement is wave-structured so device loss strands
+// exactly its carrier — see src/simserve/chaos.h).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simserve/chaos.h"
+
+namespace simtomp::simserve {
+namespace {
+
+ChaosConfig smallConfig() {
+  ChaosConfig config;
+  config.seedLo = 0;
+  config.seedHi = 3;
+  config.epochs = 3;
+  config.requests = 8;
+  return config;
+}
+
+TEST(ChaosTest, SmallCampaignHoldsEveryInvariant) {
+  const Result<ChaosReport> report = runChaosCampaign(smallConfig());
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  const ChaosReport& r = report.value();
+  EXPECT_EQ(r.seeds, 4u);
+  EXPECT_GT(r.submitted, 0u);
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GT(r.faultsArmed, 0u) << "campaign must actually inject faults";
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front().detail;
+  EXPECT_NE(r.text.find("# simserve chaos campaign v1"), std::string::npos);
+  EXPECT_NE(r.text.find("violations=0"), std::string::npos);
+}
+
+TEST(ChaosTest, ReportIsByteIdenticalAcrossRerunsWorkersShards) {
+  const Result<ChaosReport> base = runChaosCampaign(smallConfig());
+  ASSERT_TRUE(base.isOk()) << base.status().toString();
+
+  const Result<ChaosReport> rerun = runChaosCampaign(smallConfig());
+  ASSERT_TRUE(rerun.isOk());
+  EXPECT_EQ(rerun.value().text, base.value().text);
+
+  ChaosConfig workers = smallConfig();
+  workers.workers = 8;
+  const Result<ChaosReport> w8 = runChaosCampaign(workers);
+  ASSERT_TRUE(w8.isOk());
+  EXPECT_EQ(w8.value().text, base.value().text)
+      << "stats must not depend on host-worker interleaving";
+
+  ChaosConfig sharded = smallConfig();
+  sharded.shards = 13;
+  const Result<ChaosReport> s13 = runChaosCampaign(sharded);
+  ASSERT_TRUE(s13.isOk());
+  EXPECT_EQ(s13.value().text, base.value().text)
+      << "stats must not depend on shard placement";
+}
+
+TEST(ChaosTest, SeedChangesTheCampaign) {
+  const Result<ChaosReport> base = runChaosCampaign(smallConfig());
+  ASSERT_TRUE(base.isOk());
+  ChaosConfig shifted = smallConfig();
+  shifted.seedLo = 4;
+  shifted.seedHi = 7;
+  const Result<ChaosReport> other = runChaosCampaign(shifted);
+  ASSERT_TRUE(other.isOk());
+  EXPECT_TRUE(other.value().violations.empty());
+  EXPECT_NE(other.value().text, base.value().text);
+}
+
+TEST(ChaosTest, RejectsDegenerateConfigs) {
+  ChaosConfig config = smallConfig();
+  config.devices = 0;
+  EXPECT_FALSE(runChaosCampaign(config).isOk());
+  config = smallConfig();
+  config.workers = 0;
+  EXPECT_FALSE(runChaosCampaign(config).isOk());
+  config = smallConfig();
+  config.seedLo = 5;
+  config.seedHi = 2;
+  EXPECT_FALSE(runChaosCampaign(config).isOk());
+}
+
+}  // namespace
+}  // namespace simtomp::simserve

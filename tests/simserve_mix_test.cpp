@@ -47,6 +47,8 @@ TEST(MixTest, ParserRejectsBadInput) {
       "req t0 axpy trip=64 simdlen=0",     // zero simdlen
       "tenant",                            // missing name
       "tenant t0 priority",                // not key=value
+      "tenant t0 color=red",               // unknown tenant key
+      "tenant t0 deadline=soon",           // non-numeric deadline
   };
   for (const char* text : bad) {
     const Result<Mix> parsed = parseMixText(text);
@@ -57,6 +59,76 @@ TEST(MixTest, ParserRejectsBadInput) {
     }
   }
   EXPECT_TRUE(parseMixText("# only a comment\n\n").isOk());
+}
+
+TEST(MixTest, ParserRejectsDuplicateKeys) {
+  const Result<Mix> dup_tenant =
+      parseMixText("tenant t0 priority=1 priority=2");
+  ASSERT_FALSE(dup_tenant.isOk());
+  EXPECT_NE(dup_tenant.status().message().find("duplicate tenant key"),
+            std::string::npos);
+  const Result<Mix> dup_req =
+      parseMixText("req t0 axpy trip=64 simdlen=2 trip=32");
+  ASSERT_FALSE(dup_req.isOk());
+  EXPECT_NE(dup_req.status().message().find("duplicate req key"),
+            std::string::npos);
+}
+
+TEST(MixTest, SloKeysRoundTripAndDefaultsStayOffTheWire) {
+  // deadline=/retries= round-trip byte-exactly in canonical order.
+  const std::string text =
+      "# simserve mix v1\n"
+      "tenant a priority=2 inflight=8 queued=16 deadline=4096 retries=1\n"
+      "req a axpy trip=64 simdlen=4 deadline=0\n"
+      "req a axpy trip=64 simdlen=4 fault=device_lost_post:count=1 "
+      "deadline=8192\n"
+      "pump\n"
+      "drain\n";
+  const Result<Mix> parsed = parseMixText(text);
+  ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+  EXPECT_EQ(parsed.value().toString(), text);
+  EXPECT_EQ(parsed.value().ops[0].tenant.deadlineCycles, 4096u);
+  EXPECT_EQ(parsed.value().ops[0].tenant.maxRetries, 1u);
+  EXPECT_EQ(parsed.value().ops[1].deadline, 0u);
+  EXPECT_EQ(parsed.value().ops[2].deadline, 8192u);
+
+  // Tenants and requests at the SLO defaults serialize without the new
+  // keys, so mixes recorded before PR 9 keep their exact bytes.
+  const std::string legacy =
+      "# simserve mix v1\n"
+      "tenant a priority=1 inflight=64 queued=256\n"
+      "req a axpy trip=64 simdlen=4\n";
+  const Result<Mix> old = parseMixText(legacy);
+  ASSERT_TRUE(old.isOk());
+  EXPECT_EQ(old.value().toString(), legacy);
+  EXPECT_EQ(old.value().ops[0].tenant.deadlineCycles, kNoDeadline);
+  EXPECT_EQ(old.value().ops[1].deadline, kInheritDeadline);
+}
+
+TEST(MixTest, ReplayCountsDeadlineSheds) {
+  // A zero-budget request can never be met (dispatch alone costs
+  // kDispatchCycles), so replay must shed it as DEADLINE_EXCEEDED and
+  // account it separately from quota sheds.
+  const char* text =
+      "tenant a priority=1 inflight=8 queued=8\n"
+      "req a axpy trip=64 simdlen=4\n"
+      "req a axpy trip=64 simdlen=4 deadline=0\n"
+      "pump\n"
+      "drain\n";
+  const Result<Mix> mix = parseMixText(text);
+  ASSERT_TRUE(mix.isOk()) << mix.status().toString();
+
+  hostrt::DeviceManager mgr({ArchSpec::testTiny()});
+  LaunchService service(mgr);
+  const Result<ReplayReport> report = replayMix(service, mix.value());
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_EQ(report.value().submitted, 2u);
+  EXPECT_EQ(report.value().admitted, 1u);
+  EXPECT_EQ(report.value().deadlineShed, 1u);
+  EXPECT_EQ(report.value().verified, 1u);
+  EXPECT_NE(report.value().toString().find("deadline_shed=1"),
+            std::string::npos);
+  EXPECT_EQ(service.tenantStats("a").deadlineShed, 1u);
 }
 
 TEST(MixTest, ReplayCompletesAndVerifies) {

@@ -171,6 +171,9 @@ TEST(LaunchServiceTest, GlobalBoundShedsLowestPriorityNewest) {
   hostrt::DeviceManager mgr({ArchSpec::testTiny()});
   ServiceConfig config;
   config.maxQueued = 4;
+  // This test exercises the hard bound's evict-or-refuse rule; keep
+  // brownout (which would shed "lo" arrivals earlier) out of the way.
+  config.brownoutHighWater = config.maxQueued + 1;
   LaunchService service(mgr, config);
   ASSERT_TRUE(service.registerTenant(tenant("lo", /*priority=*/1)).isOk());
   ASSERT_TRUE(service.registerTenant(tenant("hi", /*priority=*/2)).isOk());
@@ -232,7 +235,14 @@ TEST(LaunchServiceTest, SameFingerprintRequestsShareAShard) {
 
 TEST(LaunchServiceTest, DeviceLossMigratesWithoutLosingRequests) {
   hostrt::DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::testTiny()});
-  LaunchService service(mgr);
+  // One trip opens the breaker and the cool-down never elapses in this
+  // test, so the faulted device stays quarantined until reviveDevice —
+  // the strictest breaker setting (default policy tolerates one
+  // transient loss and re-admits the device after its reset).
+  ServiceConfig config;
+  config.breaker.tripThreshold = 1;
+  config.breaker.cooldownEpochs = 1000;
+  LaunchService service(mgr, config);
   ASSERT_TRUE(service.registerTenant(tenant("a")).isOk());
   omprt::TargetConfig faulted = tinyConfig();
   faulted.fault.spec = "device_lost_post:count=1";
@@ -264,14 +274,23 @@ TEST(LaunchServiceTest, DeviceLossMigratesWithoutLosingRequests) {
     }
   }
   ASSERT_EQ(serving, 1u);
-  EXPECT_EQ(mgr.deviceHealth(quiesced_device), simfault::DeviceHealth::kReset);
+  // The breaker opened on the trip: the device reads quarantined (the
+  // overlay) with a completed reset underneath.
+  EXPECT_EQ(mgr.deviceHealth(quiesced_device),
+            simfault::DeviceHealth::kQuarantined);
+  EXPECT_EQ(service.breakerState(quiesced_device),
+            simfault::BreakerState::kOpen);
   for (size_t s = 0; s < service.shardCount(); ++s) {
     EXPECT_NE(service.shardDevice(s), quiesced_device);
   }
 
-  // Revival restores the canonical mapping.
+  // Revival force-closes the breaker and restores the canonical
+  // mapping (health falls back to the underlying kReset).
   service.reviveDevice(quiesced_device);
   EXPECT_TRUE(service.deviceServing(quiesced_device));
+  EXPECT_EQ(service.breakerState(quiesced_device),
+            simfault::BreakerState::kClosed);
+  EXPECT_EQ(mgr.deviceHealth(quiesced_device), simfault::DeviceHealth::kReset);
   bool any_on_revived = false;
   for (size_t s = 0; s < service.shardCount(); ++s) {
     any_on_revived |= service.shardDevice(s) == quiesced_device;
@@ -281,7 +300,13 @@ TEST(LaunchServiceTest, DeviceLossMigratesWithoutLosingRequests) {
 
 TEST(LaunchServiceTest, LosingEveryDeviceFailsPendingWork) {
   hostrt::DeviceManager mgr({ArchSpec::testTiny()});
-  LaunchService service(mgr);
+  // Total-loss path: the strictest breaker plus no panic revival, so
+  // losing the only device really empties the serving set (the default
+  // config would instead keep the device in traffic).
+  ServiceConfig config;
+  config.breaker.tripThreshold = 1;
+  config.panicRevival = false;
+  LaunchService service(mgr, config);
   ASSERT_TRUE(service.registerTenant(tenant("a")).isOk());
   omprt::TargetConfig faulted = tinyConfig();
   faulted.fault.spec = "device_lost_post:count=1";

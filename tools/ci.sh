@@ -51,7 +51,15 @@
 #          env var must not leak into results); a short full-matrix
 #          sweep covers the cross-arch cells; then a kernel with a
 #          deliberately planted off-by-one must be caught, auto-
-#          minimized, and the emitted repro must fail standalone.
+#          minimized, and the emitted repro must fail standalone; a
+#          fault-armed sweep (sharing_exhausted on every cell) must
+#          stay divergence-free with worker-invariant logs.
+# Stage 11: chaos campaign + resilience goodput gate; the seeded
+#          simtomp_serve chaos campaign runs four times — rerun, 8
+#          host workers, a prime shard count — with zero invariant
+#          violations and byte-identical reports; the serve_resilience
+#          bench then gates storm goodput >= 70% of fault-free goodput
+#          and emits BENCH_serve_resilience.json.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -267,6 +275,27 @@ grep -q 'divergences=0' "${fuzz_a}" || {
 # the landed-corpus shapes exercised in CI.
 "${fuzz}" run --seeds=0..3 > /dev/null
 echo "fuzz findings log byte-identical across worker counts, 0 divergences"
+# Fault-armed sweep (simfault-oracle mode): arm a transient
+# sharing-exhaustion cell on every matrix cell. The fault perturbs the
+# modeled machine (overflow to global memory) without changing any
+# output, so the sweep must stay divergence-free AND its findings log
+# must be byte-identical across worker counts — fault injection
+# composes with the differential matrix deterministically.
+fuzz_fa="${prefix}/fuzz-guard-fault-a.log"
+fuzz_fb="${prefix}/fuzz-guard-fault-b.log"
+SIMTOMP_HOST_WORKERS=1 "${fuzz}" run --seeds=0..8 --tiny-only \
+  --fault=sharing_exhausted:count=1 > "${fuzz_fa}"
+SIMTOMP_HOST_WORKERS=8 "${fuzz}" run --seeds=0..8 --tiny-only \
+  --fault=sharing_exhausted:count=1 > "${fuzz_fb}"
+if ! cmp "${fuzz_fa}" "${fuzz_fb}"; then
+  echo "ci.sh: fault-armed fuzz log differs across SIMTOMP_HOST_WORKERS" >&2
+  exit 1
+fi
+grep -q 'divergences=0' "${fuzz_fa}" || {
+  echo "ci.sh: fault-armed fuzz sweep reported divergences" >&2
+  exit 1
+}
+echo "fault-armed fuzz sweep deterministic, 0 divergences"
 # Minimizer guard: a kernel with a planted off-by-one must be caught
 # and auto-minimized, and the minimized repro must fail standalone.
 fuzz_bug="${prefix}/fuzz-guard-bug.fuzzprog"
@@ -305,5 +334,52 @@ echo "planted bug caught, minimized, and repro fails standalone"
 # byte-identical across two back-to-back runs.
 (cd "${prefix}/bench" && ./fuzz_throughput >/dev/null)
 echo "fuzz campaign rerun byte-identity guard passed"
+
+echo "=== stage 11: chaos campaign + resilience goodput gate ==="
+serve="${prefix}/tools/simtomp_serve"
+chaos_a="${prefix}/chaos-guard-a.txt"
+chaos_b="${prefix}/chaos-guard-b.txt"
+chaos_c="${prefix}/chaos-guard-c.txt"
+chaos_d="${prefix}/chaos-guard-d.txt"
+# The campaign asserts the service's invariants (conservation,
+# terminal definiteness, no loss, no reorder, SLO accounting) per seed
+# and exits non-zero on any violation. Its report is built exclusively
+# from shard-invariant surfaces, so four runs — rerun, 8 host workers,
+# a prime shard count — must produce identical bytes.
+"${serve}" chaos --seeds=0..16 --out "${chaos_a}" >/dev/null
+"${serve}" chaos --seeds=0..16 --out "${chaos_b}" >/dev/null
+"${serve}" chaos --seeds=0..16 --workers 8 --out "${chaos_c}" >/dev/null
+"${serve}" chaos --seeds=0..16 --shards 13 --out "${chaos_d}" >/dev/null
+if ! cmp "${chaos_a}" "${chaos_b}"; then
+  echo "ci.sh: chaos campaign report differs across reruns" >&2
+  exit 1
+fi
+if ! cmp "${chaos_a}" "${chaos_c}"; then
+  echo "ci.sh: chaos campaign report differs at 1 vs 8 host workers" >&2
+  exit 1
+fi
+if ! cmp "${chaos_a}" "${chaos_d}"; then
+  echo "ci.sh: chaos campaign report differs across shard counts" >&2
+  exit 1
+fi
+grep -q 'violations=0$' "${chaos_a}" || {
+  echo "ci.sh: chaos campaign reported invariant violations" >&2
+  exit 1
+}
+echo "chaos reports byte-identical across reruns/workers/shards, 0 violations"
+# The resilience bench exits non-zero when storm goodput (deadline
+# hits under a 1-in-10 device-lost storm) drops below 70% of the
+# fault-free run's.
+(cd "${prefix}/bench" && ./serve_resilience >/dev/null)
+python3 - "${prefix}/bench/BENCH_serve_resilience.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["goodput_ratio"] >= bench["goodput_gate"], \
+    "ci.sh: storm goodput below gate"
+print(f"clean goodput {bench['clean_goodput']}, "
+      f"storm goodput {bench['storm_goodput']} "
+      f"(ratio {bench['goodput_ratio']:.3f}, gate {bench['goodput_gate']})")
+EOF
+echo "resilience goodput gate passed"
 
 echo "=== ci.sh: all stages passed ==="

@@ -4,13 +4,20 @@
 //                     [--pump-every P] [--fault-permille F] [--out FILE]
 //   simtomp_serve replay FILE [--devices D] [--shards S] [--workers N]
 //                             [--stats FILE]
+//   simtomp_serve chaos [--seeds A..B] [--devices D] [--shards S]
+//                       [--workers N] [--epochs E] [--requests R]
+//                       [--out FILE]
 //
 // `gen` writes a deterministic mix (same flags, same bytes) in the
 // format of src/simserve/mix.h. `replay` drives it through a
 // LaunchService over D fresh tiny devices and prints the service's
 // stats dump — deterministic by contract, so CI replays one mix twice
 // and at 1 vs 8 workers and byte-compares the dumps (see docs/
-// SERVING.md). Exit codes: 0 replay ok, 1 service/verify failure,
+// SERVING.md). `chaos` runs the seeded fault campaign of
+// src/simserve/chaos.h and prints its report; the report is
+// byte-identical across reruns, --workers and --shards, and the exit
+// code is 0 only when every invariant held for every seed (see docs/
+// FAULTS.md). Exit codes: 0 ok, 1 service/verify/invariant failure,
 // 2 usage or parse error.
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "hostrt/device_manager.h"
+#include "simserve/chaos.h"
 #include "simserve/mix.h"
 #include "simserve/service.h"
 #include "support/status.h"
@@ -36,7 +44,10 @@ int usage() {
       "                         [--pump-every P] [--fault-permille F]\n"
       "                         [--out FILE]\n"
       "       simtomp_serve replay FILE [--devices D] [--shards S]\n"
-      "                                 [--workers N] [--stats FILE]\n");
+      "                                 [--workers N] [--stats FILE]\n"
+      "       simtomp_serve chaos [--seeds A..B] [--devices D] [--shards S]\n"
+      "                           [--workers N] [--epochs E] [--requests R]\n"
+      "                           [--out FILE]\n");
   return 2;
 }
 
@@ -149,6 +160,78 @@ int runReplay(int argc, char** argv) {
   return 0;
 }
 
+/// Parse "A..B" (inclusive) or a single "N" (meaning 0..N).
+bool parseSeedRange(const char* text, uint64_t& lo, uint64_t& hi) {
+  const char* dots = std::strstr(text, "..");
+  char* end = nullptr;
+  if (dots == nullptr) {
+    lo = 0;
+    hi = std::strtoull(text, &end, 10);
+    return end != text && *end == '\0';
+  }
+  const std::string a(text, dots);
+  lo = std::strtoull(a.c_str(), &end, 10);
+  if (end == a.c_str() || *end != '\0') return false;
+  hi = std::strtoull(dots + 2, &end, 10);
+  return end != dots + 2 && *end == '\0';
+}
+
+int runChaos(int argc, char** argv) {
+  simserve::ChaosConfig config;
+  std::string out_path;
+  uint64_t v = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      if (!parseSeedRange(argv[++i], config.seedLo, config.seedHi)) {
+        return usage();
+      }
+    } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+      if (!parseSeedRange(argv[i] + 8, config.seedLo, config.seedHi)) {
+        return usage();
+      }
+    } else if (parseFlag(argc, argv, i, "--devices", v)) {
+      config.devices = static_cast<uint32_t>(v);
+    } else if (parseFlag(argc, argv, i, "--shards", v)) {
+      config.shards = static_cast<uint32_t>(v);
+    } else if (parseFlag(argc, argv, i, "--workers", v)) {
+      config.workers = static_cast<uint32_t>(v);
+    } else if (parseFlag(argc, argv, i, "--epochs", v)) {
+      config.epochs = static_cast<uint32_t>(v);
+    } else if (parseFlag(argc, argv, i, "--requests", v)) {
+      config.requests = static_cast<uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const Result<simserve::ChaosReport> report =
+      simserve::runChaosCampaign(config);
+  if (!report.isOk()) {
+    std::fprintf(stderr, "simtomp_serve: %s\n",
+                 report.status().toString().c_str());
+    return 2;
+  }
+  const std::string& text = report.value().text;
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "simtomp_serve: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << text;
+  }
+  if (!report.value().violations.empty()) {
+    std::fprintf(stderr,
+                 "simtomp_serve: chaos campaign found %zu violations\n",
+                 report.value().violations.size());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace simtomp
 
@@ -157,6 +240,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "gen") == 0) return simtomp::runGen(argc, argv);
   if (std::strcmp(argv[1], "replay") == 0) {
     return simtomp::runReplay(argc, argv);
+  }
+  if (std::strcmp(argv[1], "chaos") == 0) {
+    return simtomp::runChaos(argc, argv);
   }
   return simtomp::usage();
 }
