@@ -79,6 +79,10 @@ void TraceRecorder::recordCounter(std::string name, uint64_t at,
       {std::move(name), kKernelTrack, at, 0, Phase::kCounter, value});
 }
 
+void TraceRecorder::nameTrack(uint32_t track, std::string name) {
+  trackNames_[track] = std::move(name);
+}
+
 void TraceRecorder::writeChromeJson(std::ostream& out) const {
   out << "[\n";
   bool first = true;
@@ -101,8 +105,11 @@ void TraceRecorder::writeChromeJson(std::ostream& out) const {
     writeMetadata(out, kKernelPid, 0, "thread_name", "kernel", first);
   }
   for (const uint32_t sm : sm_tracks) {
+    const auto named = trackNames_.find(sm);
     writeMetadata(out, kSmPid, sm + 1, "thread_name",
-                  "SM " + std::to_string(sm), first);
+                  named != trackNames_.end() ? named->second
+                                             : "SM " + std::to_string(sm),
+                  first);
   }
 
   for (const Event& e : events_) {

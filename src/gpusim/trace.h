@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -53,7 +54,14 @@ class TraceRecorder {
   void recordInstant(std::string name, uint64_t at);
   /// Counter-track sample (step function between samples).
   void recordCounter(std::string name, uint64_t at, uint64_t value);
-  void clear() { events_.clear(); }
+  /// Override the default "SM <track>" label for a track's metadata
+  /// row (e.g. per-tenant serving tracks). Unnamed tracks keep the
+  /// default, so existing SM traces are unaffected.
+  void nameTrack(uint32_t track, std::string name);
+  void clear() {
+    events_.clear();
+    trackNames_.clear();
+  }
 
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] size_t size() const { return events_.size(); }
@@ -65,6 +73,7 @@ class TraceRecorder {
 
  private:
   std::vector<Event> events_;
+  std::map<uint32_t, std::string> trackNames_;
 };
 
 }  // namespace simtomp::gpusim

@@ -75,6 +75,10 @@ constexpr MetricDef kCatalog[] = {
      "Requests shed by brownout (queue past its high-water mark)"},
     {metric::kServeChaosViolationsTotal, MetricType::kCounter,
      "Service invariant violations found by chaos campaigns"},
+    {metric::kServeTraceEventsTotal, MetricType::kCounter,
+     "Structured events appended to serving flight-recorder rings"},
+    {metric::kServeTraceDroppedTotal, MetricType::kCounter,
+     "Flight-recorder events evicted by the ring capacity bound"},
     {metric::kFuzzProgramsTotal, MetricType::kCounter,
      "Random kernel programs produced by the simfuzz generator"},
     {metric::kFuzzRunsTotal, MetricType::kCounter,
@@ -112,8 +116,9 @@ std::string_view metricTypeName(MetricType type) {
 std::span<const MetricDef> allMetricDefs() { return kCatalog; }
 
 MetricsRegistry::MetricsRegistry() {
-  // SIMTOMP_METRICS=<path>: dump the Prometheus exposition at exit so
-  // long fault/tune runs keep their metrics without code changes.
+  // SIMTOMP_METRICS=<path>: dual dump at exit so long fault/tune runs
+  // keep their metrics without code changes — Prometheus exposition at
+  // <path> plus the sorted-key JSON snapshot at <path>.json.
   if (const char* path = std::getenv("SIMTOMP_METRICS")) {
     static std::string g_dump_path;
     g_dump_path = path;
@@ -125,6 +130,13 @@ MetricsRegistry::MetricsRegistry() {
         return;
       }
       MetricsRegistry::global().writePrometheus(out);
+      std::ofstream json(g_dump_path + ".json");
+      if (!json) {
+        SIMTOMP_WARN("simprof: cannot write SIMTOMP_METRICS file %s.json",
+                     g_dump_path.c_str());
+        return;
+      }
+      MetricsRegistry::global().writeJson(json);
     });
   }
 }

@@ -11,8 +11,10 @@
 // lists it, the registry allocates from it, and the writers iterate it
 // — names cannot drift.
 //
-// SIMTOMP_METRICS=<path> arranges a Prometheus text dump of the global
-// registry at process exit (for long fault/tune runs).
+// SIMTOMP_METRICS=<path> arranges a dual dump of the global registry
+// at process exit (for long fault/tune runs): Prometheus text at
+// <path> and the JSON snapshot at <path>.json. `simtomp_info
+// --metrics=prom|json` prints either format on demand.
 #pragma once
 
 #include <array>
@@ -104,6 +106,11 @@ inline constexpr std::string_view kServeBrownoutShedTotal =
     "simtomp_serve_brownout_shed_total";
 inline constexpr std::string_view kServeChaosViolationsTotal =
     "simtomp_serve_chaos_violations_total";
+// simserve request-scoped tracing (PR 10): flight-recorder volume.
+inline constexpr std::string_view kServeTraceEventsTotal =
+    "simtomp_serve_trace_events_total";
+inline constexpr std::string_view kServeTraceDroppedTotal =
+    "simtomp_serve_trace_dropped_total";
 // simfuzz differential-fuzzing metrics.
 inline constexpr std::string_view kFuzzProgramsTotal =
     "simtomp_fuzz_programs_total";
@@ -121,7 +128,7 @@ class MetricsRegistry {
   /// Histogram buckets: upper bounds 4^1 .. 4^14 cycles, plus +Inf.
   static constexpr size_t kHistogramBuckets = 15;
   /// Catalog size (static_asserted against allMetricDefs()).
-  static constexpr size_t kNumMetrics = 34;
+  static constexpr size_t kNumMetrics = 36;
 
   static MetricsRegistry& global();
 

@@ -1,0 +1,35 @@
+#include "simprof/recorder.h"
+
+namespace simtomp::simprof {
+
+bool FlightRecorder::record(uint64_t tick, std::string category,
+                            std::string detail, std::string physicalDetail) {
+  FlightEvent event;
+  event.seq = recorded_++;
+  event.tick = tick;
+  event.category = std::move(category);
+  event.detail = std::move(detail);
+  event.physicalDetail = std::move(physicalDetail);
+  events_.push_back(std::move(event));
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void FlightRecorder::dump(std::ostream& out, bool physical) const {
+  for (const FlightEvent& e : events_) {
+    out << "seq=" << e.seq << " tick=" << e.tick << " " << e.category;
+    if (!e.detail.empty()) out << " " << e.detail;
+    if (physical && !e.physicalDetail.empty()) out << " " << e.physicalDetail;
+    out << "\n";
+  }
+}
+
+void FlightRecorder::clear() {
+  events_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace simtomp::simprof

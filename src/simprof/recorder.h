@@ -1,0 +1,71 @@
+// Flight recorder: a bounded, deterministic ring of structured events.
+//
+// A FlightRecorder keeps the last `capacity` events appended to it,
+// each stamped with a monotonically increasing logical sequence number
+// and a caller-supplied tick (a modeled-cycle offset or logical epoch
+// — the recorder never reads a wall clock). When the ring is full the
+// oldest event is evicted; because eviction is driven purely by append
+// order, two runs that append the same logical event sequence retain
+// the same window, which is what makes a flight-recorder dump a
+// byte-compare surface.
+//
+// Events split their rendered detail into a canonical part (fields
+// that are invariant across physical placement — worker counts, shard
+// counts) and an optional physical part (device/shard identities)
+// that only the physical dump mode prints. Callers that also record
+// physical-*only* events (device lifecycle transitions, say) must keep
+// those in a second recorder: mixing them into a canonical ring would
+// make sequence numbers and eviction depend on physical placement.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+namespace simtomp::simprof {
+
+/// One recorded event. `detail` is a space-separated "key=value" list;
+/// `physicalDetail` extends it in physical dump mode only.
+struct FlightEvent {
+  uint64_t seq = 0;   ///< assigned by the recorder, starts at 0
+  uint64_t tick = 0;  ///< caller-supplied logical/modeled timestamp
+  std::string category;
+  std::string detail;
+  std::string physicalDetail;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Append one event (assigning its seq). Returns true when the
+  /// append evicted the oldest retained event.
+  bool record(uint64_t tick, std::string category, std::string detail,
+              std::string physicalDetail = "");
+
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t size() const { return events_.size(); }
+  /// Lifetime append count (size() + dropped()).
+  [[nodiscard]] uint64_t recorded() const { return recorded_; }
+  /// Events evicted by the capacity bound.
+  [[nodiscard]] uint64_t dropped() const { return recorded_ - size(); }
+  [[nodiscard]] const std::deque<FlightEvent>& events() const {
+    return events_;
+  }
+
+  /// One line per retained event, oldest first:
+  ///   seq=N tick=T CATEGORY detail [physicalDetail]
+  /// The physical part prints only when `physical` is set.
+  void dump(std::ostream& out, bool physical = false) const;
+
+  void clear();
+
+ private:
+  size_t capacity_;
+  std::deque<FlightEvent> events_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace simtomp::simprof

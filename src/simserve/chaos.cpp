@@ -291,6 +291,7 @@ void runSeed(const ChaosConfig& cfg, uint64_t seed, ChaosReport& out) {
   // A hard bound two waves deep: congested waves overflow it (global
   // shedding + eviction) and brownout engages at the derived 3/4 mark.
   config.maxQueued = uint64_t{2} * cfg.requests;
+  config.trace.enabled = cfg.trace;
   LaunchService service(mgr, config);
 
   SeedRun run;
@@ -402,6 +403,21 @@ void runSeed(const ChaosConfig& cfg, uint64_t seed, ChaosReport& out) {
     report(out.violations, seed, "run-to-completion", done.toString());
   }
   checkFinal(service, run, out.violations);
+  if (cfg.plantViolation && seed == cfg.seedLo) {
+    report(out.violations, seed, "planted",
+           "synthetic violation planted for flight-dump drills");
+  }
+  // Invariant violation: the flight-recorder drop. The campaign keeps
+  // going (later seeds still run); the dump captures the first broken
+  // seed's window because that is the one a post-mortem starts from.
+  if (cfg.trace && !cfg.flightPath.empty() &&
+      out.violations.size() > run.violationsBefore &&
+      run.violationsBefore == 0) {
+    if (ServiceTracer* tracer = service.tracer()) {
+      tracer->onFailureTrigger("invariant_violation");
+      (void)tracer->dumpFlightToFile(cfg.flightPath, "invariant_violation");
+    }
+  }
 
   // Per-seed report lines, built exclusively from shard-invariant
   // surfaces (tenant stats and the harness's own draws).

@@ -54,6 +54,16 @@ struct ChaosConfig {
   uint32_t workers = 1;  ///< hostWorkers stamped on every request
   uint32_t epochs = 6;   ///< waves per seed
   uint32_t requests = 12;  ///< base arrivals per congested wave
+  /// Run every seed's service with request tracing enabled. Purely
+  /// observational: the campaign report is byte-identical either way.
+  bool trace = false;
+  /// With trace: write the flight-recorder dump of any seed that
+  /// violates an invariant to this path (trigger=invariant_violation).
+  std::string flightPath;
+  /// Plant one synthetic violation on the first seed — a drill for the
+  /// violation -> flight-dump path (tests/CI smoke), since a healthy
+  /// service never produces a real one.
+  bool plantViolation = false;
 };
 
 /// One failed invariant. The campaign keeps going (one seed's breakage

@@ -281,6 +281,8 @@ std::string ReplayReport::toString() const {
          " admitted=" + std::to_string(admitted) +
          " shed_at_submit=" + std::to_string(shedAtSubmit) +
          " deadline_shed=" + std::to_string(deadlineShed) +
+         " completed=" + std::to_string(completed) +
+         " failed=" + std::to_string(failed) +
          " verified=" + std::to_string(verified) +
          " verify_failures=" + std::to_string(verifyFailures);
 }
@@ -351,7 +353,10 @@ Result<ReplayReport> replayMix(LaunchService& service, const Mix& mix,
   const Status done = service.runToCompletion();
   if (!done.isOk()) return done;
   for (const Pending& p : pending) {
-    if (service.outcome(p.id).state != RequestState::kDone) continue;
+    const RequestState state = service.outcome(p.id).state;
+    if (state == RequestState::kFailed) ++report.failed;
+    if (state != RequestState::kDone) continue;
+    ++report.completed;
     bool ok = true;
     for (uint64_t i = 0; i < p.trip; ++i) {
       if ((*p.out)[i] != mixKernelValue(p.kernel, i)) ok = false;

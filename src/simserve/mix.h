@@ -83,6 +83,8 @@ struct ReplayReport {
   uint64_t admitted = 0;
   uint64_t shedAtSubmit = 0;
   uint64_t deadlineShed = 0;  ///< DEADLINE_EXCEEDED at admission
+  uint64_t completed = 0;     ///< admitted requests that reached kDone
+  uint64_t failed = 0;        ///< admitted requests that reached kFailed
   uint64_t verified = 0;
   uint64_t verifyFailures = 0;
 

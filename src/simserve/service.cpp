@@ -14,21 +14,6 @@ namespace {
 
 constexpr size_t kNpos = std::numeric_limits<size_t>::max();
 
-/// Histogram bucket upper bound: 4^(i+1) (mirrors simprof's registry).
-uint64_t bucketBound(size_t i) { return uint64_t{1} << (2 * (i + 1)); }
-
-size_t bucketFor(uint64_t value) {
-  for (size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
-    if (value <= bucketBound(i)) return i;
-  }
-  return LatencyHistogram::kBuckets - 1;
-}
-
-std::string boundText(uint64_t bound) {
-  if (bound == std::numeric_limits<uint64_t>::max()) return "inf";
-  return std::to_string(bound);
-}
-
 }  // namespace
 
 std::string_view requestStateName(RequestState state) {
@@ -49,35 +34,6 @@ uint64_t fingerprintHash(std::string_view fingerprint) {
     hash *= 0x100000001b3ULL;
   }
   return hash;
-}
-
-void LatencyHistogram::observe(uint64_t value) {
-  ++buckets_[bucketFor(value)];
-  ++count_;
-  sum_ += value;
-}
-
-uint64_t LatencyHistogram::quantileUpperBound(double q) const {
-  if (count_ == 0) return 0;
-  const auto rank = static_cast<uint64_t>(
-      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    cumulative += buckets_[i];
-    if (cumulative >= rank) {
-      return i + 1 < kBuckets ? bucketBound(i)
-                              : std::numeric_limits<uint64_t>::max();
-    }
-  }
-  return std::numeric_limits<uint64_t>::max();
-}
-
-std::string LatencyHistogram::toString() const {
-  std::string out = "count=" + std::to_string(count_) +
-                    " sum=" + std::to_string(sum_) +
-                    " p50<=" + boundText(quantileUpperBound(0.5)) +
-                    " p99<=" + boundText(quantileUpperBound(0.99));
-  return out;
 }
 
 std::string TenantStats::toString() const {
@@ -112,6 +68,9 @@ LaunchService::LaunchService(hostrt::DeviceManager& manager,
   breakers_.assign(mgr_->numDevices(),
                    simfault::CircuitBreaker(config_.breaker));
   probing_.assign(mgr_->numDevices(), false);
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<ServiceTracer>(config_.trace);
+  }
   rebuildShardMapLocked();
 }
 
@@ -154,6 +113,9 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
   if (t.spec.maxQueued == 0 || t.spec.maxInFlight == 0) {
     ++t.stats.shed;
     metrics.add(simprof::metric::kServeShedTotal);
+    if (tracer_) {
+      tracer_->noteShedAtSubmit(t.spec.name, "suspended", false);
+    }
     return Status::resourceExhausted("tenant '" + t.spec.name +
                                      "' is suspended (zero quota)");
   }
@@ -170,6 +132,9 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
     if (ahead_cost > deadline) {
       ++t.stats.deadlineShed;
       metrics.add(simprof::metric::kServeDeadlineShedTotal);
+      if (tracer_) {
+        tracer_->noteShedAtSubmit(t.spec.name, "deadline", true);
+      }
       return Status::deadlineExceeded(
           "tenant '" + t.spec.name + "' deadline budget " +
           std::to_string(deadline) + " < modeled queue-ahead cost " +
@@ -179,6 +144,9 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
   if (t.queued >= t.spec.maxQueued) {
     ++t.stats.shed;
     metrics.add(simprof::metric::kServeShedTotal);
+    if (tracer_) {
+      tracer_->noteShedAtSubmit(t.spec.name, "tenant_quota", false);
+    }
     return Status::resourceExhausted("tenant '" + t.spec.name +
                                      "' queue quota exceeded");
   }
@@ -189,6 +157,9 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
     ++t.stats.brownoutShed;
     metrics.add(simprof::metric::kServeShedTotal);
     metrics.add(simprof::metric::kServeBrownoutShedTotal);
+    if (tracer_) {
+      tracer_->noteShedAtSubmit(t.spec.name, "brownout", false);
+    }
     return Status::resourceExhausted(
         "brownout: queue at " + std::to_string(queuedCount_) + " >= " +
         std::to_string(config_.brownoutHighWater) +
@@ -208,6 +179,9 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
     if (t.spec.priority <= lowest->first) {
       ++t.stats.shed;
       metrics.add(simprof::metric::kServeShedTotal);
+      if (tracer_) {
+        tracer_->noteShedAtSubmit(t.spec.name, "queue_full", false);
+      }
       return Status::resourceExhausted("service queue full (" +
                                        std::to_string(config_.maxQueued) +
                                        "); lowest-priority newest shed");
@@ -247,6 +221,12 @@ Result<uint64_t> LaunchService::submit(std::string_view tenant,
   metrics.add(simprof::metric::kServeAcceptedTotal);
   peakQueueDepth_ = std::max(peakQueueDepth_, queuedCount_);
   metrics.gaugeMax(simprof::metric::kServeQueueDepthPeak, peakQueueDepth_);
+  if (tracer_) {
+    const Request& admitted = requests_.back();
+    tracer_->noteAdmitted(id, t.spec.name, admitted.fingerprint,
+                          t.spec.priority, admitted.deadline,
+                          admitted.aheadAtAdmission);
+  }
   return id;
 }
 
@@ -263,6 +243,7 @@ void LaunchService::shedRequest(Request& request, bool evicted,
   --t.queued;
   auto& metrics = simprof::MetricsRegistry::global();
   metrics.add(simprof::metric::kServeShedTotal);
+  if (tracer_ && evicted) tracer_->noteEvicted(request.id);
 }
 
 size_t LaunchService::firstEligible(const PriorityClass& cls) const {
@@ -298,6 +279,11 @@ void LaunchService::dispatchLocked(Request& request, size_t device,
   if (batch_follower) ++t.stats.batchFollowers;
   ++dispatchedTotal_;
   dispatchOrder_.push_back(request.id);
+  if (tracer_) {
+    tracer_->noteDispatched(request.id, batch_follower,
+                            request.aheadAtAdmission * kQueueSlotCycles,
+                            request.device, request.shard);
+  }
 }
 
 void LaunchService::notePumpWatermarksLocked() {
@@ -380,6 +366,7 @@ size_t LaunchService::pump() {
     ++batches_;
     amortized_ += batch - 1;
     metrics.add(simprof::metric::kServeBatchesTotal);
+    if (tracer_) tracer_->noteBatch(leader.fingerprint, batch);
   }
   notePumpWatermarksLocked();
   return dispatched;
@@ -403,6 +390,7 @@ Status LaunchService::drain() {
       // breaker went half-open rejoin the shard map as probes.
       ++epoch_;
       advanceBreakersLocked();
+      if (tracer_) tracer_->noteEpoch(epoch_);
       return Status::ok();
     }
     std::vector<uint64_t> migrate;
@@ -426,12 +414,15 @@ Status LaunchService::drain() {
         t.stats.latency.observe(request->modeledLatency);
         metrics.observe(simprof::metric::kServeLatencyCycles,
                         request->modeledLatency);
+        DeadlineVerdict verdict = DeadlineVerdict::kNone;
         if (request->deadline != kNoDeadline) {
           // SLO scoring: the final modeled latency against the budget.
           if (request->modeledLatency <= request->deadline) {
+            verdict = DeadlineVerdict::kHit;
             ++t.stats.deadlineHit;
             metrics.add(simprof::metric::kServeDeadlineHitTotal);
           } else {
+            verdict = DeadlineVerdict::kMiss;
             ++t.stats.deadlineMiss;
             metrics.add(simprof::metric::kServeDeadlineMissTotal);
           }
@@ -443,6 +434,11 @@ Status LaunchService::drain() {
           probing_[request->device] = false;
         }
         ++retiredTotal_;
+        if (tracer_) {
+          tracer_->noteRetired(request->id, /*ok=*/true, StatusCode::kOk,
+                               request->modeledLatency, request->cycles,
+                               verdict);
+        }
       } else if (result.status().code() == StatusCode::kUnavailable) {
         // Device lost: quiesce it now; migration happens once this
         // wave's futures are all in, so ordering is preserved.
@@ -453,6 +449,13 @@ Status LaunchService::drain() {
         request->state = RequestState::kFailed;
         ++t.stats.failed;
         ++retiredTotal_;
+        if (tracer_) {
+          tracer_->noteRetired(request->id, /*ok=*/false,
+                               request->status.code(),
+                               request->modeledLatency, 0,
+                               DeadlineVerdict::kNone);
+          tracer_->onFailureTrigger("failed_launch");
+        }
       }
     }
     if (!migrate.empty()) {
@@ -476,10 +479,18 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
     Request& request = requests_[id];
     ++tenants_[request.tenant].stats.breakerTrips;
     metrics.add(simprof::metric::kServeBreakerTripsTotal);
+    if (tracer_) {
+      tracer_->noteBreakerTrip(tenants_[request.tenant].spec.name,
+                               request.device);
+    }
     const size_t d = request.device;
     if (breakers_[d].noteTrip(epoch_)) {
       mgr_->setQuarantined(d, true);
       probing_[d] = false;
+      if (tracer_) {
+        tracer_->noteBreakerOpened(static_cast<uint32_t>(d), epoch_);
+        tracer_->onFailureTrigger("breaker_open");
+      }
     }
   }
   // Reset every quiesced device — its in-flight work was all retired
@@ -509,6 +520,9 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
       mgr_->setQuarantined(pick, false);
       deviceServing_[pick] = true;
       probing_[pick] = true;
+      if (tracer_) {
+        tracer_->notePanicRevival(static_cast<uint32_t>(pick), epoch_);
+      }
     }
   }
   rebuildShardMapLocked();
@@ -520,7 +534,13 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
       request.state = RequestState::kFailed;
       ++tenants_[request.tenant].stats.failed;
       ++retiredTotal_;
+      if (tracer_) {
+        tracer_->noteRetired(id, /*ok=*/false, StatusCode::kUnavailable,
+                             request.modeledLatency, 0,
+                             DeadlineVerdict::kNone);
+      }
     }
+    if (tracer_) tracer_->onFailureTrigger("all_devices_lost");
     return Status::unavailable("launch service lost every device");
   }
   for (const uint64_t id : ids) {
@@ -541,6 +561,13 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
       ++t.stats.retriesExhausted;
       metrics.add(simprof::metric::kServeRetriesExhaustedTotal);
       ++retiredTotal_;
+      if (tracer_) {
+        tracer_->noteRetryExhausted(id, request.retries - 1);
+        tracer_->noteRetired(id, /*ok=*/false, StatusCode::kUnavailable,
+                             request.modeledLatency, 0,
+                             DeadlineVerdict::kNone);
+        tracer_->onFailureTrigger("retry_exhausted");
+      }
       continue;
     }
     request.migrated = true;
@@ -559,6 +586,7 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
     t.stats.retryBackoffCycles += backoff;
     metrics.observe(simprof::metric::kServeRetryBackoffCycles, backoff);
     const size_t device = shardDevice_[request.shard];
+    const uint32_t from_device = request.device;
     const omprt::TargetConfig resolved =
         mgr_->effectiveConfig(device, request.config);
     omprt::TargetConfig cfg = resolved;
@@ -568,6 +596,11 @@ Status LaunchService::migrateLocked(const std::vector<uint64_t>& ids) {
     request.device = static_cast<uint32_t>(device);
     request.state = RequestState::kDispatched;
     dispatchOrder_.push_back(id);
+    if (tracer_) {
+      tracer_->noteMigrated(id, request.retries, backoff,
+                            request.modeledLatency, from_device,
+                            request.device);
+    }
   }
   return Status::ok();
 }
@@ -587,6 +620,9 @@ void LaunchService::advanceBreakersLocked() {
       deviceServing_[d] = true;
       probing_[d] = true;
       changed = true;
+      if (tracer_) {
+        tracer_->noteBreakerHalfOpen(static_cast<uint32_t>(d), epoch_);
+      }
     }
   }
   if (changed) rebuildShardMapLocked();
@@ -635,6 +671,9 @@ void LaunchService::reviveDevice(size_t n) {
   mgr_->setQuarantined(n, false);
   probing_[n] = false;
   deviceServing_[n] = true;
+  if (tracer_) {
+    tracer_->noteDeviceRevived(static_cast<uint32_t>(n), epoch_);
+  }
   rebuildShardMapLocked();
 }
 

@@ -53,6 +53,7 @@
 #include <future>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -62,16 +63,10 @@
 #include "hostrt/device_manager.h"
 #include "omprt/target.h"
 #include "simfault/breaker.h"
+#include "simserve/trace.h"
 #include "support/status.h"
 
 namespace simtomp::simserve {
-
-/// Deadline sentinels. kNoDeadline = no budget (never shed or counted
-/// against SLOs); kInheritDeadline (submit()'s default) = use the
-/// tenant's TenantSpec::deadlineCycles.
-inline constexpr uint64_t kNoDeadline =
-    std::numeric_limits<uint64_t>::max();
-inline constexpr uint64_t kInheritDeadline = kNoDeadline - 1;
 
 /// A named client of the launch service.
 struct TenantSpec {
@@ -121,6 +116,9 @@ struct ServiceConfig {
   /// half-open so traffic keeps flowing (panic revival). Disable to
   /// make total device loss fail pending work instead.
   bool panicRevival = true;
+  /// Request-scoped tracing + flight recorder (see simserve/trace.h).
+  /// Purely observational: enabling it changes no modeled statistic.
+  TraceConfig trace{};
 };
 
 enum class RequestState : uint8_t {
@@ -149,28 +147,6 @@ inline constexpr uint64_t kBatchFollowCycles = 32;
 // kDispatchCycles + min(kRetryBackoffBaseCycles << (h-1), cap).
 inline constexpr uint64_t kRetryBackoffBaseCycles = 64;
 inline constexpr uint64_t kRetryBackoffCapCycles = 4096;
-
-/// Power-of-4 bucket histogram (4^1 .. 4^14, +Inf) mirroring the
-/// simprof registry's layout, with deterministic quantile bounds.
-class LatencyHistogram {
- public:
-  static constexpr size_t kBuckets = 15;
-
-  void observe(uint64_t value);
-
-  [[nodiscard]] uint64_t count() const { return count_; }
-  [[nodiscard]] uint64_t sum() const { return sum_; }
-  /// Upper bound of the bucket containing the q-quantile observation
-  /// (0 when empty; UINT64_MAX for the +Inf bucket).
-  [[nodiscard]] uint64_t quantileUpperBound(double q) const;
-  /// "count=N sum=S p50<=X p99<=Y" (X/Y print "inf" for +Inf).
-  [[nodiscard]] std::string toString() const;
-
- private:
-  std::array<uint64_t, kBuckets> buckets_{};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-};
 
 /// Per-tenant service counters; toString() is a byte-identity surface.
 /// Every field is a pure function of logical state and modeled cycles
@@ -301,6 +277,11 @@ class LaunchService {
   /// tenants sorted by name. The byte-compare surface for CI.
   void dumpStats(std::ostream& out) const;
 
+  /// The request tracer, or nullptr when ServiceConfig::trace.enabled
+  /// is false. Read its dump surfaces only between pump()/drain()
+  /// waves (the hooks run under the service lock; the dumps do not).
+  [[nodiscard]] ServiceTracer* tracer() const { return tracer_.get(); }
+
  private:
   struct Tenant {
     TenantSpec spec;
@@ -359,6 +340,9 @@ class LaunchService {
 
   hostrt::DeviceManager* mgr_;
   ServiceConfig config_;
+  /// Created once in the constructor when tracing is enabled; every
+  /// hook call is guarded by `if (tracer_)`.
+  std::unique_ptr<ServiceTracer> tracer_;
 
   mutable std::mutex mu_;
   std::vector<Tenant> tenants_;

@@ -1,0 +1,286 @@
+// Request-scoped tracing and the flight recorder (src/simserve/
+// trace.h): zero perturbation of the service's byte-identity surfaces,
+// byte-identical trace dumps across reruns / worker counts / shard
+// counts, timeline and flight-recorder content, ring bounding, the
+// failure-triggered auto-dump and the Perfetto export.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpusim/trace.h"
+#include "hostrt/device_manager.h"
+#include "simserve/mix.h"
+#include "simserve/service.h"
+
+namespace simtomp::simserve {
+namespace {
+
+using gpusim::ArchSpec;
+
+/// The same pressured mix the determinism suite replays: shedding,
+/// batching and device-lost migrations all occur.
+Mix pressuredMix() {
+  MixProfile profile;
+  profile.seed = 11;
+  profile.tenants = 4;
+  profile.requests = 96;
+  profile.pumpEvery = 32;
+  profile.faultPermille = 20;
+  profile.maxInFlight = 8;
+  profile.maxQueued = 6;
+  return generateMix(profile);
+}
+
+omprt::TargetConfig plainConfig(const std::string& fault = "") {
+  omprt::TargetConfig config;
+  config.teamsMode = omprt::ExecMode::kSPMD;
+  config.numTeams = 1;
+  config.threadsPerTeam = 64;
+  config.check.mode = simcheck::CheckMode::kOff;
+  config.fault.spec = fault.empty() ? "off" : fault;
+  return config;
+}
+
+/// Replay `mix` (tracing per `trace`) and return dumpStats().
+std::string replayStats(const Mix& mix, bool trace, uint32_t workers,
+                        uint32_t shards) {
+  std::vector<ArchSpec> specs(4, ArchSpec::testTiny());
+  hostrt::DeviceManager mgr(std::move(specs));
+  ServiceConfig config;
+  config.shardCount = shards;
+  config.maxQueued = 24;
+  config.trace.enabled = trace;
+  LaunchService service(mgr, config);
+  ReplayOptions options;
+  options.hostWorkers = workers;
+  const Result<ReplayReport> report = replayMix(service, mix, options);
+  EXPECT_TRUE(report.isOk()) << report.status().toString();
+  std::ostringstream out;
+  service.dumpStats(out);
+  return out.str();
+}
+
+/// Replay with tracing on and return every canonical dump surface
+/// concatenated: timelines, SLO burn, histograms, flight recorder.
+std::string traceSurfaces(const Mix& mix, uint32_t workers,
+                          uint32_t shards) {
+  std::vector<ArchSpec> specs(4, ArchSpec::testTiny());
+  hostrt::DeviceManager mgr(std::move(specs));
+  ServiceConfig config;
+  config.shardCount = shards;
+  config.maxQueued = 24;
+  config.trace.enabled = true;
+  LaunchService service(mgr, config);
+  ReplayOptions options;
+  options.hostWorkers = workers;
+  const Result<ReplayReport> report = replayMix(service, mix, options);
+  EXPECT_TRUE(report.isOk()) << report.status().toString();
+  std::ostringstream out;
+  ServiceTracer* tracer = service.tracer();
+  EXPECT_NE(tracer, nullptr);
+  tracer->dumpTimelines(out, /*physical=*/false);
+  tracer->dumpTenantSummary(out);
+  tracer->dumpHistograms(out);
+  tracer->dumpFlight(out, /*physical=*/false);
+  return out.str();
+}
+
+TEST(ServeTraceTest, TracingDoesNotPerturbTheStatsDump) {
+  const Mix mix = pressuredMix();
+  const std::string off = replayStats(mix, /*trace=*/false, 1, 4);
+  const std::string on = replayStats(mix, /*trace=*/true, 1, 4);
+  EXPECT_EQ(off, on) << "tracing must be purely observational";
+}
+
+TEST(ServeTraceTest, DumpsAreByteIdenticalAcrossRerunsWorkersShards) {
+  const Mix mix = pressuredMix();
+  const std::string base = traceSurfaces(mix, 1, 4);
+  // The surfaces must have real content to make the comparison mean
+  // anything.
+  EXPECT_NE(base.find("# simserve trace v1"), std::string::npos);
+  EXPECT_NE(base.find("# simserve slo burn v1"), std::string::npos);
+  EXPECT_NE(base.find("# simserve flight recorder v1"), std::string::npos);
+  EXPECT_NE(base.find("migrated hop="), std::string::npos)
+      << "the pressured mix must actually migrate requests";
+  EXPECT_EQ(base, traceSurfaces(mix, 1, 4));   // rerun
+  EXPECT_EQ(base, traceSurfaces(mix, 8, 4));   // worker count
+  EXPECT_EQ(base, traceSurfaces(mix, 1, 13));  // prime shard count
+  EXPECT_EQ(base, traceSurfaces(mix, 8, 13));  // both axes
+}
+
+TEST(ServeTraceTest, CanonicalSurfacesCarryNoPhysicalIdentity) {
+  const std::string base = traceSurfaces(pressuredMix(), 1, 4);
+  // Device/shard identities are physical detail: they must never leak
+  // into the canonical (byte-compare) dump mode.
+  EXPECT_EQ(base.find("device="), std::string::npos);
+  EXPECT_EQ(base.find("shard="), std::string::npos);
+}
+
+TEST(ServeTraceTest, TimelineRecordsBatchRolesAndDeadlineVerdicts) {
+  hostrt::DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::testTiny()});
+  ServiceConfig config;
+  config.trace.enabled = true;
+  LaunchService service(mgr, config);
+  TenantSpec spec;
+  spec.name = "a";
+  spec.deadlineCycles = uint64_t{1} << 20;
+  ASSERT_TRUE(service.registerTenant(spec).isOk());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service
+                    .submit("a", plainConfig(), [](omprt::OmpContext&) {},
+                            "k")
+                    .isOk());
+  }
+  service.pump();
+  ASSERT_TRUE(service.drain().isOk());
+
+  ServiceTracer* tracer = service.tracer();
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_EQ(tracer->requestCount(), 3u);
+
+  std::ostringstream leader;
+  ASSERT_TRUE(tracer->dumpTimeline(leader, 0, /*physical=*/false).isOk());
+  EXPECT_NE(leader.str().find("dispatched role=leader"), std::string::npos);
+  EXPECT_NE(leader.str().find("verdict=hit"), std::string::npos);
+  EXPECT_NE(leader.str().find("outcome=done status=OK"), std::string::npos);
+
+  std::ostringstream follower;
+  ASSERT_TRUE(tracer->dumpTimeline(follower, 2, /*physical=*/false).isOk());
+  EXPECT_NE(follower.str().find("dispatched role=follower"),
+            std::string::npos);
+
+  std::ostringstream flight;
+  tracer->dumpFlight(flight, /*physical=*/false);
+  EXPECT_NE(flight.str().find("batch fp=k size=3"), std::string::npos);
+
+  std::ostringstream none;
+  EXPECT_FALSE(tracer->dumpTimeline(none, 99, /*physical=*/false).isOk());
+}
+
+TEST(ServeTraceTest, MigrationShowsUpInTimelineAndFlightRing) {
+  hostrt::DeviceManager mgr({ArchSpec::testTiny(), ArchSpec::testTiny()});
+  ServiceConfig config;
+  config.trace.enabled = true;
+  LaunchService service(mgr, config);
+  ASSERT_TRUE(service.registerTenant({"a"}).isOk());
+  ASSERT_TRUE(service
+                  .submit("a", plainConfig("device_lost_post:count=1"),
+                          [](omprt::OmpContext&) {}, "k")
+                  .isOk());
+  ASSERT_TRUE(service.runToCompletion().isOk());
+
+  ServiceTracer* tracer = service.tracer();
+  ASSERT_NE(tracer, nullptr);
+  std::ostringstream timeline;
+  ASSERT_TRUE(tracer->dumpTimeline(timeline, 0, /*physical=*/false).isOk());
+  EXPECT_NE(timeline.str().find("migrated hop=1 backoff=64"),
+            std::string::npos);
+  EXPECT_NE(timeline.str().find("outcome=done"), std::string::npos);
+
+  std::ostringstream canonical;
+  tracer->dumpFlight(canonical, /*physical=*/false);
+  EXPECT_NE(canonical.str().find("breaker_trip tenant=a"),
+            std::string::npos);
+  EXPECT_NE(canonical.str().find("migrate req=0 hop=1"), std::string::npos);
+  EXPECT_EQ(canonical.str().find("from_device="), std::string::npos);
+
+  // Physical mode prints the device detail the canonical mode withheld.
+  std::ostringstream physical;
+  tracer->dumpFlight(physical, /*physical=*/true);
+  EXPECT_NE(physical.str().find("from_device="), std::string::npos);
+  EXPECT_NE(physical.str().find("# physical ring"), std::string::npos);
+}
+
+TEST(ServeTraceTest, RingCapacityBoundsTheRecorderAndCountsDrops) {
+  hostrt::DeviceManager mgr({ArchSpec::testTiny()});
+  ServiceConfig config;
+  config.trace.enabled = true;
+  config.trace.ringCapacity = 4;
+  LaunchService service(mgr, config);
+  ASSERT_TRUE(service.registerTenant({"a"}).isOk());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service
+                    .submit("a", plainConfig(), [](omprt::OmpContext&) {},
+                            "k" + std::to_string(i))
+                    .isOk());
+  }
+  ASSERT_TRUE(service.runToCompletion().isOk());
+  const simprof::FlightRecorder& ring = service.tracer()->canonicalRing();
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_LE(ring.size(), 4u);
+  EXPECT_GT(ring.dropped(), 0u);
+  EXPECT_EQ(ring.recorded(), ring.size() + ring.dropped());
+  std::ostringstream out;
+  service.tracer()->dumpFlight(out, /*physical=*/false);
+  EXPECT_NE(out.str().find("dropped="), std::string::npos);
+}
+
+TEST(ServeTraceTest, FailedLaunchTriggersTheAutoDump) {
+  const std::string path = testing::TempDir() + "simserve_trace_auto.txt";
+  std::remove(path.c_str());
+  hostrt::DeviceManager mgr({ArchSpec::testTiny()});
+  ServiceConfig config;
+  config.trace.enabled = true;
+  config.trace.autoDumpPath = path;
+  LaunchService service(mgr, config);
+  ASSERT_TRUE(service.registerTenant({"a"}).isOk());
+  // A trap fault fails only its own launch (INTERNAL): the retirement
+  // is a failure trigger.
+  ASSERT_TRUE(service
+                  .submit("a", plainConfig("trap:step=1:count=1"),
+                          [](omprt::OmpContext&) {}, "k")
+                  .isOk());
+  ASSERT_TRUE(service.runToCompletion().isOk());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "auto-dump file was not written";
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find(
+                "# simserve flight recorder v1 trigger=failed_launch"),
+            std::string::npos);
+  EXPECT_NE(content.str().find("retire req=0 outcome=failed"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ServeTraceTest, PerfettoExportNamesTenantTracks) {
+  hostrt::DeviceManager mgr({ArchSpec::testTiny()});
+  ServiceConfig config;
+  config.trace.enabled = true;
+  LaunchService service(mgr, config);
+  ASSERT_TRUE(service.registerTenant({"alpha"}).isOk());
+  ASSERT_TRUE(service.registerTenant({"beta"}).isOk());
+  for (const char* tenant : {"alpha", "beta", "alpha"}) {
+    ASSERT_TRUE(service
+                    .submit(tenant, plainConfig(),
+                            [](omprt::OmpContext&) {}, "k")
+                    .isOk());
+  }
+  ASSERT_TRUE(service.runToCompletion().isOk());
+  gpusim::TraceRecorder recorder;
+  service.tracer()->exportPerfetto(recorder);
+  std::ostringstream out;
+  recorder.writeChromeJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"beta\""), std::string::npos);
+  EXPECT_NE(json.find("req 0 k"), std::string::npos);
+  // The export is itself deterministic: a second export matches.
+  gpusim::TraceRecorder again;
+  service.tracer()->exportPerfetto(again);
+  std::ostringstream out2;
+  again.writeChromeJson(out2);
+  EXPECT_EQ(json, out2.str());
+}
+
+TEST(ServeTraceTest, TracerAbsentWhenDisabled) {
+  hostrt::DeviceManager mgr({ArchSpec::testTiny()});
+  LaunchService service(mgr);
+  EXPECT_EQ(service.tracer(), nullptr);
+}
+
+}  // namespace
+}  // namespace simtomp::simserve

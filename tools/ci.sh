@@ -60,6 +60,16 @@
 #          violations and byte-identical reports; the serve_resilience
 #          bench then gates storm goodput >= 70% of fault-free goodput
 #          and emits BENCH_serve_resilience.json.
+# Stage 12: serving-trace determinism + observability guard; the
+#          simtomp_serve trace surfaces (timelines, SLO burn,
+#          histograms, flight recorder) and on-demand flight dumps
+#          must be byte-identical across reruns, 8 host workers and a
+#          prime shard count; the Perfetto export must be valid JSON;
+#          the chaos report must be byte-identical with --trace on;
+#          a planted invariant violation must auto-dump the flight
+#          recorder; the serve_observability_overhead bench then
+#          asserts tracing never perturbs the modeled stats dump or
+#          replay report and emits BENCH_serve_observability.json.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
@@ -80,7 +90,7 @@ cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build "${prefix}-tsan" -j "${jobs}"
 SIMTOMP_HOST_WORKERS=8 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j 1 \
-  -R '^(gpusim|omprt|simfault|fastpath|hostrt|simserve|simfuzz)_'
+  -R '^(gpusim|omprt|simfault|fastpath|hostrt|simserve|simfuzz|simprof)_'
 
 echo "=== stage 3: simcheck gate (SIMTOMP_CHECK=1 over simulator suites) ==="
 SIMTOMP_CHECK=1 \
@@ -381,5 +391,93 @@ print(f"clean goodput {bench['clean_goodput']}, "
       f"(ratio {bench['goodput_ratio']:.3f}, gate {bench['goodput_gate']})")
 EOF
 echo "resilience goodput gate passed"
+
+echo "=== stage 12: serving-trace determinism + observability guard ==="
+trace_mix="${prefix}/trace-guard.mix"
+trace_a="${prefix}/trace-guard-a.txt"
+trace_b="${prefix}/trace-guard-b.txt"
+trace_c="${prefix}/trace-guard-c.txt"
+trace_d="${prefix}/trace-guard-d.txt"
+flight_a="${prefix}/trace-guard-a.flight"
+flight_b="${prefix}/trace-guard-b.flight"
+flight_c="${prefix}/trace-guard-c.flight"
+flight_d="${prefix}/trace-guard-d.flight"
+perfetto_json="${prefix}/trace-guard.perfetto.json"
+# The trace surfaces record only shard-invariant facts on the modeled
+# clock (device/shard ids live on the physical ring, which the
+# canonical dump withholds), so every dump must be byte-identical
+# across reruns, worker counts and shard counts — same mix as stage 9,
+# faults included.
+"${serve}" gen --seed 11 --tenants 4 --requests 96 \
+  --pump-every 32 --fault-permille 20 --out "${trace_mix}"
+SIMTOMP_HOST_WORKERS=1 "${serve}" trace "${trace_mix}" --workers 1 \
+  --flight "${flight_a}" > "${trace_a}"
+SIMTOMP_HOST_WORKERS=1 "${serve}" trace "${trace_mix}" --workers 1 \
+  --flight "${flight_b}" > "${trace_b}"
+SIMTOMP_HOST_WORKERS=8 "${serve}" trace "${trace_mix}" --workers 8 \
+  --flight "${flight_c}" > "${trace_c}"
+SIMTOMP_HOST_WORKERS=8 "${serve}" trace "${trace_mix}" --workers 8 \
+  --shards 13 --flight "${flight_d}" > "${trace_d}"
+if ! cmp "${trace_a}" "${trace_b}"; then
+  echo "ci.sh: tracing the same mix twice produced different dumps" >&2
+  exit 1
+fi
+if ! cmp "${trace_a}" "${trace_c}"; then
+  echo "ci.sh: trace dumps at 1 vs 8 host workers differ" >&2
+  exit 1
+fi
+if ! cmp "${trace_a}" "${trace_d}"; then
+  echo "ci.sh: trace dumps differ across shard counts" >&2
+  exit 1
+fi
+if ! cmp "${flight_a}" "${flight_b}" || ! cmp "${flight_a}" "${flight_c}" \
+    || ! cmp "${flight_a}" "${flight_d}"; then
+  echo "ci.sh: flight-recorder dumps differ across reruns/workers/shards" >&2
+  exit 1
+fi
+echo "trace + flight dumps byte-identical across reruns/workers/shards"
+"${serve}" trace "${trace_mix}" --perfetto "${perfetto_json}" >/dev/null
+python3 -m json.tool "${perfetto_json}" >/dev/null
+echo "perfetto export is valid JSON"
+# Tracing must not perturb the chaos campaign either: the report with
+# --trace must match stage 11's untraced report for the same seeds.
+chaos_traced="${prefix}/chaos-guard-traced.txt"
+"${serve}" chaos --seeds=0..16 --trace --out "${chaos_traced}" >/dev/null
+if ! cmp "${chaos_a}" "${chaos_traced}"; then
+  echo "ci.sh: chaos campaign report differs with tracing on" >&2
+  exit 1
+fi
+echo "chaos report byte-identical with tracing on"
+# A planted violation must fail the campaign AND auto-dump the flight
+# recorder with the violation trigger.
+chaos_flight="${prefix}/chaos-guard-planted.flight"
+rm -f "${chaos_flight}"
+set +e
+"${serve}" chaos --seeds=0..0 --trace --plant-violation \
+  --flight "${chaos_flight}" >/dev/null 2>&1
+chaos_status=$?
+set -e
+if [ "${chaos_status}" -eq 0 ]; then
+  echo "ci.sh: planted chaos violation not detected" >&2
+  exit 1
+fi
+grep -q 'trigger=invariant_violation' "${chaos_flight}" || {
+  echo "ci.sh: planted violation did not auto-dump the flight recorder" >&2
+  exit 1
+}
+echo "planted violation caught and flight recorder auto-dumped"
+# The bench exits non-zero if tracing perturbs the modeled stats dump
+# or the replay report.
+(cd "${prefix}/bench" && ./serve_observability_overhead >/dev/null)
+python3 - "${prefix}/bench/BENCH_serve_observability.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["stats_identical"] and bench["report_identical"], \
+    "ci.sh: tracing perturbed modeled surfaces"
+print(f"{bench['trace_events']} trace events "
+      f"({bench['trace_dropped']} dropped), "
+      f"host overhead x{bench['host_overhead']:.3f} (informational)")
+EOF
+echo "observability zero-perturbation guard passed"
 
 echo "=== ci.sh: all stages passed ==="

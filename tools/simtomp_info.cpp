@@ -21,9 +21,15 @@
 //                                       (KernelStats) with descriptions
 //   simtomp_info --metrics            — the process-wide metrics
 //                                       catalog (simprof registry)
+//   simtomp_info --metrics=prom|json  — the registry's current values
+//                                       in Prometheus text or JSON form
+//                                       (the same two formats the
+//                                       SIMTOMP_METRICS exit dump
+//                                       writes)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 
 #include "apps/tunable.h"
 #include "gpusim/arch.h"
@@ -266,9 +272,19 @@ int main(int argc, char** argv) {
     metricTable();
     return 0;
   }
+  if (std::strcmp(argv[1], "--metrics=prom") == 0 ||
+      std::strcmp(argv[1], "metrics=prom") == 0) {
+    simprof::MetricsRegistry::global().writePrometheus(std::cout);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--metrics=json") == 0 ||
+      std::strcmp(argv[1], "metrics=json") == 0) {
+    simprof::MetricsRegistry::global().writeJson(std::cout);
+    return 0;
+  }
   std::fprintf(stderr,
                "usage: simtomp_info [occupancy <threads> [sharedBytes] | "
                "groups <threads> | --check | --tune | --prof | --counters | "
-               "--metrics]\n");
+               "--metrics | --metrics=prom | --metrics=json]\n");
   return 2;
 }

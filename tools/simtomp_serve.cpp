@@ -4,21 +4,36 @@
 //                     [--pump-every P] [--fault-permille F] [--out FILE]
 //   simtomp_serve replay FILE [--devices D] [--shards S] [--workers N]
 //                             [--stats FILE]
+//   simtomp_serve trace FILE [--devices D] [--shards S] [--workers N]
+//                            [--req ID] [--physical] [--ring N]
+//                            [--flight FILE] [--perfetto FILE]
 //   simtomp_serve chaos [--seeds A..B] [--devices D] [--shards S]
 //                       [--workers N] [--epochs E] [--requests R]
-//                       [--out FILE]
+//                       [--out FILE] [--trace] [--flight FILE]
+//                       [--plant-violation]
 //
 // `gen` writes a deterministic mix (same flags, same bytes) in the
 // format of src/simserve/mix.h. `replay` drives it through a
 // LaunchService over D fresh tiny devices and prints the service's
 // stats dump — deterministic by contract, so CI replays one mix twice
 // and at 1 vs 8 workers and byte-compares the dumps (see docs/
-// SERVING.md). `chaos` runs the seeded fault campaign of
-// src/simserve/chaos.h and prints its report; the report is
-// byte-identical across reruns, --workers and --shards, and the exit
-// code is 0 only when every invariant held for every seed (see docs/
-// FAULTS.md). Exit codes: 0 ok, 1 service/verify/invariant failure,
-// 2 usage or parse error.
+// SERVING.md). `trace` replays the same way with request tracing on
+// and prints the observability surfaces of src/simserve/trace.h —
+// per-request span timelines (--req narrows to one id), the per-tenant
+// SLO burn summary, queue-delay/batch-size histograms and the
+// canonical flight-recorder dump — all byte-identical across reruns,
+// --workers and --shards; --physical adds device/shard detail and the
+// physical ring (not a byte-compare surface), --flight saves the
+// flight dump and --perfetto exports per-tenant Chrome/Perfetto
+// tracks. `chaos` runs the seeded fault campaign of src/simserve/
+// chaos.h and prints its report; the report is byte-identical across
+// reruns, --workers and --shards (with or without --trace), and the
+// exit code is 0 only when every invariant held for every seed (see
+// docs/FAULTS.md). With --trace --flight FILE, a violating seed's
+// flight recorder is dumped to FILE; --plant-violation forces one
+// synthetic violation on the first seed to drill that path. Exit
+// codes: 0 ok, 1 service/verify/invariant failure, 2 usage or parse
+// error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/trace.h"
 #include "hostrt/device_manager.h"
 #include "simserve/chaos.h"
 #include "simserve/mix.h"
@@ -45,9 +61,14 @@ int usage() {
       "                         [--out FILE]\n"
       "       simtomp_serve replay FILE [--devices D] [--shards S]\n"
       "                                 [--workers N] [--stats FILE]\n"
+      "       simtomp_serve trace FILE [--devices D] [--shards S]\n"
+      "                                [--workers N] [--req ID] [--physical]\n"
+      "                                [--ring N] [--flight FILE]\n"
+      "                                [--perfetto FILE]\n"
       "       simtomp_serve chaos [--seeds A..B] [--devices D] [--shards S]\n"
       "                           [--workers N] [--epochs E] [--requests R]\n"
-      "                           [--out FILE]\n");
+      "                           [--out FILE] [--trace] [--flight FILE]\n"
+      "                           [--plant-violation]\n");
   return 2;
 }
 
@@ -160,6 +181,100 @@ int runReplay(int argc, char** argv) {
   return 0;
 }
 
+int runTrace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mix_path = argv[2];
+  uint64_t devices = 4, shards = 0, workers = 1, ring = 8192, req_id = 0;
+  bool have_req = false, physical = false;
+  std::string flight_path, perfetto_path;
+  for (int i = 3; i < argc; ++i) {
+    uint64_t v = 0;
+    if (parseFlag(argc, argv, i, "--devices", v)) {
+      devices = v;
+    } else if (parseFlag(argc, argv, i, "--shards", v)) {
+      shards = v;
+    } else if (parseFlag(argc, argv, i, "--workers", v)) {
+      workers = v;
+    } else if (parseFlag(argc, argv, i, "--ring", v)) {
+      ring = v;
+    } else if (parseFlag(argc, argv, i, "--req", v)) {
+      req_id = v;
+      have_req = true;
+    } else if (std::strcmp(argv[i], "--physical") == 0) {
+      physical = true;
+    } else if (std::strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      flight_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
+      perfetto_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (devices == 0 || workers == 0 || ring == 0) return usage();
+
+  std::ifstream in(mix_path);
+  if (!in) {
+    std::fprintf(stderr, "simtomp_serve: cannot read %s\n", mix_path.c_str());
+    return 2;
+  }
+  const Result<simserve::Mix> mix = simserve::parseMix(in);
+  if (!mix.isOk()) {
+    std::fprintf(stderr, "simtomp_serve: %s\n",
+                 mix.status().toString().c_str());
+    return 2;
+  }
+
+  std::vector<gpusim::ArchSpec> specs(devices, gpusim::ArchSpec::testTiny());
+  hostrt::DeviceManager mgr(std::move(specs));
+  simserve::ServiceConfig config;
+  config.shardCount = static_cast<uint32_t>(shards);
+  config.trace.enabled = true;
+  config.trace.ringCapacity = ring;
+  simserve::LaunchService service(mgr, config);
+
+  simserve::ReplayOptions options;
+  options.hostWorkers = static_cast<uint32_t>(workers);
+  const Result<simserve::ReplayReport> report =
+      simserve::replayMix(service, mix.value(), options);
+  if (!report.isOk()) {
+    std::fprintf(stderr, "simtomp_serve: replay failed: %s\n",
+                 report.status().toString().c_str());
+    return 1;
+  }
+  simserve::ServiceTracer* tracer = service.tracer();
+  std::cout << "trace " << mix_path << ": " << report.value().toString()
+            << "\n";
+  if (have_req) {
+    const Status st = tracer->dumpTimeline(std::cout, req_id, physical);
+    if (!st.isOk()) {
+      std::fprintf(stderr, "simtomp_serve: %s\n", st.toString().c_str());
+      return 2;
+    }
+  } else {
+    tracer->dumpTimelines(std::cout, physical);
+  }
+  tracer->dumpTenantSummary(std::cout);
+  tracer->dumpHistograms(std::cout);
+  tracer->dumpFlight(std::cout, physical);
+  if (!flight_path.empty()) {
+    const Status st = tracer->dumpFlightToFile(flight_path, "on_demand");
+    if (!st.isOk()) {
+      std::fprintf(stderr, "simtomp_serve: %s\n", st.toString().c_str());
+      return 1;
+    }
+  }
+  if (!perfetto_path.empty()) {
+    gpusim::TraceRecorder recorder;
+    tracer->exportPerfetto(recorder);
+    const Status st = recorder.writeChromeJson(perfetto_path);
+    if (!st.isOk()) {
+      std::fprintf(stderr, "simtomp_serve: %s\n", st.toString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 /// Parse "A..B" (inclusive) or a single "N" (meaning 0..N).
 bool parseSeedRange(const char* text, uint64_t& lo, uint64_t& hi) {
   const char* dots = std::strstr(text, "..");
@@ -201,6 +316,12 @@ int runChaos(int argc, char** argv) {
       config.requests = static_cast<uint32_t>(v);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      config.trace = true;
+    } else if (std::strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      config.flightPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--plant-violation") == 0) {
+      config.plantViolation = true;
     } else {
       return usage();
     }
@@ -240,6 +361,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "gen") == 0) return simtomp::runGen(argc, argv);
   if (std::strcmp(argv[1], "replay") == 0) {
     return simtomp::runReplay(argc, argv);
+  }
+  if (std::strcmp(argv[1], "trace") == 0) {
+    return simtomp::runTrace(argc, argv);
   }
   if (std::strcmp(argv[1], "chaos") == 0) {
     return simtomp::runChaos(argc, argv);
